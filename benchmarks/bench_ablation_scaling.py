@@ -1,0 +1,83 @@
+"""Scalability ablation — the paper's central claim (§1, §6).
+
+"Being designed for scalability from the ground up with a data parallel
+approach that does not require any serial work, the presented approach is
+future-proof and can continue to gain speed-ups, as more cores are being
+added" — versus Instant Loading's safe mode, whose sequential pre-pass
+caps the speed-up (Amdahl).
+
+Regenerated here on the device model: on-GPU parsing time across scaled
+devices (0.25x .. 4x Titan X cores, plus the V100 the intro cites), and
+the Amdahl ceiling of the safe-mode baseline measured from its real
+serial fraction on yelp-like data.  Written to
+``results/ablation_scaling.txt``.
+"""
+
+import pytest
+
+from repro.baselines import InstantLoadingParser
+from repro.dfa.dialects import Dialect
+from repro.gpusim.cost_model import PipelineCostModel, WorkloadStats
+from repro.gpusim.device import TITAN_X_PASCAL, V100
+
+from conftest import MB, write_report
+
+
+def test_core_scaling(benchmark, results_dir):
+    stats = WorkloadStats.yelp_like(512 * MB)
+
+    def sweep():
+        rows = {}
+        for factor in (0.25, 0.5, 1.0, 2.0, 4.0):
+            model = PipelineCostModel(TITAN_X_PASCAL.scaled(factor))
+            rows[factor] = model.total_seconds(stats)
+        rows["V100"] = PipelineCostModel(V100).total_seconds(stats)
+        return rows
+
+    rows = benchmark(sweep)
+
+    base = rows[1.0]
+    lines = [f"{'device':>12} {'cores':>7} {'time':>9} {'speedup':>8}"]
+    for factor in (0.25, 0.5, 1.0, 2.0, 4.0):
+        device = TITAN_X_PASCAL.scaled(factor)
+        lines.append(f"{factor:>10.2g}x {device.num_cores:>7} "
+                     f"{rows[factor] * 1e3:>8.1f}m "
+                     f"{base / rows[factor]:>8.2f}")
+    lines.append(f"{'V100':>12} {V100.num_cores:>7} "
+                 f"{rows['V100'] * 1e3:>8.1f}m "
+                 f"{base / rows['V100']:>8.2f}")
+    write_report(results_dir / "ablation_scaling.txt",
+                 "Scaling ablation: on-GPU time vs core count "
+                 "(yelp 512 MB)", lines)
+
+    # More cores -> strictly faster, approaching compute-proportional
+    # gains while bandwidth-bound steps scale with the memory system.
+    assert rows[0.25] > rows[0.5] > rows[1.0] > rows[2.0] > rows[4.0]
+    assert base / rows[4.0] > 2.0           # substantial, sustained gain
+    assert rows["V100"] < base              # the §1 5120-core part wins
+
+
+def test_amdahl_ceiling_of_safe_mode(benchmark, results_dir, yelp_1mb):
+    """The counterpoint: Instant Loading's safe mode cannot scale."""
+    parser = InstantLoadingParser(Dialect(strip_carriage_return=False),
+                                  num_threads=8, safe_mode=True)
+
+    def measure():
+        parser.parse_rows(yelp_1mb)
+        return parser.serial_fraction()
+
+    serial = benchmark.pedantic(measure, rounds=2, iterations=1,
+                                warmup_rounds=0)
+    lines = [f"serial fraction on yelp-like data: {serial:.2%}",
+             ""]
+    for cores in (4, 32, 3584):
+        lines.append(f"Amdahl speed-up bound on {cores:>5} cores: "
+                     f"{parser.amdahl_speedup(cores):6.2f}x")
+    lines.append("")
+    lines.append("ParPaRaw performs zero serial work; its bound is the "
+                 "core count itself (paper contribution 1).")
+    write_report(results_dir / "ablation_amdahl.txt",
+                 "Amdahl ceiling of the safe-mode baseline", lines)
+
+    assert serial > 0.3
+    assert parser.amdahl_speedup(3584) < 4.0

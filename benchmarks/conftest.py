@@ -1,0 +1,77 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every figure/table of the paper's evaluation (§5) has one module here.
+Each module does two things:
+
+1. **measures** wall-clock behaviour of the real (vectorised NumPy)
+   implementation at laptop scale via ``pytest-benchmark``;
+2. **regenerates the paper's artefact** at paper scale on the calibrated
+   GPU model, writing the rows/series to ``benchmarks/results/*.txt`` so
+   they can be compared against the paper (see EXPERIMENTS.md).
+
+Run with: ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.workloads import (
+    TAXI_SCHEMA,
+    YELP_SCHEMA,
+    generate_taxi_like,
+    generate_yelp_like,
+)
+
+MB = 1024 ** 2
+GB = 1e9
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def run_benchmark(benchmark, func, *args, rounds: int = 3, **kwargs):
+    """Benchmark a second-scale function with a fixed, small round count.
+
+    pytest-benchmark's auto-calibration is built for microseconds; the
+    wall-clock pipeline runs take ~0.1-3 s per call, so three pedantic
+    rounds give stable medians without hour-long suites.
+    """
+    return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                              rounds=rounds, iterations=1,
+                              warmup_rounds=1)
+
+
+def write_report(path: pathlib.Path, title: str,
+                 lines: list[str]) -> None:
+    """Write one figure/table report file (and echo it for -s runs)."""
+    content = "\n".join([title, "=" * len(title), *lines, ""])
+    path.write_text(content)
+    print("\n" + content)
+
+
+@pytest.fixture(scope="session")
+def yelp_1mb() -> bytes:
+    return generate_yelp_like(1 * MB, seed=7)
+
+
+@pytest.fixture(scope="session")
+def taxi_1mb() -> bytes:
+    return generate_taxi_like(1 * MB, seed=11)
+
+
+@pytest.fixture(scope="session")
+def yelp_schema():
+    return YELP_SCHEMA
+
+
+@pytest.fixture(scope="session")
+def taxi_schema():
+    return TAXI_SCHEMA

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Log-file analytics with custom DFAs (the paper's second use case, §1).
+
+Parses Common Log Format and Extended Log Format data using the DFAs from
+:mod:`repro.dfa.logformats` — formats where symbols change meaning with
+context (spaces inside ``[...]``/``"..."`` are data; ``#`` directive lines
+produce no records) and where quote-counting parsers break.
+
+Run: ``python examples/log_analytics.py``
+"""
+
+from collections import Counter
+
+from repro import DataType, Field, ParPaRawParser, ParseOptions, Schema
+from repro.baselines import QuoteCountParser
+from repro.dfa.logformats import common_log_format_dfa, \
+    extended_log_format_dfa
+from repro.workloads import generate_clf, generate_elf
+
+CLF_SCHEMA = Schema([
+    Field("host", DataType.STRING),
+    Field("ident", DataType.STRING),
+    Field("user", DataType.STRING),
+    Field("time", DataType.STRING),
+    Field("request", DataType.STRING),
+    Field("status", DataType.INT16),
+    Field("bytes", DataType.INT64),
+])
+
+ELF_SCHEMA = Schema([
+    Field("date", DataType.DATE),
+    Field("time", DataType.STRING),
+    Field("client_ip", DataType.STRING),
+    Field("method", DataType.STRING),
+    Field("uri", DataType.STRING),
+    Field("status", DataType.INT16),
+    Field("time_taken", DataType.INT32),
+])
+
+
+def common_log() -> None:
+    data = generate_clf(2_000, seed=3)
+    options = ParseOptions(dfa=common_log_format_dfa(), schema=CLF_SCHEMA)
+    result = ParPaRawParser(options).parse(data)
+    print(f"CLF: parsed {result.num_rows} lines, "
+          f"{result.total_rejected_fields} rejects")
+
+    statuses = Counter(result.table.column("status").to_list())
+    print("  status distribution:",
+          dict(sorted(statuses.items())))
+    total_bytes = sum(result.table.column("bytes").to_list())
+    print(f"  bytes served: {total_bytes:,}")
+    errors = statuses.get(500, 0) + statuses.get(404, 0)
+    print(f"  error rate: {errors / result.num_rows:.1%}")
+
+
+def extended_log() -> None:
+    data = generate_elf(2_000, seed=5, directive_every=25)
+    options = ParseOptions(dfa=extended_log_format_dfa(),
+                           schema=ELF_SCHEMA)
+    result = ParPaRawParser(options).parse(data)
+    directive_lines = sum(1 for line in data.split(b"\n")
+                          if line.startswith(b"#"))
+    print(f"\nELF: {result.num_rows} records from "
+          f"{data.count(chr(10).encode())} lines "
+          f"({directive_lines} directives ignored)")
+
+    taken = result.table.column("time_taken").to_list()
+    print(f"  p50 time-taken ~ {sorted(taken)[len(taken) // 2]} ms")
+
+    # Why an FSM matters: quote parity is poisoned by directives.
+    naive = QuoteCountParser()
+    naive_rows = naive.parse_rows(data.replace(b" ", b","))
+    print(f"  quote-count parser on the same stream: {len(naive_rows)} "
+          f"'records' (directives with quotes corrupt its speculation)")
+
+
+def main() -> None:
+    common_log()
+    extended_log()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Text-heavy workload: yelp-reviews-like CSV with embedded delimiters.
+
+This is the paper's adversarial dataset (§5): every field is quoted and
+review texts contain commas, newlines and doubled quotes.  The example
+shows why context-free parallel splitting fails here — and that ParPaRaw
+does not — by comparing against the Instant-Loading-style baseline in both
+its unsafe and safe modes.
+
+Run: ``python examples/yelp_reviews.py``
+"""
+
+from repro import Dialect, ParPaRawParser, ParseOptions
+from repro.baselines import InstantLoadingParser, SequentialParser
+from repro.workloads import YELP_SCHEMA, generate_yelp_like
+
+NO_CR = Dialect(strip_carriage_return=False)
+
+
+def main() -> None:
+    data = generate_yelp_like(200_000, seed=7)
+    options = ParseOptions(dialect=NO_CR, schema=YELP_SCHEMA)
+
+    result = ParPaRawParser(options).parse(data)
+    print(f"input: {len(data):,} bytes, {result.num_rows} reviews "
+          f"(~{len(data) // max(result.num_rows, 1)} B/record)")
+
+    reference = SequentialParser(options).parse(data)
+    assert result.table.to_pylist() == reference.to_pylist()
+    print("ParPaRaw output == sequential reference ✓")
+
+    stars = result.table.column("stars").to_list()
+    texts = result.table.column("text").to_list()
+    print(f"avg stars: {sum(stars) / len(stars):.2f}; "
+          f"avg review length: "
+          f"{sum(len(t) for t in texts) / len(texts):.0f} chars")
+    multiline = sum("\n" in t for t in texts)
+    print(f"reviews containing record delimiters: {multiline} "
+          f"({100 * multiline / len(texts):.0f}%)")
+
+    # The baseline comparison the paper makes in §5.2:
+    unsafe = InstantLoadingParser(NO_CR, num_threads=8)
+    unsafe_rows = unsafe.parse_rows(data)
+    expected_rows = SequentialParser(options).parse_rows(data)
+    print(f"\nInstant Loading (unsafe, 8 threads): "
+          f"{len(unsafe_rows)} records "
+          f"{'(WRONG — quoted newlines split records)' if unsafe_rows != expected_rows else ''}")
+
+    safe = InstantLoadingParser(NO_CR, num_threads=8, safe_mode=True)
+    safe_rows = safe.parse_rows(data)
+    assert safe_rows == expected_rows
+    print(f"Instant Loading (safe mode): {len(safe_rows)} records, "
+          f"correct — but {safe.serial_fraction():.0%} of bytes were "
+          f"touched serially, capping speed-up at "
+          f"{safe.amdahl_speedup(3584):.1f}x on 3 584 cores (Amdahl)")
+    print("ParPaRaw performs no serial work at all (paper §3.1).")
+
+
+if __name__ == "__main__":
+    main()

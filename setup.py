@@ -1,0 +1,11 @@
+"""Setuptools entry point.
+
+The canonical project metadata lives in ``pyproject.toml``; this file exists
+so that ``pip install -e .`` works in offline environments whose setuptools
+predates built-in wheel support (the legacy editable path does not require
+the ``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

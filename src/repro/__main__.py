@@ -1,0 +1,199 @@
+"""Command-line interface: ``python -m repro``.
+
+Subcommands:
+
+* ``parse FILE`` — parse a delimiter-separated file and print rows (or a
+  summary / serialised columnar output);
+* ``infer FILE`` — report inferred column types (paper §4.3);
+* ``sniff FILE`` — guess the dialect (delimiter, quoting, comments);
+* ``simulate`` — print the simulated Titan X step breakdown and
+  end-to-end streaming time for a given workload shape.
+
+Examples::
+
+    python -m repro parse data.csv --limit 5
+    python -m repro parse data.csv --delimiter ';' --comment '#' --summary
+    python -m repro infer data.csv
+    python -m repro simulate --dataset yelp --size-mb 512 --chunk 31
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import (
+    ColumnCountPolicy,
+    Dialect,
+    ParPaRawParser,
+    ParseOptions,
+    TaggingMode,
+)
+from repro.columnar.serialize import serialize_table
+from repro.gpusim.cost_model import PipelineCostModel, WorkloadStats
+from repro.streaming import StreamingPipeline
+
+MB = 1024 ** 2
+
+
+def _dialect_from_args(args: argparse.Namespace) -> Dialect:
+    return Dialect(
+        delimiter=args.delimiter.encode(),
+        quote=args.quote.encode() if args.quote else None,
+        comment=args.comment.encode() if args.comment else None,
+        strip_carriage_return=not args.no_crlf,
+    )
+
+
+def _options_from_args(args: argparse.Namespace) -> ParseOptions:
+    return ParseOptions(
+        dialect=_dialect_from_args(args),
+        chunk_size=args.chunk,
+        tagging_mode=TaggingMode(args.tagging_mode),
+        infer_types=getattr(args, "infer_types", False),
+        column_count_policy=ColumnCountPolicy(args.column_policy),
+    )
+
+
+def cmd_parse(args: argparse.Namespace) -> int:
+    with open(args.file, "rb") as handle:
+        data = handle.read()
+    result = ParPaRawParser(_options_from_args(args)).parse(data)
+    table = result.table
+
+    if args.output:
+        with open(args.output, "wb") as handle:
+            handle.write(serialize_table(table))
+        print(f"wrote {table.num_rows} rows x {table.num_columns} columns "
+              f"to {args.output}")
+        return 0
+    if args.summary:
+        print(f"records:  {result.num_records}")
+        print(f"rows:     {result.num_rows}")
+        print(f"rejected: {result.rejected_records} records, "
+              f"{result.total_rejected_fields} fields")
+        print(f"columns:  {', '.join(table.schema.names)}")
+        print(f"end state: {result.validation.final_state_name} "
+              f"({'ok' if result.validation.is_valid else 'INVALID'})")
+        for step, seconds in sorted(result.step_seconds().items()):
+            print(f"  {step:<10} {seconds * 1e3:8.2f} ms")
+        return 0
+    print("\t".join(table.schema.names))
+    for i, row in enumerate(table.rows()):
+        if args.limit is not None and i >= args.limit:
+            print(f"... ({table.num_rows - args.limit} more rows)")
+            break
+        print("\t".join("NULL" if v is None else str(v) for v in row))
+    return 0
+
+
+def cmd_infer(args: argparse.Namespace) -> int:
+    with open(args.file, "rb") as handle:
+        data = handle.read()
+    options = _options_from_args(args).with_(infer_types=True)
+    result = ParPaRawParser(options).parse(data)
+    print(f"{result.num_rows} records, inferred schema:")
+    for field in result.table.schema:
+        print(f"  {field.name:<10} {field.dtype.value}")
+    return 0
+
+
+def cmd_sniff(args: argparse.Namespace) -> int:
+    from repro.dfa.sniffer import sniff_dialect
+    with open(args.file, "rb") as handle:
+        sample = handle.read(64 * 1024)
+    result = sniff_dialect(sample)
+    dialect = result.dialect
+    print(f"delimiter: {dialect.delimiter!r}")
+    print(f"quote:     {dialect.quote!r}")
+    print(f"comment:   {dialect.comment!r}")
+    print(f"columns:   {result.num_columns} "
+          f"(consistency {result.consistency:.0%}, "
+          f"{result.records_sampled} records sampled)")
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    factory = WorkloadStats.yelp_like if args.dataset == "yelp" \
+        else WorkloadStats.taxi_like
+    stats = factory(args.size_mb * MB, chunk_size=args.chunk)
+    model = PipelineCostModel()
+    costs = model.step_costs(stats)
+    print(f"simulated Titan X (Pascal), {args.dataset}-shaped workload, "
+          f"{args.size_mb} MB, {args.chunk} B chunks:")
+    for step, seconds in costs.as_dict().items():
+        print(f"  {step:<10} {seconds * 1e3:8.2f} ms")
+    print(f"  {'total':<10} {costs.total * 1e3:8.2f} ms  "
+          f"({stats.input_bytes / costs.total / 1e9:.2f} GB/s)")
+
+    pipeline = StreamingPipeline()
+    end_to_end = pipeline.end_to_end_seconds(
+        stats.input_bytes, args.partition_mb * MB, factory)
+    print(f"streamed end-to-end ({args.partition_mb} MB partitions): "
+          f"{end_to_end:.3f} s")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="ParPaRaw: massively parallel parsing of "
+                    "delimiter-separated raw data (reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--delimiter", default=",")
+        p.add_argument("--quote", default='"')
+        p.add_argument("--comment", default=None)
+        p.add_argument("--no-crlf", action="store_true",
+                       help="disable CRLF normalisation")
+        p.add_argument("--chunk", type=int, default=31,
+                       help="chunk size in bytes (paper default: 31)")
+        p.add_argument("--tagging-mode", default="tagged",
+                       choices=[m.value for m in TaggingMode])
+        p.add_argument("--column-policy", default="lenient",
+                       choices=[p.value for p in ColumnCountPolicy])
+
+    p_parse = sub.add_parser("parse", help="parse a file")
+    p_parse.add_argument("file")
+    add_common(p_parse)
+    p_parse.add_argument("--limit", type=int, default=20,
+                         help="max rows to print")
+    p_parse.add_argument("--summary", action="store_true",
+                         help="print statistics instead of rows")
+    p_parse.add_argument("--infer-types", action="store_true")
+    p_parse.add_argument("--output", metavar="OUT",
+                         help="write serialised columnar output to OUT")
+    p_parse.set_defaults(func=cmd_parse)
+
+    p_infer = sub.add_parser("infer", help="infer column types")
+    p_infer.add_argument("file")
+    add_common(p_infer)
+    p_infer.set_defaults(func=cmd_infer)
+
+    p_sniff = sub.add_parser("sniff", help="guess the dialect")
+    p_sniff.add_argument("file")
+    p_sniff.set_defaults(func=cmd_sniff)
+
+    p_sim = sub.add_parser("simulate",
+                           help="simulated GPU timings (cost model)")
+    p_sim.add_argument("--dataset", choices=("yelp", "taxi"),
+                       default="yelp")
+    p_sim.add_argument("--size-mb", type=int, default=512)
+    p_sim.add_argument("--chunk", type=int, default=31)
+    p_sim.add_argument("--partition-mb", type=int, default=128)
+    p_sim.set_defaults(func=cmd_simulate)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early; not an error.
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,44 @@
+"""Baseline parsers and system models the paper compares against (§5.2).
+
+Real implementations (executed and measured):
+
+* :class:`~repro.baselines.sequential.SequentialParser` — the classic
+  single-pass FSM parser; the semantic ground truth every parallel path is
+  tested against.
+* :mod:`~repro.baselines.instant_loading` — the Mühlbauer et al. chunked
+  parser ("Instant Loading"): threads start at the first record delimiter
+  in their chunk and overrun into the next.  Its *unsafe* mode
+  misinterprets quoted delimiters (the reason it "could not handle the
+  yelp dataset" in the paper); its *safe* mode adds the sequential
+  context-tracking pre-pass whose serial fraction caps scalability.
+* :mod:`~repro.baselines.quote_count` — the Mison-style speculative parser
+  that infers quotation scope from the parity of preceding quotes; exact
+  for plain RFC 4180, wrong as soon as comments/directives appear.
+* :mod:`~repro.baselines.stdlib_csv` — Python's ``csv`` module, as an
+  independent third-party oracle for RFC 4180 inputs.
+
+Calibrated models (for the Figure 13 comparison only):
+:mod:`~repro.baselines.system_models` reproduces the end-to-end durations
+the paper reports for MonetDB, Spark, pandas, cuDF and Instant Loading.
+"""
+
+from repro.baselines.sequential import SequentialParser, sequential_rows
+from repro.baselines.instant_loading import InstantLoadingParser
+from repro.baselines.quote_count import QuoteCountParser
+from repro.baselines.stdlib_csv import stdlib_csv_rows
+from repro.baselines.system_models import (
+    SystemModel,
+    PAPER_SYSTEMS,
+    modelled_duration,
+)
+
+__all__ = [
+    "SequentialParser",
+    "sequential_rows",
+    "InstantLoadingParser",
+    "QuoteCountParser",
+    "stdlib_csv_rows",
+    "SystemModel",
+    "PAPER_SYSTEMS",
+    "modelled_duration",
+]

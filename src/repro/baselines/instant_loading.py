@@ -1,0 +1,198 @@
+"""Instant-Loading-style chunked parallel parser (Mühlbauer et al. 2013).
+
+The paper's main CPU competitor (§2, §5.2).  The input is split into equal
+chunks; each thread scans forward to the first record delimiter in its
+chunk, then parses complete records, continuing past the chunk boundary to
+finish its last record.
+
+Two modes, exactly as the paper describes:
+
+* **unsafe** (default) — a thread assumes every record-delimiter byte it
+  sees is a real record boundary.  Fast, but wrong whenever the input uses
+  enclosing symbols: a newline inside a quoted field splits a record in
+  two, which is why "the implementation of Inst. Loading ... could not
+  handle the yelp dataset due to its incomplete handling of quoted strings
+  in parallel loads" (paper §5.2).  :meth:`InstantLoadingParser.parse_rows`
+  surfaces this as silently wrong output (the experiment detects it by
+  comparing against the reference parser).
+* **safe** — a *sequential* pre-pass tracks quotation scope over the whole
+  input and records the true record boundaries; chunks are then split only
+  at actual record delimiters and parsed in parallel.  Correct, but the
+  serial pre-pass bounds the speed-up (Amdahl), which is the scalability
+  argument motivating ParPaRaw.
+
+Within a chunk, record bytes are parsed with the same sequential FSM as
+:mod:`repro.baselines.sequential`, so field semantics line up; the point of
+this baseline is the *boundary detection*, not the per-record loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.sequential import sequential_rows
+from repro.dfa.automaton import Dfa
+from repro.dfa.csv import dialect_dfa
+from repro.dfa.dialects import Dialect
+from repro.errors import ParseError
+
+__all__ = ["InstantLoadingParser", "InstantLoadingStats"]
+
+
+@dataclass
+class InstantLoadingStats:
+    """Work accounting for the scalability ablation."""
+
+    num_threads: int = 0
+    #: Bytes scanned by the sequential safe-mode pre-pass (serial work).
+    sequential_bytes: int = 0
+    #: Bytes parsed inside chunks (parallelisable work).
+    parallel_bytes: int = 0
+    #: Threads that found no record boundary in their chunk (they perform
+    #: no parsing work — the load-balancing pathology the paper notes).
+    idle_threads: int = 0
+
+
+class InstantLoadingParser:
+    """Chunk-at-record-boundary parallel parser with optional safe mode."""
+
+    def __init__(self, dialect: Dialect | None = None,
+                 num_threads: int = 8, safe_mode: bool = False):
+        if num_threads <= 0:
+            raise ParseError("num_threads must be positive")
+        self.dialect = dialect if dialect is not None else Dialect.csv()
+        self.num_threads = num_threads
+        self.safe_mode = safe_mode
+        self._dfa: Dfa = dialect_dfa(self.dialect)
+        self.stats = InstantLoadingStats()
+
+    # -- public -----------------------------------------------------------
+
+    def parse_rows(self, data: bytes) -> list[list[bytes | None]]:
+        """Parse into records of raw fields (``None`` = empty field).
+
+        In unsafe mode the result may be *wrong* for inputs with enclosed
+        delimiters — that is the documented behaviour being reproduced.
+        """
+        self.stats = InstantLoadingStats(num_threads=self.num_threads)
+        if not data:
+            return []
+        if self.safe_mode:
+            boundaries = self._safe_boundaries(data)
+        else:
+            boundaries = self._unsafe_boundaries(data)
+        return self._parse_chunks(data, boundaries)
+
+    # -- boundary detection -------------------------------------------------
+
+    def _unsafe_boundaries(self, data: bytes) -> list[int]:
+        """Chunk start offsets: first byte after a record delimiter at or
+        after each nominal chunk start — *without* tracking context."""
+        n = len(data)
+        chunk = -(-n // self.num_threads)
+        newline = self.dialect.record_delimiter
+        starts = [0]
+        for t in range(1, self.num_threads):
+            nominal = t * chunk
+            if nominal >= n:
+                break
+            found = data.find(newline, nominal)
+            if found < 0:
+                self.stats.idle_threads += 1
+                continue
+            start = found + 1
+            if start > starts[-1]:
+                starts.append(start)
+            else:
+                self.stats.idle_threads += 1
+        return starts
+
+    def _safe_boundaries(self, data: bytes) -> list[int]:
+        """Sequential context-tracking pre-pass (the paper's safe mode).
+
+        Walks the whole input once, maintaining quotation scope (and
+        comment scope when the dialect has comments), recording actual
+        record-delimiter positions; then splits at the actual boundaries
+        nearest the nominal chunk starts.
+        """
+        self.stats.sequential_bytes = len(data)
+        quote = self.dialect.quote_byte
+        comment = self.dialect.comment_byte
+        newline = self.dialect.record_delimiter_byte
+        in_quotes = False
+        in_comment = False
+        at_record_start = True
+        true_boundaries: list[int] = []
+        for i, byte in enumerate(data):
+            if in_comment:
+                if byte == newline:
+                    in_comment = False
+                    at_record_start = True
+                continue
+            if quote is not None and byte == quote:
+                in_quotes = not in_quotes
+                at_record_start = False
+                continue
+            if in_quotes:
+                continue
+            if comment is not None and byte == comment and at_record_start:
+                in_comment = True
+                continue
+            if byte == newline:
+                true_boundaries.append(i + 1)
+                at_record_start = True
+            else:
+                at_record_start = False
+
+        n = len(data)
+        chunk = -(-n // self.num_threads)
+        boundary_array = np.array(true_boundaries, dtype=np.int64)
+        starts = [0]
+        for t in range(1, self.num_threads):
+            nominal = t * chunk
+            if nominal >= n:
+                break
+            idx = int(np.searchsorted(boundary_array, nominal))
+            if idx >= len(boundary_array):
+                self.stats.idle_threads += 1
+                continue
+            start = int(boundary_array[idx])
+            if start > starts[-1]:
+                starts.append(start)
+            else:
+                self.stats.idle_threads += 1
+        return starts
+
+    # -- chunk parsing --------------------------------------------------------
+
+    def _parse_chunks(self, data: bytes,
+                      starts: list[int]) -> list[list[bytes | None]]:
+        """Parse each thread's byte range with the record-level FSM."""
+        rows: list[list[bytes | None]] = []
+        ends = starts[1:] + [len(data)]
+        for start, end in zip(starts, ends):
+            if start >= end:
+                continue
+            segment = data[start:end]
+            self.stats.parallel_bytes += len(segment)
+            # Each "thread" parses its complete records; because chunk
+            # boundaries sit just after a record delimiter, the segment
+            # starts at a (presumed) record start.
+            chunk_rows, _, _ = sequential_rows(segment, self._dfa)
+            rows.extend(chunk_rows)
+        return rows
+
+    def serial_fraction(self) -> float:
+        """Fraction of bytes touched serially (Amdahl's bound input)."""
+        total = self.stats.sequential_bytes + self.stats.parallel_bytes
+        if total == 0:
+            return 0.0
+        return self.stats.sequential_bytes / total
+
+    def amdahl_speedup(self, cores: int) -> float:
+        """Upper-bound speed-up on ``cores`` given the serial fraction."""
+        serial = self.serial_fraction()
+        denominator = serial + (1.0 - serial) / cores
+        return 1.0 / denominator if denominator > 0 else float(cores)

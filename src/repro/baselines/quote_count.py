@@ -1,0 +1,94 @@
+"""Quote-parity speculative parser (the Mison-style exploit).
+
+Related work (paper §2) avoids FSMs by exploiting format specifics: count
+double-quotes and infer that a symbol is inside an enclosed string iff the
+number of preceding quotes is odd.  This enables SIMD-friendly, branch-poor
+code — and is exactly the kind of tailoring ParPaRaw argues against: "as
+soon as the format gets more complex, e.g., by introducing line comments,
+such an approach tends to break" (paper §2).
+
+This implementation is fully vectorised (a cumulative XOR over the quote
+bitmap) and intentionally format-naive, so the test suite can demonstrate
+both sides: exact agreement with the reference parser on plain RFC 4180
+inputs, and silent misparsing when comments or stray quotes appear.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dfa.dialects import Dialect
+
+__all__ = ["QuoteCountParser"]
+
+
+class QuoteCountParser:
+    """CSV parsing via quote-parity speculation (no FSM)."""
+
+    def __init__(self, dialect: Dialect | None = None):
+        self.dialect = dialect if dialect is not None else Dialect.csv()
+
+    def parse_rows(self, data: bytes) -> list[list[bytes | None]]:
+        """Records of raw field values (``None`` = empty field).
+
+        Semantics on well-formed RFC 4180 input match the reference
+        parser; enclosing quotes are stripped and doubled quotes
+        collapsed.  Comments are *not* understood — by design.
+        """
+        if not data:
+            return []
+        arr = np.frombuffer(data, dtype=np.uint8)
+        quote = self.dialect.quote_byte
+        newline = self.dialect.record_delimiter_byte
+        delim = self.dialect.delimiter_byte
+
+        if quote is None:
+            inside = np.zeros(arr.size, dtype=bool)
+        else:
+            quote_mask = arr == quote
+            # Parity of quotes strictly before each position: inside an
+            # enclosure iff odd.
+            parity = np.cumsum(quote_mask, dtype=np.int64)
+            inside = ((parity - quote_mask) & 1).astype(bool)
+
+        record_ends = np.flatnonzero((arr == newline) & ~inside)
+        rows: list[list[bytes | None]] = []
+        start = 0
+        boundaries = list(record_ends) + \
+            ([arr.size] if (record_ends.size == 0
+                            or record_ends[-1] != arr.size - 1) else [])
+        for end in boundaries:
+            end = int(end)
+            if end == arr.size and end == start:
+                break
+            segment = arr[start:end]
+            seg_inside = inside[start:end]
+            rows.append(self._split_record(segment, seg_inside, delim,
+                                           quote))
+            start = end + 1
+        return rows
+
+    def _split_record(self, segment: np.ndarray, inside: np.ndarray,
+                      delim: int, quote: int | None
+                      ) -> list[bytes | None]:
+        """Split one record at unenclosed field delimiters."""
+        cuts = np.flatnonzero((segment == delim) & ~inside)
+        fields: list[bytes | None] = []
+        lo = 0
+        for cut in list(cuts) + [segment.size]:
+            cut = int(cut)
+            raw = segment[lo:cut].tobytes()
+            fields.append(self._unquote(raw, quote))
+            lo = cut + 1
+        return fields
+
+    @staticmethod
+    def _unquote(raw: bytes, quote: int | None) -> bytes | None:
+        """Strip enclosing quotes, collapse doubled quotes, None if empty."""
+        if quote is None:
+            return raw if raw else None
+        q = bytes([quote])
+        if len(raw) >= 2 and raw[:1] == q and raw[-1:] == q:
+            raw = raw[1:-1].replace(q + q, q)
+            return raw if raw else None
+        return raw if raw else None

@@ -1,0 +1,212 @@
+"""Sequential reference parser — the semantic ground truth.
+
+One pass, one DFA instance, beginning to end: always aware of the parsing
+context (the luxury ParPaRaw must reconstruct in parallel).  Every parallel
+code path in this library is tested for equality against this parser, so
+its record/field semantics define the library's semantics:
+
+* a record ends at a ``RECORD_DELIMITER`` emission; input ending mid-record
+  contributes a trailing record when any record content (DATA,
+  FIELD_DELIMITER or CONTROL emission) followed the last delimiter;
+* a field's value is the concatenation of its DATA symbols; a field with
+  *no* DATA symbols is "absent" (``None``) — the typed layer resolves
+  absents to the column default or NULL;
+* comment/directive lines produce no record.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.columnar.schema import Field, Schema
+from repro.columnar.table import Column, Table
+from repro.core.options import ColumnCountPolicy, ParseOptions
+from repro.core.scalar_convert import convert_scalar
+from repro.dfa.automaton import Dfa, Emission
+from repro.errors import ParseError
+
+__all__ = ["sequential_rows", "SequentialParser"]
+
+
+def sequential_rows(data: bytes, dfa: Dfa,
+                    strict: bool = False
+                    ) -> tuple[list[list[bytes | None]], int, bool]:
+    """Parse ``data`` into records of raw field values.
+
+    Returns ``(records, final_state, trailing)``: one list per record, each
+    entry the field's bytes or ``None`` for a field with no data symbols;
+    the automaton's final state; and whether the last record was an
+    unterminated trailing record (callers use the pair to align
+    trailing-record rejection with the parallel parser).
+    """
+    records: list[list[bytes | None]] = []
+    fields: list[bytes | None] = []
+    buffer = bytearray()
+    has_content = False  # any non-comment emission since last record end
+    has_data = False     # any DATA symbol in the current field
+
+    state = dfa.start_state
+    invalid = dfa.invalid_state
+    for offset, byte in enumerate(data):
+        if invalid is not None and state == invalid:
+            if strict:
+                raise ParseError(
+                    f"invalid state at byte {offset - 1}",
+                    byte_offset=offset - 1)
+            # The record that drove the automaton invalid — and everything
+            # after it — is rejected, matching the parallel pipeline.
+            fields = []
+            buffer.clear()
+            has_content = False
+            break
+        state, emission = dfa.step(state, byte)
+        if emission is Emission.DATA:
+            buffer.append(byte)
+            has_data = True
+            has_content = True
+        elif emission is Emission.FIELD_DELIMITER:
+            fields.append(bytes(buffer) if has_data else None)
+            buffer.clear()
+            has_data = False
+            has_content = True
+        elif emission is Emission.RECORD_DELIMITER:
+            fields.append(bytes(buffer) if has_data else None)
+            buffer.clear()
+            has_data = False
+            records.append(fields)
+            fields = []
+            has_content = False
+        elif emission is Emission.CONTROL:
+            has_content = True
+        # COMMENT emissions: discarded, no content.
+
+    if invalid is not None and state == invalid and strict:
+        raise ParseError("invalid state at end of input")
+    if strict and not dfa.is_accepting(state):
+        raise ParseError(
+            f"input ends in non-accepting state "
+            f"{dfa.state_names[state]!r}")
+    trailing = has_content
+    if has_content:
+        fields.append(bytes(buffer) if has_data else None)
+        records.append(fields)
+    return records, state, trailing
+
+
+class SequentialParser:
+    """Reference parser with the same options surface as ParPaRaw.
+
+    Produces a :class:`~repro.columnar.table.Table` with semantics
+    identical to :class:`~repro.core.parser.ParPaRawParser` (tested), via
+    completely independent scalar code.
+    """
+
+    def __init__(self, options: ParseOptions | None = None):
+        self.options = options if options is not None else ParseOptions()
+        self._dfa = self.options.resolved_dfa()
+        self._end_accepted = True
+        self._has_trailing = False
+
+    def parse_rows(self, data: bytes) -> list[list[bytes | None]]:
+        """Raw rows (bytes per field, ``None`` for empty fields)."""
+        raw = self._apply_skip_rows(data)
+        rows, final_state, trailing = sequential_rows(
+            raw, self._dfa, strict=self.options.strict)
+        self._end_accepted = self._dfa.is_accepting(final_state)
+        self._has_trailing = trailing
+        if self.options.skip_records:
+            rows = [r for i, r in enumerate(rows)
+                    if i not in self.options.skip_records]
+        return rows
+
+    def parse(self, data: bytes) -> Table:
+        """Typed, columnar output (the comparison target for tests)."""
+        options = self.options
+        raw_rows = self._apply_policy(self.parse_rows(data))
+
+        if options.schema is not None:
+            schema = options.schema
+        else:
+            width = max((len(r) for r in raw_rows), default=0)
+            from repro.columnar.schema import DataType
+            schema = Schema.all_strings(width)
+        num_columns = len(schema)
+
+        column_indexes = range(num_columns) if options.select_columns is None \
+            else sorted(c for c in options.select_columns
+                        if c < num_columns)
+        columns = []
+        fields_out = []
+        for c in column_indexes:
+            field = schema[c]
+            values, rejects = self._column_values(field, raw_rows, c)
+            column = Column.from_values(field, values)
+            column.rejects = rejects
+            columns.append(column)
+            fields_out.append(field)
+        return Table(Schema(fields_out), columns)
+
+    # -- internals ------------------------------------------------------------
+
+    def _apply_skip_rows(self, data: bytes) -> bytes:
+        if not self.options.skip_rows:
+            return data
+        delim = self.options.dialect.record_delimiter
+        lines = data.split(delim)
+        # Re-join, keeping each surviving line's delimiter (the final
+        # element is the unterminated tail).
+        kept = [line + delim for i, line in enumerate(lines[:-1])
+                if i not in self.options.skip_rows]
+        if (len(lines) - 1) not in self.options.skip_rows:
+            kept.append(lines[-1])
+        return b"".join(kept)
+
+    def _apply_policy(self, rows: list[list[bytes | None]]
+                      ) -> list[list[bytes | None]]:
+        options = self.options
+        if options.schema is not None:
+            expected = len(options.schema)
+        else:
+            expected = max((len(r) for r in rows), default=0)
+        policy = options.column_count_policy
+        if policy is ColumnCountPolicy.LENIENT:
+            return rows
+        # Align with the parallel pipeline: under REJECT/STRICT a truncated
+        # trailing record (non-accepting end state) is also rejected.
+        if not self._end_accepted and self._has_trailing and rows:
+            rows = rows[:-1]
+        if policy is ColumnCountPolicy.STRICT:
+            for i, row in enumerate(rows):
+                if len(row) != expected:
+                    raise ParseError(
+                        f"record {i} has {len(row)} fields, expected "
+                        f"{expected}", record=i)
+            return rows
+        return [r for r in rows if len(r) == expected]
+
+    def _column_values(self, field: Field,
+                       rows: list[list[bytes | None]],
+                       column: int) -> tuple[list[Any], int]:
+        from repro.core.conversion import _effective_default
+        default = _effective_default(field)
+        null_literals = {lit.encode("utf-8")
+                         for lit in self.options.null_literals}
+        values: list[Any] = []
+        rejects = 0
+        for row in rows:
+            text = row[column] if column < len(row) else None
+            if text is None:
+                values.append(default)
+                continue
+            if text in null_literals:
+                values.append(None)
+                continue
+            value, ok = convert_scalar(field, text)
+            if ok:
+                values.append(value)
+            else:
+                rejects += 1
+                values.append(None)
+        return values, rejects

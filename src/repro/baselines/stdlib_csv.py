@@ -1,0 +1,44 @@
+"""Python ``csv`` module wrapper — an independent correctness oracle.
+
+The standard library's CSV reader is an implementation the library's
+authors did not write, making it a useful third-party cross-check for
+RFC 4180 inputs in the test suite (and the stand-in for "a mature CPU
+parser" in relative wall-clock comparisons).
+
+Semantics are aligned with the reference parser where the two models can
+agree; the notable differences are documented on
+:func:`stdlib_csv_rows` and handled by the callers:
+
+* ``csv`` returns an *empty list* for a blank line, where the reference
+  semantics give one empty field;
+* ``csv`` cannot represent the present-vs-empty distinction (``""`` vs an
+  empty unquoted field) — both come back as ``""``.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+
+from repro.dfa.dialects import Dialect
+
+__all__ = ["stdlib_csv_rows"]
+
+
+def stdlib_csv_rows(data: bytes,
+                    dialect: Dialect | None = None) -> list[list[str]]:
+    """Parse with :mod:`csv` into records of string fields.
+
+    Empty fields come back as ``""`` (the module cannot express NULL).
+    """
+    dialect = dialect if dialect is not None else Dialect.csv()
+    text = data.decode("utf-8")
+    reader = csv.reader(
+        io.StringIO(text, newline=""),
+        delimiter=dialect.delimiter.decode(),
+        quotechar=dialect.quote.decode() if dialect.quote else None,
+        doublequote=dialect.doubled_quote,
+        escapechar=dialect.escape.decode() if dialect.escape else None,
+        strict=False,
+    )
+    return [row for row in reader]

@@ -1,0 +1,36 @@
+"""Arrow-style columnar memory format.
+
+The paper configures ParPaRaw's output to comply with the Apache Arrow
+columnar format (§5).  ``pyarrow`` is not a dependency here; instead this
+subpackage implements the relevant subset of the layout from scratch:
+
+* fixed-width typed columns backed by a data buffer plus a packed validity
+  bitmap (LSB-first, as Arrow specifies);
+* variable-width (string/binary) columns backed by an int64 offsets buffer
+  and a data buffer;
+* :class:`~repro.columnar.schema.Schema` / :class:`~repro.columnar.table.Table`
+  containers with equality, slicing, and row materialisation for tests.
+"""
+
+from repro.columnar.schema import DataType, Field, Schema
+from repro.columnar.buffers import (
+    ValidityBitmap,
+    pack_validity,
+    unpack_validity,
+)
+from repro.columnar.table import Column, Table, concat_tables
+from repro.columnar.serialize import deserialize_table, serialize_table
+
+__all__ = [
+    "DataType",
+    "Field",
+    "Schema",
+    "ValidityBitmap",
+    "pack_validity",
+    "unpack_validity",
+    "Column",
+    "Table",
+    "concat_tables",
+    "serialize_table",
+    "deserialize_table",
+]

@@ -1,0 +1,97 @@
+"""Validity bitmaps and buffer helpers (Arrow layout).
+
+Arrow represents NULLs with a packed validity bitmap: bit ``i`` (LSB-first
+within each byte) is 1 when row ``i`` is valid.  ParPaRaw identifies NULLs
+during type conversion (paper §3.3) and the output format follows Arrow
+(§5), so the reproduction implements the same packing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ValidityBitmap", "pack_validity", "unpack_validity"]
+
+
+def pack_validity(mask: np.ndarray) -> np.ndarray:
+    """Pack a boolean mask into an LSB-first bitmap (Arrow convention).
+
+    >>> pack_validity(np.array([True, False, True])).tolist()
+    [5]
+    """
+    mask = np.asarray(mask, dtype=bool)
+    if mask.ndim != 1:
+        raise ValueError("expected a 1-D boolean mask")
+    return np.packbits(mask, bitorder="little")
+
+
+def unpack_validity(bitmap: np.ndarray, length: int) -> np.ndarray:
+    """Unpack an LSB-first bitmap back to a boolean mask of ``length``.
+
+    >>> unpack_validity(np.array([5], dtype=np.uint8), 3).tolist()
+    [True, False, True]
+    """
+    bitmap = np.asarray(bitmap, dtype=np.uint8)
+    if length < 0:
+        raise ValueError("length must be non-negative")
+    if bitmap.size * 8 < length:
+        raise ValueError("bitmap too short for requested length")
+    return np.unpackbits(bitmap, bitorder="little")[:length].astype(bool)
+
+
+class ValidityBitmap:
+    """A packed validity bitmap with Arrow semantics.
+
+    Stores the packed representation; exposes bit-level reads, a popcount
+    (number of valid rows), and conversion to/from boolean masks.
+    """
+
+    def __init__(self, bitmap: np.ndarray, length: int):
+        bitmap = np.asarray(bitmap, dtype=np.uint8)
+        if bitmap.size * 8 < length:
+            raise ValueError("bitmap too short for requested length")
+        self._bitmap = bitmap
+        self._length = length
+
+    @staticmethod
+    def from_mask(mask: np.ndarray) -> "ValidityBitmap":
+        mask = np.asarray(mask, dtype=bool)
+        return ValidityBitmap(pack_validity(mask), len(mask))
+
+    @staticmethod
+    def all_valid(length: int) -> "ValidityBitmap":
+        return ValidityBitmap.from_mask(np.ones(length, dtype=bool))
+
+    @property
+    def buffer(self) -> np.ndarray:
+        """The packed uint8 buffer (read-only view)."""
+        view = self._bitmap.view()
+        view.setflags(write=False)
+        return view
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __getitem__(self, index: int) -> bool:
+        if not 0 <= index < self._length:
+            raise IndexError("validity index out of range")
+        byte = self._bitmap[index >> 3]
+        return bool((byte >> (index & 7)) & 1)
+
+    def to_mask(self) -> np.ndarray:
+        return unpack_validity(self._bitmap, self._length)
+
+    def null_count(self) -> int:
+        """Number of NULL (invalid) rows."""
+        return int(self._length - np.count_nonzero(self.to_mask()))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ValidityBitmap):
+            return NotImplemented
+        if self._length != other._length:
+            return False
+        return bool(np.array_equal(self.to_mask(), other.to_mask()))
+
+    def __repr__(self) -> str:
+        return (f"ValidityBitmap(length={self._length}, "
+                f"nulls={self.null_count()})")

@@ -1,0 +1,189 @@
+"""Schemas: data types and field declarations for parsed output.
+
+ParPaRaw converts each column's concatenated symbol string to the column's
+declared type (paper §3.3).  :class:`DataType` enumerates the types the
+reproduction supports — covering the paper's evaluated datasets (text,
+numerical, temporal types; §5) — and :class:`Schema` binds them to named
+fields with per-field options (default values, nullability).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Iterable, Iterator
+
+import numpy as np
+
+from repro.errors import SchemaError
+
+__all__ = ["DataType", "Field", "Schema"]
+
+
+class DataType(Enum):
+    """Supported column data types.
+
+    The ``numpy_dtype`` property gives the physical representation; STRING
+    columns are variable-width (offsets + data buffers) and return
+    ``object`` only for materialised Python values.
+    """
+
+    BOOL = "bool"
+    INT8 = "int8"
+    INT16 = "int16"
+    INT32 = "int32"
+    INT64 = "int64"
+    FLOAT32 = "float32"
+    FLOAT64 = "float64"
+    DECIMAL = "decimal"      # scaled int64 (fixed scale per field)
+    DATE = "date"            # days since Unix epoch, int32
+    TIMESTAMP = "timestamp"  # seconds since Unix epoch, int64
+    STRING = "string"
+
+    @property
+    def numpy_dtype(self) -> np.dtype:
+        mapping = {
+            DataType.BOOL: np.dtype(np.bool_),
+            DataType.INT8: np.dtype(np.int8),
+            DataType.INT16: np.dtype(np.int16),
+            DataType.INT32: np.dtype(np.int32),
+            DataType.INT64: np.dtype(np.int64),
+            DataType.FLOAT32: np.dtype(np.float32),
+            DataType.FLOAT64: np.dtype(np.float64),
+            DataType.DECIMAL: np.dtype(np.int64),
+            DataType.DATE: np.dtype(np.int32),
+            DataType.TIMESTAMP: np.dtype(np.int64),
+            DataType.STRING: np.dtype(object),
+        }
+        return mapping[self]
+
+    @property
+    def is_variable_width(self) -> bool:
+        return self is DataType.STRING
+
+    @property
+    def is_numeric(self) -> bool:
+        return self in _NUMERIC_TYPES
+
+    @property
+    def is_temporal(self) -> bool:
+        return self in (DataType.DATE, DataType.TIMESTAMP)
+
+
+_NUMERIC_TYPES = frozenset({
+    DataType.INT8, DataType.INT16, DataType.INT32, DataType.INT64,
+    DataType.FLOAT32, DataType.FLOAT64, DataType.DECIMAL,
+})
+
+#: Widening order used by type inference (paper §4.3): the inferred column
+#: type is the maximum over the minimum per-field types.
+NUMERIC_WIDENING_ORDER = (
+    DataType.INT8, DataType.INT16, DataType.INT32, DataType.INT64,
+    DataType.FLOAT64,
+)
+
+
+@dataclass(frozen=True)
+class Field:
+    """One named, typed column in a schema.
+
+    Parameters
+    ----------
+    name:
+        Column name.
+    dtype:
+        Column type.
+    nullable:
+        Whether empty/invalid fields become NULL (otherwise they become the
+        default value, or a reject in strict mode).
+    default:
+        Default value for empty strings (paper §4.3, *Default values*); when
+        ``None`` and nullable, empties are NULL.
+    decimal_scale:
+        Number of fractional digits for DECIMAL fields.
+    """
+
+    name: str
+    dtype: DataType
+    nullable: bool = True
+    default: Any = None
+    decimal_scale: int = 2
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("field name must be non-empty")
+        if self.dtype is DataType.DECIMAL and self.decimal_scale < 0:
+            raise SchemaError("decimal scale must be non-negative")
+
+
+class Schema:
+    """An ordered collection of fields.
+
+    >>> schema = Schema([Field("id", DataType.INT64),
+    ...                  Field("name", DataType.STRING)])
+    >>> len(schema)
+    2
+    >>> schema["name"].dtype is DataType.STRING
+    True
+    """
+
+    def __init__(self, fields: Iterable[Field]):
+        self._fields = tuple(fields)
+        names = [f.name for f in self._fields]
+        if len(set(names)) != len(names):
+            raise SchemaError("duplicate field names in schema")
+        self._by_name = {f.name: i for i, f in enumerate(self._fields)}
+
+    @staticmethod
+    def of_types(dtypes: Iterable[DataType],
+                 prefix: str = "col") -> "Schema":
+        """Build a schema with auto-generated names ``col0, col1, …``."""
+        return Schema([Field(f"{prefix}{i}", dt)
+                       for i, dt in enumerate(dtypes)])
+
+    @staticmethod
+    def all_strings(num_columns: int) -> "Schema":
+        """Schema-less parsing target: every column is a string."""
+        return Schema.of_types([DataType.STRING] * num_columns)
+
+    @property
+    def fields(self) -> tuple[Field, ...]:
+        return self._fields
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(f.name for f in self._fields)
+
+    @property
+    def dtypes(self) -> tuple[DataType, ...]:
+        return tuple(f.dtype for f in self._fields)
+
+    def index_of(self, name: str) -> int:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SchemaError(f"no field named {name!r}") from None
+
+    def select(self, names: Iterable[str]) -> "Schema":
+        """Projection: a new schema with only the named fields, in order."""
+        return Schema([self._fields[self.index_of(n)] for n in names])
+
+    def __len__(self) -> int:
+        return len(self._fields)
+
+    def __iter__(self) -> Iterator[Field]:
+        return iter(self._fields)
+
+    def __getitem__(self, key: int | str) -> Field:
+        if isinstance(key, str):
+            return self._fields[self.index_of(key)]
+        return self._fields[key]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._fields == other._fields
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{f.name}: {f.dtype.value}" for f in self._fields)
+        return f"Schema({inner})"

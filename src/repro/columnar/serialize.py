@@ -1,0 +1,120 @@
+"""Serialisation of tables to a simple Arrow-flavoured binary format.
+
+The paper's output "complies with the format specified by Apache Arrow"
+(§5) so downstream engines can consume it zero-copy.  This module writes
+a table's buffers — schema description, validity bitmaps, offsets, data —
+into one contiguous byte stream, and reads them back.  The format is this
+library's own framing (magic ``RPRW1``, little-endian lengths) around the
+Arrow buffer *contents*; it exists so the streaming example and tests can
+demonstrate a full parse -> serialise -> load round trip without a
+``pyarrow`` dependency.
+
+Layout::
+
+    magic b"RPRW1"
+    u32 schema_json_length, schema JSON (names, dtypes, scales, nullable)
+    u64 num_rows
+    per column:
+        u64 validity_bytes,  validity bitmap buffer
+        [variable-width only] u64 offsets_bytes, int64 offsets buffer
+        u64 data_bytes, data buffer
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+
+import numpy as np
+
+from repro.columnar.buffers import ValidityBitmap, pack_validity
+from repro.columnar.schema import DataType, Field, Schema
+from repro.columnar.table import Column, Table
+from repro.errors import SchemaError
+
+__all__ = ["serialize_table", "deserialize_table"]
+
+MAGIC = b"RPRW1"
+
+
+def _write_buffer(parts: list[bytes], buffer: np.ndarray) -> None:
+    raw = buffer.tobytes()
+    parts.append(struct.pack("<Q", len(raw)))
+    parts.append(raw)
+
+
+def serialize_table(table: Table) -> bytes:
+    """Serialise a table into one byte string."""
+    schema_json = json.dumps([
+        {
+            "name": f.name,
+            "dtype": f.dtype.value,
+            "nullable": f.nullable,
+            "decimal_scale": f.decimal_scale,
+        }
+        for f in table.schema
+    ]).encode("utf-8")
+
+    parts: list[bytes] = [MAGIC,
+                          struct.pack("<I", len(schema_json)), schema_json,
+                          struct.pack("<Q", table.num_rows)]
+    for column in table.columns:
+        _write_buffer(parts, np.asarray(column.validity.buffer))
+        if column.field.dtype.is_variable_width:
+            assert column.offsets is not None
+            _write_buffer(parts, column.offsets.astype(np.int64))
+        _write_buffer(parts, column.data)
+    return b"".join(parts)
+
+
+class _Reader:
+    def __init__(self, raw: bytes):
+        self.raw = raw
+        self.pos = 0
+
+    def take(self, count: int) -> bytes:
+        if self.pos + count > len(self.raw):
+            raise SchemaError("truncated table stream")
+        out = self.raw[self.pos:self.pos + count]
+        self.pos += count
+        return out
+
+    def u32(self) -> int:
+        return struct.unpack("<I", self.take(4))[0]
+
+    def u64(self) -> int:
+        return struct.unpack("<Q", self.take(8))[0]
+
+    def buffer(self, dtype) -> np.ndarray:
+        length = self.u64()
+        return np.frombuffer(self.take(length), dtype=dtype).copy()
+
+
+def deserialize_table(raw: bytes) -> Table:
+    """Read a table serialised by :func:`serialize_table`."""
+    reader = _Reader(raw)
+    if reader.take(len(MAGIC)) != MAGIC:
+        raise SchemaError("not a serialised table (bad magic)")
+    schema_json = json.loads(reader.take(reader.u32()).decode("utf-8"))
+    fields = [Field(name=entry["name"],
+                    dtype=DataType(entry["dtype"]),
+                    nullable=entry["nullable"],
+                    decimal_scale=entry["decimal_scale"])
+              for entry in schema_json]
+    schema = Schema(fields)
+    num_rows = reader.u64()
+
+    columns: list[Column] = []
+    for f in fields:
+        validity_buf = reader.buffer(np.uint8)
+        validity = ValidityBitmap(validity_buf, num_rows)
+        if f.dtype.is_variable_width:
+            offsets = reader.buffer(np.int64)
+            data = reader.buffer(np.uint8)
+            columns.append(Column(f, data, validity, offsets))
+        else:
+            data = reader.buffer(f.dtype.numpy_dtype)
+            columns.append(Column(f, data, validity))
+    if reader.pos != len(raw):
+        raise SchemaError("trailing bytes after table stream")
+    return Table(schema, columns)

@@ -1,0 +1,307 @@
+"""Columns and tables: the parsed, columnar output.
+
+A :class:`Column` follows the Arrow buffer layout: fixed-width types carry a
+typed data buffer plus a validity bitmap; STRING columns additionally carry
+an int64 offsets buffer into a contiguous UTF-8 data buffer.  A
+:class:`Table` is an ordered collection of equal-length columns bound to a
+:class:`~repro.columnar.schema.Schema`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Sequence
+
+import numpy as np
+
+from repro.columnar.buffers import ValidityBitmap
+from repro.columnar.schema import DataType, Field, Schema
+from repro.errors import SchemaError
+
+__all__ = ["Column", "Table", "concat_tables"]
+
+
+class Column:
+    """One typed column with Arrow-style buffers.
+
+    Parameters
+    ----------
+    field:
+        The column's schema field.
+    data:
+        Fixed-width: ``(n,)`` array of ``field.dtype.numpy_dtype``.
+        Variable-width (STRING): the contiguous uint8 value buffer.
+    validity:
+        Validity bitmap; ``None`` means all rows valid.
+    offsets:
+        STRING only: ``(n + 1,)`` int64 offsets into ``data``.
+    rejects:
+        Number of fields that failed conversion (cleared validity +
+        counted, matching the paper's reject tracking in Figure 5).
+    """
+
+    def __init__(self, field: Field, data: np.ndarray,
+                 validity: ValidityBitmap | None = None,
+                 offsets: np.ndarray | None = None,
+                 rejects: int = 0):
+        self.field = field
+        self.data = data
+        self.offsets = offsets
+        self.rejects = rejects
+        if field.dtype.is_variable_width:
+            if offsets is None:
+                raise SchemaError("STRING column requires an offsets buffer")
+            if offsets.ndim != 1 or offsets.size == 0:
+                raise SchemaError("offsets must be a non-empty 1-D array")
+            if data.dtype != np.uint8:
+                raise SchemaError("STRING data buffer must be uint8")
+            self._length = offsets.size - 1
+            if offsets[-1] > data.size:
+                raise SchemaError("offsets overrun the data buffer")
+        else:
+            if offsets is not None:
+                raise SchemaError("fixed-width column must not have offsets")
+            if data.dtype != field.dtype.numpy_dtype:
+                raise SchemaError(
+                    f"column {field.name!r} expects dtype "
+                    f"{field.dtype.numpy_dtype}, got {data.dtype}")
+            self._length = data.size
+        if validity is None:
+            validity = ValidityBitmap.all_valid(self._length)
+        if len(validity) != self._length:
+            raise SchemaError("validity bitmap length mismatch")
+        self.validity = validity
+
+    # -- constructors ------------------------------------------------------
+
+    @staticmethod
+    def from_values(field: Field, values: Sequence[Any]) -> "Column":
+        """Build a column from Python values (``None`` means NULL)."""
+        mask = np.array([v is not None for v in values], dtype=bool)
+        validity = ValidityBitmap.from_mask(mask)
+        if field.dtype.is_variable_width:
+            encoded = [(v.encode("utf-8") if isinstance(v, str) else
+                        bytes(v)) if v is not None else b""
+                       for v in values]
+            offsets = np.zeros(len(values) + 1, dtype=np.int64)
+            np.cumsum([len(e) for e in encoded], out=offsets[1:])
+            data = np.frombuffer(b"".join(encoded), dtype=np.uint8).copy()
+            return Column(field, data, validity, offsets)
+        dtype = field.dtype.numpy_dtype
+        fill = np.zeros(len(values), dtype=dtype)
+        for i, v in enumerate(values):
+            if v is not None:
+                fill[i] = v
+        return Column(field, fill, validity)
+
+    # -- accessors ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._length
+
+    @property
+    def null_count(self) -> int:
+        return self.validity.null_count()
+
+    def value(self, row: int) -> Any:
+        """Materialise one row as a Python value (``None`` for NULL)."""
+        if not 0 <= row < self._length:
+            raise IndexError("row out of range")
+        if not self.validity[row]:
+            return None
+        if self.field.dtype.is_variable_width:
+            assert self.offsets is not None
+            lo = int(self.offsets[row])
+            hi = int(self.offsets[row + 1])
+            return self.data[lo:hi].tobytes().decode("utf-8",
+                                                     errors="replace")
+        raw = self.data[row]
+        if self.field.dtype is DataType.BOOL:
+            return bool(raw)
+        if self.field.dtype is DataType.FLOAT32 \
+                or self.field.dtype is DataType.FLOAT64:
+            return float(raw)
+        return int(raw)
+
+    def to_list(self) -> list[Any]:
+        """Materialise the whole column as Python values."""
+        return [self.value(i) for i in range(self._length)]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Column):
+            return NotImplemented
+        if self.field.dtype != other.field.dtype or len(self) != len(other):
+            return False
+        return self.to_list() == other.to_list()
+
+    def __repr__(self) -> str:
+        return (f"Column({self.field.name!r}, {self.field.dtype.value}, "
+                f"len={self._length}, nulls={self.null_count}, "
+                f"rejects={self.rejects})")
+
+
+class Table:
+    """Equal-length columns bound to a schema."""
+
+    def __init__(self, schema: Schema, columns: Sequence[Column]):
+        if len(schema) != len(columns):
+            raise SchemaError("schema/column count mismatch")
+        lengths = {len(c) for c in columns}
+        if len(lengths) > 1:
+            raise SchemaError(f"columns have differing lengths: {lengths}")
+        for field, column in zip(schema, columns):
+            if field.dtype != column.field.dtype:
+                raise SchemaError(
+                    f"column {field.name!r} type mismatch: schema says "
+                    f"{field.dtype}, column is {column.field.dtype}")
+        self.schema = schema
+        self.columns = tuple(columns)
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.columns[0]) if self.columns else 0
+
+    @property
+    def num_columns(self) -> int:
+        return len(self.columns)
+
+    def column(self, key: int | str) -> Column:
+        if isinstance(key, str):
+            return self.columns[self.schema.index_of(key)]
+        return self.columns[key]
+
+    def row(self, index: int) -> tuple[Any, ...]:
+        """Materialise one row across all columns."""
+        return tuple(c.value(index) for c in self.columns)
+
+    def rows(self) -> Iterator[tuple[Any, ...]]:
+        for i in range(self.num_rows):
+            yield self.row(i)
+
+    def to_pylist(self) -> list[dict[str, Any]]:
+        """Materialise as a list of {name: value} dicts (for tests)."""
+        names = self.schema.names
+        return [dict(zip(names, row)) for row in self.rows()]
+
+    def total_rejects(self) -> int:
+        return sum(c.rejects for c in self.columns)
+
+    def select(self, names: Sequence[str]) -> "Table":
+        """Projection: a new table with only the named columns, in order."""
+        indexes = [self.schema.index_of(n) for n in names]
+        return Table(self.schema.select(names),
+                     [self.columns[i] for i in indexes])
+
+    def filter(self, mask) -> "Table":
+        """Rows where ``mask`` is true, as a new table.
+
+        ``mask`` is a boolean sequence of length ``num_rows``; used by the
+        in-situ query paths to push filters onto the columnar output.
+        """
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != (self.num_rows,):
+            raise SchemaError(
+                f"filter mask must have length {self.num_rows}")
+        rows = np.flatnonzero(mask)
+        columns: list[Column] = []
+        for column in self.columns:
+            validity = ValidityBitmap.from_mask(
+                column.validity.to_mask()[rows])
+            if column.field.dtype.is_variable_width:
+                assert column.offsets is not None
+                lengths = (column.offsets[1:] - column.offsets[:-1])[rows]
+                offsets = np.zeros(rows.size + 1, dtype=np.int64)
+                np.cumsum(lengths, out=offsets[1:])
+                total = int(offsets[-1])
+                if total:
+                    src = (np.arange(total, dtype=np.int64)
+                           - np.repeat(offsets[:-1], lengths)
+                           + np.repeat(column.offsets[:-1][rows], lengths))
+                    data = column.data[src]
+                else:
+                    data = np.empty(0, dtype=np.uint8)
+                columns.append(Column(column.field, data, validity,
+                                      offsets))
+            else:
+                columns.append(Column(column.field, column.data[rows],
+                                      validity))
+        return Table(self.schema, columns)
+
+    def slice(self, start: int, stop: int | None = None) -> "Table":
+        """Row range [start, stop) as a new table (buffers copied)."""
+        stop = self.num_rows if stop is None else min(stop, self.num_rows)
+        start = max(0, start)
+        if start > stop:
+            start = stop
+        columns: list[Column] = []
+        for column in self.columns:
+            validity = ValidityBitmap.from_mask(
+                column.validity.to_mask()[start:stop])
+            if column.field.dtype.is_variable_width:
+                assert column.offsets is not None
+                lo = int(column.offsets[start])
+                hi = int(column.offsets[stop])
+                offsets = column.offsets[start:stop + 1] - lo
+                columns.append(Column(column.field,
+                                      column.data[lo:hi].copy(),
+                                      validity, offsets.copy()))
+            else:
+                columns.append(Column(column.field,
+                                      column.data[start:stop].copy(),
+                                      validity))
+        return Table(self.schema, columns)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Table):
+            return NotImplemented
+        return (self.schema == other.schema
+                and all(a == b for a, b in zip(self.columns, other.columns)))
+
+    def __repr__(self) -> str:
+        return (f"Table({self.num_rows} rows x {self.num_columns} cols: "
+                f"{', '.join(self.schema.names)})")
+
+
+def concat_tables(tables: Sequence[Table]) -> Table:
+    """Vertically concatenate tables sharing one schema.
+
+    Buffers are concatenated directly (offsets rebased for variable-width
+    columns) — this is how the streaming parser stitches per-partition
+    results together without materialising Python values.
+    """
+    if not tables:
+        raise SchemaError("concat_tables needs at least one table")
+    schema = tables[0].schema
+    for table in tables[1:]:
+        if table.schema != schema:
+            raise SchemaError("cannot concatenate tables with different "
+                              "schemas")
+    if len(tables) == 1:
+        return tables[0]
+    columns: list[Column] = []
+    for index, field in enumerate(schema):
+        parts = [t.columns[index] for t in tables]
+        validity = ValidityBitmap.from_mask(
+            np.concatenate([p.validity.to_mask() for p in parts]))
+        rejects = sum(p.rejects for p in parts)
+        if field.dtype.is_variable_width:
+            total_rows = sum(len(p) for p in parts)
+            offsets = np.zeros(total_rows + 1, dtype=np.int64)
+            buffers: list[np.ndarray] = []
+            row = 0
+            base = 0
+            for p in parts:
+                assert p.offsets is not None
+                lo = int(p.offsets[0])
+                hi = int(p.offsets[-1])
+                buffers.append(p.data[lo:hi])
+                offsets[row + 1:row + len(p) + 1] = p.offsets[1:] - lo + base
+                base += hi - lo
+                row += len(p)
+            data = np.concatenate(buffers) if buffers else \
+                np.empty(0, dtype=np.uint8)
+            columns.append(Column(field, data, validity, offsets,
+                                  rejects=rejects))
+        else:
+            data = np.concatenate([p.data for p in parts])
+            columns.append(Column(field, data, validity, rejects=rejects))
+    return Table(schema, columns)

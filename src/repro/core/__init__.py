@@ -1,0 +1,37 @@
+"""The ParPaRaw core algorithm (paper §3-§4).
+
+The pipeline mirrors the paper's processing steps, and the module layout
+follows them:
+
+1. :mod:`~repro.core.chunking` — split the input into equal-size chunks
+   (one per logical thread), including variable-length symbol boundary
+   handling (§4.2);
+2. :mod:`~repro.core.context` — per-chunk state-transition vectors and the
+   composition scan that yields every chunk's parsing context (§3.1);
+3. :mod:`~repro.core.tagging` / :mod:`~repro.core.offsets` — delimiter
+   bitmap indexes, record/column offsets via the rel/abs operator scan, and
+   per-symbol record/column tags (§3.2);
+4. :mod:`~repro.core.partition` / :mod:`~repro.core.css` — stable
+   radix-sort partition by column, concatenated symbol strings, and CSS
+   index generation, in all three tagging modes (§3.3, §4.1);
+5. :mod:`~repro.core.conversion` — typed field-value generation with
+   thread/block/device collaboration levels (§3.3);
+6. capabilities (§4.3): :mod:`~repro.core.validation`,
+   :mod:`~repro.core.selection`, :mod:`~repro.core.typeinfer`.
+
+:class:`~repro.core.parser.ParPaRawParser` orchestrates the steps and is
+the library's main entry point.
+"""
+
+from repro.core.options import ParseOptions, TaggingMode, TaggingImpl
+from repro.core.parser import ParPaRawParser, parse_bytes
+from repro.core.result import ParseResult
+
+__all__ = [
+    "ParseOptions",
+    "TaggingMode",
+    "TaggingImpl",
+    "ParPaRawParser",
+    "parse_bytes",
+    "ParseResult",
+]

@@ -1,0 +1,281 @@
+"""Phase 3b — generating typed field values (paper §3.3).
+
+With each column's CSS and index in hand, conversion produces the columnar
+output: a typed data buffer + validity bitmap per column.  The pipeline:
+
+1. map each indexed field to its output row (dropped/rejected records map
+   to no row);
+2. pre-initialise the column with its default value (paper §4.3 — *Default
+   values for empty strings*): fields without symbols simply never
+   overwrite it, and become NULL when there is no default;
+3. convert the non-empty fields — vectorised by default
+   (:mod:`repro.core.vector_convert`), with scalar fallback for literals
+   the vector path declines, or fully scalar when configured;
+4. scatter values into rows; conversion failures clear the row's validity
+   and count as *rejects* (the per-thread reject flags of Figure 5).
+
+**Collaboration levels** (paper §3.3): fields are classified by symbol
+count into thread-exclusive, block-level (above ``block_threshold``) and
+device-level (above ``device_threshold``) work.  In this reproduction all
+three classes produce values through the same vectorised kernels — NumPy
+already is the "device-wide collaboration" — but the classification is
+tracked per column (:class:`CollaborationStats`) and drives the GPU cost
+model and the skew experiments (Figure 11 right).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.columnar.buffers import ValidityBitmap
+from repro.columnar.schema import DataType, Field
+from repro.columnar.table import Column
+from repro.core.css import ColumnIndex
+from repro.core.options import ParseOptions
+from repro.core.scalar_convert import convert_scalar
+from repro.core.vector_convert import (
+    match_literals,
+    pack_fields,
+    parse_bool_vector,
+    parse_date_vector,
+    parse_decimal_vector,
+    parse_float_vector,
+    parse_int_vector,
+    parse_timestamp_vector,
+)
+from repro.errors import ConversionError
+from repro.scan.numpy_scan import exclusive_sum
+
+__all__ = ["CollaborationStats", "convert_column"]
+
+
+@dataclass
+class CollaborationStats:
+    """How many fields each collaboration level handled (paper §3.3)."""
+
+    thread_fields: int = 0
+    block_fields: int = 0
+    device_fields: int = 0
+
+    @property
+    def total_fields(self) -> int:
+        return self.thread_fields + self.block_fields + self.device_fields
+
+    def __add__(self, other: "CollaborationStats") -> "CollaborationStats":
+        return CollaborationStats(
+            self.thread_fields + other.thread_fields,
+            self.block_fields + other.block_fields,
+            self.device_fields + other.device_fields)
+
+
+def _classify_collaboration(lengths: np.ndarray,
+                            options: ParseOptions) -> CollaborationStats:
+    device = int(np.count_nonzero(lengths > options.device_threshold))
+    block = int(np.count_nonzero(lengths > options.block_threshold)) - device
+    thread = int(lengths.size) - block - device
+    return CollaborationStats(thread_fields=thread, block_fields=block,
+                              device_fields=device)
+
+
+_ZERO_DEFAULTS = {
+    DataType.BOOL: False,
+    DataType.STRING: "",
+}
+
+
+def _effective_default(field: Field):
+    """The value empty fields resolve to; ``None`` means NULL."""
+    if field.default is not None:
+        return field.default
+    if not field.nullable:
+        return _ZERO_DEFAULTS.get(field.dtype, 0)
+    return None
+
+
+_VECTOR_PARSERS = {
+    DataType.INT8: parse_int_vector,
+    DataType.INT16: parse_int_vector,
+    DataType.INT32: parse_int_vector,
+    DataType.INT64: parse_int_vector,
+    DataType.FLOAT32: parse_float_vector,
+    DataType.FLOAT64: parse_float_vector,
+    DataType.BOOL: parse_bool_vector,
+    DataType.DATE: parse_date_vector,
+    DataType.TIMESTAMP: parse_timestamp_vector,
+}
+
+
+def _vector_parse(field: Field, buf: np.ndarray, offsets: np.ndarray,
+                  lengths: np.ndarray
+                  ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Run the type-appropriate vector parser."""
+    dtype = field.dtype
+    if dtype is DataType.DECIMAL:
+        return parse_decimal_vector(buf, offsets, lengths,
+                                    field.decimal_scale)
+    parser = _VECTOR_PARSERS[dtype]
+    if dtype in (DataType.INT8, DataType.INT16, DataType.INT32,
+                 DataType.INT64, DataType.FLOAT32, DataType.FLOAT64):
+        return parser(buf, offsets, lengths, dtype)
+    return parser(buf, offsets, lengths)
+
+
+def _scalar_parse_into(field: Field, buf: np.ndarray, offsets: np.ndarray,
+                       lengths: np.ndarray, which: np.ndarray,
+                       values: np.ndarray, ok: np.ndarray) -> None:
+    """Scalar-parse the fields selected by ``which`` into values/ok."""
+    for i in np.flatnonzero(which):
+        lo = int(offsets[i])
+        text = buf[lo:lo + int(lengths[i])].tobytes()
+        value, good = convert_scalar(field, text)
+        ok[i] = good
+        if good:
+            values[i] = value
+
+
+def convert_column(field: Field, css: np.ndarray, index: ColumnIndex,
+                   row_of_record: np.ndarray, num_rows: int,
+                   options: ParseOptions
+                   ) -> tuple[Column, CollaborationStats]:
+    """Convert one column's CSS into a typed :class:`Column`.
+
+    Parameters
+    ----------
+    field:
+        Schema field (type, default, nullability, decimal scale).
+    css:
+        The column's concatenated symbol string (uint8).
+    index:
+        Field index into ``css``.
+    row_of_record:
+        Maps the index's record ids to output rows (-1 = dropped record).
+    num_rows:
+        Output row count.
+    options:
+        Parse options (vectorised vs scalar conversion, thresholds,
+        strictness).
+    """
+    records = index.records
+    in_range = (records >= 0) & (records < len(row_of_record))
+    rows = np.where(in_range, row_of_record[np.clip(records, 0,
+                    max(0, len(row_of_record) - 1))], np.int64(-1))
+    keep = (rows >= 0) & (index.lengths > 0)
+    starts = index.offsets[keep]
+    lengths = index.lengths[keep]
+    out_rows = rows[keep]
+    stats = _classify_collaboration(lengths, options)
+
+    # NULL literals: matching fields become NULL before conversion and
+    # never count as rejects (paper §3.3, "identifying NULLs").
+    null_rows = np.empty(0, dtype=np.int64)
+    if options.null_literals and lengths.size:
+        literal_bytes = tuple(lit.encode("utf-8")
+                              for lit in options.null_literals)
+        probe_buf, probe_offsets = pack_fields(css, starts, lengths)
+        nulls = match_literals(probe_buf, probe_offsets, lengths,
+                               literal_bytes)
+        null_rows = out_rows[nulls]
+        starts = starts[~nulls]
+        lengths = lengths[~nulls]
+        out_rows = out_rows[~nulls]
+
+    default = _effective_default(field)
+
+    if field.dtype is DataType.STRING:
+        column = _convert_string_column(field, css, starts, lengths,
+                                        out_rows, num_rows, default,
+                                        null_rows)
+        return column, stats
+
+    data = np.zeros(num_rows, dtype=field.dtype.numpy_dtype)
+    if default is None:
+        validity = np.zeros(num_rows, dtype=bool)
+    else:
+        data[:] = default
+        validity = np.ones(num_rows, dtype=bool)
+
+    buf, packed_offsets = pack_fields(css, starts, lengths)
+    n_fields = len(lengths)
+    if n_fields:
+        if options.vectorized_conversion:
+            values, ok, fallback = _vector_parse(field, buf,
+                                                 packed_offsets, lengths)
+            values = values.astype(field.dtype.numpy_dtype, copy=False)
+            if np.any(fallback):
+                values = values.copy()
+                ok = ok.copy()
+                _scalar_parse_into(field, buf, packed_offsets, lengths,
+                                   fallback, values, ok)
+        else:
+            values = np.zeros(n_fields, dtype=field.dtype.numpy_dtype)
+            ok = np.zeros(n_fields, dtype=bool)
+            _scalar_parse_into(field, buf, packed_offsets, lengths,
+                               np.ones(n_fields, dtype=bool), values, ok)
+        rejects = int(np.count_nonzero(~ok))
+        if rejects and options.strict:
+            first = int(np.flatnonzero(~ok)[0])
+            lo = int(packed_offsets[first])
+            text = buf[lo:lo + int(lengths[first])].tobytes()
+            raise ConversionError(
+                f"cannot convert {text!r} to {field.dtype.value} "
+                f"in column {field.name!r}",
+                column=None, record=int(out_rows[first]),
+                text=text.decode("utf-8", errors="replace"))
+        data[out_rows[ok]] = values[ok]
+        validity[out_rows[ok]] = True
+        validity[out_rows[~ok]] = False
+    else:
+        rejects = 0
+    validity[null_rows] = False
+
+    return Column(field, data, ValidityBitmap.from_mask(validity),
+                  rejects=rejects), stats
+
+
+def _convert_string_column(field: Field, css: np.ndarray,
+                           starts: np.ndarray, lengths: np.ndarray,
+                           out_rows: np.ndarray, num_rows: int,
+                           default,
+                           null_rows: np.ndarray | None = None) -> Column:
+    """Assemble a variable-width column: offsets buffer + data buffer."""
+    if null_rows is None:
+        null_rows = np.empty(0, dtype=np.int64)
+    default_bytes = (default.encode("utf-8")
+                     if isinstance(default, str) else None)
+    row_lengths = np.zeros(num_rows, dtype=np.int64)
+    if default_bytes:
+        row_lengths[:] = len(default_bytes)
+    row_lengths[out_rows] = lengths
+    row_lengths[null_rows] = 0
+    offsets = np.zeros(num_rows + 1, dtype=np.int64)
+    np.cumsum(row_lengths, out=offsets[1:])
+
+    data = np.zeros(int(offsets[-1]), dtype=np.uint8)
+    if default_bytes:
+        pattern = np.frombuffer(default_bytes, dtype=np.uint8)
+        filled = np.ones(num_rows, dtype=bool)
+        filled[out_rows] = False
+        filled[null_rows] = False
+        for row in np.flatnonzero(filled):
+            lo = int(offsets[row])
+            data[lo:lo + len(default_bytes)] = pattern
+    if lengths.size:
+        total = int(lengths.sum())
+        src = (np.arange(total, dtype=np.int64)
+               - np.repeat(exclusive_sum(lengths), lengths)
+               + np.repeat(starts, lengths))
+        dst = (np.arange(total, dtype=np.int64)
+               - np.repeat(exclusive_sum(lengths), lengths)
+               + np.repeat(offsets[out_rows], lengths))
+        data[dst] = css[src]
+
+    if default is None:
+        validity = np.zeros(num_rows, dtype=bool)
+        validity[out_rows] = True
+    else:
+        validity = np.ones(num_rows, dtype=bool)
+    validity[null_rows] = False
+    return Column(field, data, ValidityBitmap.from_mask(validity),
+                  offsets=offsets)

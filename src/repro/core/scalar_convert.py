@@ -1,0 +1,224 @@
+"""Scalar (per-field) reference converters.
+
+These are the readable ground-truth implementations of field-value
+generation: one Python function per data type, converting a single field's
+bytes to a value or signalling a reject.  The vectorised converters in
+:mod:`repro.core.vector_convert` are property tested against these, and the
+pipeline falls back to them for rare literals the vectorised paths decline
+(e.g. floats with exponents of unusual shape, >18-digit integers).
+
+The conversion contract (shared by both implementations):
+
+* returns ``(value, True)`` on success, ``(None, False)`` on reject;
+* empty fields never reach converters (the pipeline maps them to the
+  column default / NULL first — paper §4.3);
+* no locale handling: ``.`` is the decimal separator, ASCII digits only.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.columnar.schema import DataType, Field
+
+__all__ = [
+    "convert_scalar",
+    "parse_int_scalar",
+    "parse_float_scalar",
+    "parse_decimal_scalar",
+    "parse_bool_scalar",
+    "parse_date_scalar",
+    "parse_timestamp_scalar",
+    "days_from_civil",
+    "INT64_MIN",
+    "INT64_MAX",
+]
+
+INT64_MIN = -(2 ** 63)
+INT64_MAX = 2 ** 63 - 1
+
+_INT_BOUNDS = {
+    DataType.INT8: (-(2 ** 7), 2 ** 7 - 1),
+    DataType.INT16: (-(2 ** 15), 2 ** 15 - 1),
+    DataType.INT32: (-(2 ** 31), 2 ** 31 - 1),
+    DataType.INT64: (INT64_MIN, INT64_MAX),
+}
+
+_TRUE_LITERALS = {b"1", b"t", b"true", b"T", b"TRUE", b"True"}
+_FALSE_LITERALS = {b"0", b"f", b"false", b"F", b"FALSE", b"False"}
+
+
+def days_from_civil(year: int, month: int, day: int) -> int:
+    """Days since the Unix epoch for a proleptic Gregorian civil date.
+
+    Howard Hinnant's era-based algorithm; exact for all representable
+    dates and branch-free enough to vectorise verbatim.
+
+    >>> days_from_civil(1970, 1, 1)
+    0
+    >>> days_from_civil(2018, 3, 1)
+    17591
+    """
+    adjusted_year = year - (1 if month <= 2 else 0)
+    era = adjusted_year // 400
+    year_of_era = adjusted_year - era * 400
+    month_shifted = month + (-3 if month > 2 else 9)
+    day_of_year = (153 * month_shifted + 2) // 5 + day - 1
+    day_of_era = (year_of_era * 365 + year_of_era // 4
+                  - year_of_era // 100 + day_of_year)
+    return era * 146097 + day_of_era - 719468
+
+
+def _is_leap(year: int) -> bool:
+    return year % 4 == 0 and (year % 100 != 0 or year % 400 == 0)
+
+
+_DAYS_IN_MONTH = (31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31)
+
+
+def _valid_ymd(year: int, month: int, day: int) -> bool:
+    if not 1 <= month <= 12 or day < 1:
+        return False
+    limit = _DAYS_IN_MONTH[month - 1]
+    if month == 2 and _is_leap(year):
+        limit = 29
+    return day <= limit
+
+
+def parse_int_scalar(text: bytes,
+                     dtype: DataType = DataType.INT64
+                     ) -> tuple[int | None, bool]:
+    """Parse a signed decimal integer with range checking."""
+    if not text:
+        return None, False
+    sign = 1
+    digits = text
+    if text[0:1] in (b"-", b"+"):
+        sign = -1 if text[0:1] == b"-" else 1
+        digits = text[1:]
+    if not digits or not digits.isdigit():
+        return None, False
+    value = sign * int(digits)
+    lo, hi = _INT_BOUNDS[dtype]
+    if not lo <= value <= hi:
+        return None, False
+    return value, True
+
+
+def parse_float_scalar(text: bytes) -> tuple[float | None, bool]:
+    """Parse a decimal floating-point literal.
+
+    Accepts ``[+-]digits[.digits][eE[+-]digits]`` plus the special
+    literals ``nan``/``inf``/``infinity`` (any case).  Rejects everything
+    Python's ``float`` would accept beyond that (underscores, hex floats,
+    leading/trailing whitespace).
+    """
+    if not text:
+        return None, False
+    lowered = text.lower()
+    body = lowered[1:] if lowered[:1] in (b"-", b"+") else lowered
+    if body in (b"nan", b"inf", b"infinity"):
+        return float(lowered), True
+    allowed = set(b"0123456789.e+-")
+    if not body or any(c not in allowed for c in lowered):
+        return None, False
+    try:
+        value = float(text)
+    except ValueError:
+        return None, False
+    return value, True
+
+
+def parse_decimal_scalar(text: bytes,
+                         scale: int) -> tuple[int | None, bool]:
+    """Parse a fixed-scale decimal into a scaled int64.
+
+    ``"199.99"`` at scale 2 becomes ``19999``.  Rejects more fractional
+    digits than the scale allows, and overflow.
+    """
+    if not text:
+        return None, False
+    sign = 1
+    body = text
+    if body[0:1] in (b"-", b"+"):
+        sign = -1 if body[0:1] == b"-" else 1
+        body = body[1:]
+    if not body:
+        return None, False
+    integer_part, dot, fraction_part = body.partition(b".")
+    if dot and not fraction_part:
+        return None, False
+    if not integer_part and not fraction_part:
+        return None, False
+    if integer_part and not integer_part.isdigit():
+        return None, False
+    if fraction_part and not fraction_part.isdigit():
+        return None, False
+    if len(fraction_part) > scale:
+        return None, False
+    digits = (integer_part or b"0") + fraction_part.ljust(scale, b"0")
+    value = sign * int(digits)
+    if not INT64_MIN <= value <= INT64_MAX:
+        return None, False
+    return value, True
+
+
+def parse_bool_scalar(text: bytes) -> tuple[bool | None, bool]:
+    """Parse a boolean literal (1/0, t/f, true/false, any common case)."""
+    if text in _TRUE_LITERALS:
+        return True, True
+    if text in _FALSE_LITERALS:
+        return False, True
+    return None, False
+
+
+def parse_date_scalar(text: bytes) -> tuple[int | None, bool]:
+    """Parse ``YYYY-MM-DD`` into days since the Unix epoch."""
+    if len(text) != 10 or text[4:5] != b"-" or text[7:8] != b"-":
+        return None, False
+    year_s, month_s, day_s = text[:4], text[5:7], text[8:10]
+    if not (year_s.isdigit() and month_s.isdigit() and day_s.isdigit()):
+        return None, False
+    year, month, day = int(year_s), int(month_s), int(day_s)
+    if not _valid_ymd(year, month, day):
+        return None, False
+    return days_from_civil(year, month, day), True
+
+
+def parse_timestamp_scalar(text: bytes) -> tuple[int | None, bool]:
+    """Parse ``YYYY-MM-DD HH:MM:SS`` into seconds since the Unix epoch."""
+    if len(text) != 19 or text[10:11] != b" " \
+            or text[13:14] != b":" or text[16:17] != b":":
+        return None, False
+    date_value, ok = parse_date_scalar(text[:10])
+    if not ok:
+        return None, False
+    hour_s, minute_s, second_s = text[11:13], text[14:16], text[17:19]
+    if not (hour_s.isdigit() and minute_s.isdigit() and second_s.isdigit()):
+        return None, False
+    hour, minute, second = int(hour_s), int(minute_s), int(second_s)
+    if hour > 23 or minute > 59 or second > 59:
+        return None, False
+    assert date_value is not None
+    return date_value * 86400 + hour * 3600 + minute * 60 + second, True
+
+
+def convert_scalar(field: Field, text: bytes) -> tuple[Any, bool]:
+    """Dispatch one field's bytes through the scalar converters."""
+    dtype = field.dtype
+    if dtype is DataType.STRING:
+        return text.decode("utf-8", errors="replace"), True
+    if dtype in _INT_BOUNDS:
+        return parse_int_scalar(text, dtype)
+    if dtype in (DataType.FLOAT32, DataType.FLOAT64):
+        value, ok = parse_float_scalar(text)
+        return value, ok
+    if dtype is DataType.DECIMAL:
+        return parse_decimal_scalar(text, field.decimal_scale)
+    if dtype is DataType.BOOL:
+        return parse_bool_scalar(text)
+    if dtype is DataType.DATE:
+        return parse_date_scalar(text)
+    if dtype is DataType.TIMESTAMP:
+        return parse_timestamp_scalar(text)
+    raise NotImplementedError(f"no scalar converter for {dtype}")

@@ -1,0 +1,227 @@
+"""Phase 2 — bitmap indexes and record/column tags (paper §3.1-3.2).
+
+With every chunk's start state known (phase 1), each thread re-simulates a
+*single* DFA instance over its chunk, classifying every symbol via the
+emission table: the three bitmap indexes of §3.1 (record delimiters, field
+delimiters, control symbols).  The §3.2 offset machinery then tags every
+symbol with the record and column it belongs to.
+
+Two interchangeable implementations are provided (selected by
+:class:`~repro.core.options.TaggingImpl`):
+
+* ``GLOBAL`` — computes record/column ids with whole-input cumulative sums
+  (three vectorised passes).  This is the production path.
+* ``CHUNKED`` — the paper's formulation: per-chunk counts and rel/abs
+  offsets, prefix scans across chunks (:mod:`repro.core.offsets`), then a
+  per-chunk tagging sweep seeded with the scanned offsets.  Structurally
+  identical to the GPU kernels; used by tests and ablations.
+
+Both produce bit-identical :class:`TagResult` values (property tested).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.chunking import Chunking
+from repro.core.offsets import compute_chunk_offsets
+from repro.dfa.automaton import Dfa, Emission
+from repro.errors import ParseError
+from repro.scan.numpy_scan import exclusive_sum
+
+__all__ = ["TagResult", "compute_emissions", "tag_global", "tag_chunked"]
+
+
+@dataclass
+class TagResult:
+    """Per-symbol classification and tags for the whole input.
+
+    All arrays have input length (padding removed).
+    """
+
+    #: ``(n,)`` :class:`~repro.dfa.automaton.Emission` codes.
+    emissions: np.ndarray
+    #: ``(n,)`` bool — record-delimiter bitmap index.
+    record_delim: np.ndarray
+    #: ``(n,)`` bool — field-delimiter bitmap index (field delims only).
+    field_delim: np.ndarray
+    #: ``(n,)`` bool — symbol is field data.
+    data_mask: np.ndarray
+    #: ``(n,)`` int64 — record each symbol belongs to.
+    record_ids: np.ndarray
+    #: ``(n,)`` int64 — column each symbol belongs to (delimiters carry
+    #: the column of the field they terminate).
+    column_ids: np.ndarray
+    #: DFA state after the last input symbol.
+    final_state: int
+    #: Whether the input ends mid-record (no trailing record delimiter).
+    has_trailing_record: bool
+    #: Total records, including a trailing unterminated one.
+    num_records: int
+
+
+def compute_emissions(groups: np.ndarray, start_states: np.ndarray,
+                      dfa: Dfa, chunking: Chunking
+                      ) -> tuple[np.ndarray, int]:
+    """Re-simulate one DFA instance per chunk, emitting classifications.
+
+    Parameters
+    ----------
+    groups:
+        ``(num_chunks, chunk_size)`` symbol-group matrix (with padding).
+    start_states:
+        ``(num_chunks,)`` per-chunk start states from phase 1.
+    dfa:
+        The padded automaton (must include the padding group).
+    chunking:
+        Geometry, to strip the padding from the result.
+
+    Returns
+    -------
+    (emissions, final_state, invalid_position)
+        Flat ``(input_bytes,)`` uint8 emissions, the automaton's state
+        after the last real symbol, and the first byte offset at which the
+        automaton sat in the INV sink (``None`` if never) — the format
+        validation of paper §4.3 as a by-product of tagging.
+    """
+    num_chunks, chunk_size = groups.shape
+    states = start_states.astype(np.uint8).copy()
+    emissions = np.empty((num_chunks, chunk_size), dtype=np.uint8)
+    transitions = dfa.transitions
+    emission_table = dfa.emissions
+    invalid = dfa.invalid_state
+    first_invalid = np.full(num_chunks, -1, dtype=np.int64)
+    for j in range(chunk_size):
+        g = groups[:, j]
+        emissions[:, j] = emission_table[states, g]
+        if invalid is not None:
+            newly = (states == invalid) & (first_invalid < 0)
+            first_invalid[newly] = j
+        states = transitions[g, states]
+    final_state = int(states[-1])
+    flat = emissions.reshape(-1)[:chunking.input_bytes]
+
+    invalid_position: int | None = None
+    if invalid is not None:
+        hit = np.flatnonzero(first_invalid >= 0)
+        if hit.size:
+            chunk = int(hit[0])
+            position = chunk * chunk_size + int(first_invalid[chunk])
+            if position < chunking.input_bytes:
+                invalid_position = position
+    return flat, final_state, invalid_position
+
+
+def _bitmaps(emissions: np.ndarray) -> tuple[np.ndarray, np.ndarray,
+                                             np.ndarray]:
+    """The three bitmap indexes of §3.1 from the emission codes."""
+    record_delim = emissions == int(Emission.RECORD_DELIMITER)
+    field_delim = emissions == int(Emission.FIELD_DELIMITER)
+    data_mask = emissions == int(Emission.DATA)
+    return record_delim, field_delim, data_mask
+
+
+def _trailing_record(emissions: np.ndarray, record_delim: np.ndarray) -> bool:
+    """Whether record content follows the last record delimiter.
+
+    Content = DATA, FIELD_DELIMITER or CONTROL emissions (a lone ``\"\"``
+    is a record with one empty field); COMMENT emissions are not content.
+    """
+    content = ((emissions == int(Emission.DATA))
+               | (emissions == int(Emission.FIELD_DELIMITER))
+               | (emissions == int(Emission.CONTROL)))
+    delim_positions = np.flatnonzero(record_delim)
+    if delim_positions.size == 0:
+        return bool(content.any())
+    last = delim_positions[-1]
+    return bool(content[last + 1:].any())
+
+
+def _finalise(emissions: np.ndarray, record_ids: np.ndarray,
+              column_ids: np.ndarray, final_state: int) -> TagResult:
+    record_delim, field_delim, data_mask = _bitmaps(emissions)
+    trailing = _trailing_record(emissions, record_delim)
+    num_records = int(record_delim.sum()) + (1 if trailing else 0)
+    return TagResult(
+        emissions=emissions,
+        record_delim=record_delim,
+        field_delim=field_delim,
+        data_mask=data_mask,
+        record_ids=record_ids,
+        column_ids=column_ids,
+        final_state=final_state,
+        has_trailing_record=trailing,
+        num_records=num_records,
+    )
+
+
+def tag_global(emissions: np.ndarray, final_state: int) -> TagResult:
+    """Record/column ids via whole-input cumulative sums.
+
+    * ``record_ids[i]`` = record delimiters strictly before ``i``;
+    * ``column_ids[i]`` = delimiters (field or record) between the start of
+      ``i``'s record and ``i`` — inside a record every such delimiter is a
+      field delimiter, so this is the running column index, resetting at
+      record boundaries.
+    """
+    record_delim, field_delim, _ = _bitmaps(emissions)
+    n = emissions.size
+    record_ids = exclusive_sum(record_delim.astype(np.int64))
+
+    delim_any = record_delim | field_delim
+    delims_before = exclusive_sum(delim_any.astype(np.int64))
+    # Index of the last record delimiter strictly before each position.
+    indexes = np.arange(n, dtype=np.int64)
+    marker = np.where(record_delim, indexes, np.int64(-1))
+    last_delim_incl = np.maximum.accumulate(marker) if n else marker
+    last_delim_excl = np.empty(n, dtype=np.int64)
+    if n:
+        last_delim_excl[0] = -1
+        last_delim_excl[1:] = last_delim_incl[:-1]
+    record_starts = last_delim_excl + 1
+    column_ids = delims_before - delims_before[record_starts] if n \
+        else delims_before
+    return _finalise(emissions, record_ids, column_ids, final_state)
+
+
+def tag_chunked(emissions: np.ndarray, final_state: int,
+                chunking: Chunking) -> TagResult:
+    """Record/column ids via the paper's per-chunk offsets + scans.
+
+    Pads the emission stream back to the chunk grid, computes each chunk's
+    record count and rel/abs column offset, scans both across chunks
+    (:func:`~repro.core.offsets.compute_chunk_offsets`), then assigns tags
+    in one data-parallel sweep over chunk-local positions with per-chunk
+    running counters seeded from the scans.
+    """
+    n = emissions.size
+    if n != chunking.input_bytes:
+        raise ParseError("emission stream does not match the chunking")
+    num_chunks, chunk_size = chunking.num_chunks, chunking.chunk_size
+    padded = np.full(num_chunks * chunk_size, int(Emission.COMMENT),
+                     dtype=np.uint8)
+    padded[:n] = emissions
+    grid = padded.reshape(num_chunks, chunk_size)
+
+    record_delim = grid == int(Emission.RECORD_DELIMITER)
+    field_delim = grid == int(Emission.FIELD_DELIMITER)
+    offsets = compute_chunk_offsets(record_delim, field_delim)
+
+    # Per-chunk tagging sweep: every thread walks its chunk with a record
+    # counter and a column counter seeded by the scanned offsets.
+    record_counter = offsets.record_offsets.copy()
+    column_counter = offsets.entering_column_offsets.copy()
+    record_ids = np.empty((num_chunks, chunk_size), dtype=np.int64)
+    column_ids = np.empty((num_chunks, chunk_size), dtype=np.int64)
+    for j in range(chunk_size):
+        record_ids[:, j] = record_counter
+        column_ids[:, j] = column_counter
+        is_record = record_delim[:, j]
+        is_field = field_delim[:, j]
+        record_counter = record_counter + is_record
+        column_counter = np.where(is_record, 0,
+                                  column_counter + is_field)
+    return _finalise(emissions, record_ids.reshape(-1)[:n],
+                     column_ids.reshape(-1)[:n], final_state)

@@ -1,0 +1,89 @@
+"""Tagging-mode mechanics (paper §4.1, Figure 6).
+
+The three CSS layouts trade robustness against memory traffic:
+
+* **record-tagged** — partition only data symbols; every CSS symbol
+  carries its 4-byte record tag; the CSS index comes from run-length
+  encoding the tags.  Handles varying column counts.
+* **inline-terminated** — partition data symbols *and* the delimiters
+  terminating each field, then overwrite the delimiter bytes with a
+  reserved terminator inside the CSS; the index is the terminator
+  positions.  No per-symbol tags, but the terminator byte must not occur
+  in data and the column count must be constant.
+* **vector-delimited** — like inline, but field ends are marked in an
+  auxiliary boolean vector instead of a reserved byte (1 bit/symbol).
+
+This module owns the mode-specific steps the parser composes: building the
+partition keep-mask, post-processing the CSS (terminator substitution /
+auxiliary vector extraction), and per-column index construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.css import ColumnIndex, delimited_index, inline_index, \
+    tagged_index
+from repro.core.options import ParseOptions, TaggingMode
+from repro.core.partition import PartitionResult
+from repro.errors import ParseError
+
+__all__ = ["build_keep_mask", "prepare_css", "column_indexes"]
+
+
+def build_keep_mask(mode: TaggingMode, data_mask: np.ndarray,
+                    delim_mask: np.ndarray, column_ok: np.ndarray,
+                    record_ok: np.ndarray) -> np.ndarray:
+    """Positions entering the partition under the given mode.
+
+    Record-tagged keeps data symbols only; the inline/delimited modes also
+    keep each field's terminating delimiter (it becomes the terminator /
+    auxiliary mark).
+    """
+    if mode is TaggingMode.TAGGED:
+        return data_mask & column_ok & record_ok
+    return (data_mask | delim_mask) & column_ok & record_ok
+
+
+def prepare_css(mode: TaggingMode, part: PartitionResult,
+                delim_mask: np.ndarray,
+                options: ParseOptions) -> tuple[np.ndarray, np.ndarray]:
+    """Mode-specific CSS post-processing after the partition.
+
+    Returns ``(css, aux_delims)`` where ``aux_delims`` marks the CSS
+    positions holding field terminators (used by both non-tagged modes;
+    empty semantics for record-tagged).
+
+    For the inline mode this performs the §4.1 substitution — delimiters
+    become the reserved terminator byte — and verifies the terminator does
+    not occur in field data (the documented precondition; use the
+    vector-delimited mode otherwise).
+    """
+    aux_delims = delim_mask[part.order]
+    css = part.css
+    if mode is TaggingMode.INLINE:
+        if bool(np.any(css[~aux_delims] == options.inline_terminator)):
+            raise ParseError(
+                "inline terminator byte occurs in field data; use "
+                "TaggingMode.DELIMITED or a different terminator")
+        css = css.copy()
+        css[aux_delims] = options.inline_terminator
+    return css, aux_delims
+
+
+def column_indexes(mode: TaggingMode, part: PartitionResult,
+                   css: np.ndarray, aux_delims: np.ndarray,
+                   options: ParseOptions) -> list[ColumnIndex]:
+    """Per-column CSS field indexes for the configured mode."""
+    indexes: list[ColumnIndex] = []
+    for column in range(part.num_columns):
+        lo = int(part.column_offsets[column])
+        hi = int(part.column_offsets[column + 1])
+        if mode is TaggingMode.TAGGED:
+            indexes.append(tagged_index(part.record_tags[lo:hi]))
+        elif mode is TaggingMode.INLINE:
+            indexes.append(inline_index(css[lo:hi],
+                                        options.inline_terminator))
+        else:
+            indexes.append(delimited_index(aux_delims[lo:hi]))
+    return indexes

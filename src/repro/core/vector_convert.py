@@ -1,0 +1,401 @@
+"""Vectorised field converters.
+
+These implement type conversion as whole-column array operations — the
+NumPy translation of the paper's thread-per-field conversion kernels
+(§3.3).  Each parser consumes a *packed* field set: a contiguous uint8
+buffer holding the fields back to back, with ``lengths`` per field (all
+strictly positive — empty fields are resolved to defaults/NULL before
+conversion).  Each returns ``(values, ok, fallback)`` where ``fallback``
+flags fields the vectorised path declines (e.g. >18-digit mantissas,
+exponent floats); the orchestrator re-parses those with the scalar
+reference converters, so the combined result is exactly the scalar
+semantics (property tested).
+
+The numeric parsers share one skeleton: classify every byte, locate each
+byte's field via ``np.repeat``, combine per-digit contributions with
+``np.add.reduceat`` over the field boundaries, and validate with reduceat
+of boolean masks.  This is a faithful stand-in for the GPU's
+block-per-field reductions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.columnar.schema import DataType
+from repro.scan.numpy_scan import exclusive_sum
+
+__all__ = [
+    "pack_fields",
+    "match_literals",
+    "parse_int_vector",
+    "parse_float_vector",
+    "parse_decimal_vector",
+    "parse_bool_vector",
+    "parse_date_vector",
+    "parse_timestamp_vector",
+]
+
+_POW10 = np.power(np.int64(10), np.arange(19, dtype=np.int64))
+_INT_BOUNDS = {
+    DataType.INT8: (-(2 ** 7), 2 ** 7 - 1),
+    DataType.INT16: (-(2 ** 15), 2 ** 15 - 1),
+    DataType.INT32: (-(2 ** 31), 2 ** 31 - 1),
+    DataType.INT64: (-(2 ** 63), 2 ** 63 - 1),
+}
+
+_MINUS = np.uint8(ord("-"))
+_PLUS = np.uint8(ord("+"))
+_DOT = np.uint8(ord("."))
+_ZERO = np.uint8(ord("0"))
+
+
+def pack_fields(src: np.ndarray, starts: np.ndarray,
+                lengths: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Gather ragged field slices into one contiguous buffer.
+
+    Returns ``(buffer, offsets)`` with ``offsets = exclusive_sum(lengths)``.
+    The gather builds an index array with the classic repeat/cumsum ragged
+    -range trick (no Python loop over fields).
+    """
+    lengths = np.asarray(lengths, dtype=np.int64)
+    starts = np.asarray(starts, dtype=np.int64)
+    offsets = exclusive_sum(lengths)
+    total = int(lengths.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.uint8), offsets
+    positions = (np.arange(total, dtype=np.int64)
+                 - np.repeat(offsets, lengths)
+                 + np.repeat(starts, lengths))
+    return src[positions], offsets
+
+
+def match_literals(buf: np.ndarray, offsets: np.ndarray,
+                   lengths: np.ndarray,
+                   literals: tuple[bytes, ...]) -> np.ndarray:
+    """Which packed fields equal one of ``literals`` exactly.
+
+    Vectorised per literal (length check + per-byte compare), the same
+    lock-step pattern as boolean parsing; used for NULL-literal detection
+    (paper §3.3 mentions "identifying NULLs" during conversion).
+    """
+    n = len(lengths)
+    matched = np.zeros(n, dtype=bool)
+    for literal in literals:
+        candidates = lengths == len(literal)
+        if not np.any(candidates) or not literal:
+            continue
+        this = candidates.copy()
+        for i, ch in enumerate(literal):
+            idx = np.where(candidates, offsets + i, 0)
+            this &= buf[idx] == ch
+        matched |= this
+    return matched
+
+
+def _field_geometry(offsets: np.ndarray, lengths: np.ndarray
+                    ) -> tuple[np.ndarray, np.ndarray]:
+    """(field id, local position) for every byte of a packed buffer."""
+    total = int(lengths.sum())
+    field_ids = np.repeat(np.arange(len(lengths), dtype=np.int64), lengths)
+    local = (np.arange(total, dtype=np.int64)
+             - np.repeat(offsets, lengths))
+    return field_ids, local
+
+
+def _count_per_field(mask: np.ndarray, offsets: np.ndarray,
+                     num_fields: int) -> np.ndarray:
+    """Per-field count of set mask positions (reduceat over boundaries)."""
+    if num_fields == 0:
+        return np.zeros(0, dtype=np.int64)
+    return np.add.reduceat(mask.astype(np.int64), offsets)
+
+
+def parse_int_vector(buf: np.ndarray, offsets: np.ndarray,
+                     lengths: np.ndarray,
+                     dtype: DataType = DataType.INT64
+                     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorised signed decimal integer parsing.
+
+    Fields with more than 18 digits are flagged for scalar fallback
+    (they may exceed the int64 weight table without overflow checks).
+    """
+    n = len(lengths)
+    values = np.zeros(n, dtype=np.int64)
+    if n == 0:
+        empty = np.zeros(0, dtype=bool)
+        return values, empty, empty
+
+    first = buf[offsets]
+    negative = first == _MINUS
+    signed = negative | (first == _PLUS)
+    digit_len = lengths - signed
+    fallback = digit_len > 18
+    ok = digit_len >= 1
+
+    field_ids, local = _field_geometry(offsets, lengths)
+    digits = buf.astype(np.int64) - int(_ZERO)
+    is_digit = (digits >= 0) & (digits <= 9)
+    in_digits = local >= signed[field_ids]
+    bad = in_digits & ~is_digit
+    ok &= _count_per_field(bad, offsets, n) == 0
+
+    ends = offsets + lengths
+    exponent = ends[field_ids] - 1 - (offsets[field_ids] + local)
+    weight = _POW10[np.clip(exponent, 0, 18)]
+    contrib = np.where(in_digits & is_digit & (exponent <= 18),
+                       digits * weight, np.int64(0))
+    sums = np.add.reduceat(contrib, offsets)
+    values = np.where(negative, -sums, sums)
+
+    lo, hi = _INT_BOUNDS[dtype]
+    ok &= (values >= lo) & (values <= hi)
+    values = np.where(ok, values, np.int64(0))
+    return values, ok & ~fallback, fallback
+
+
+def _mantissa_and_fraction(buf, offsets, lengths, require_frac_after_dot):
+    """Shared digits/dot machinery for float and decimal parsing.
+
+    Returns (sign, mantissa, frac_len, digit_count, ok, fallback).
+    ``mantissa`` is the integer formed by all digits (dot removed).
+    """
+    n = len(lengths)
+    first = buf[offsets]
+    negative = first == _MINUS
+    signed = negative | (first == _PLUS)
+
+    field_ids, local = _field_geometry(offsets, lengths)
+    digits = buf.astype(np.int64) - int(_ZERO)
+    is_digit = (digits >= 0) & (digits <= 9)
+    is_dot = buf == _DOT
+    in_body = local >= signed[field_ids]
+
+    dot_count = _count_per_field(is_dot & in_body, offsets, n)
+    digit_count = _count_per_field(is_digit & in_body, offsets, n)
+    bad = in_body & ~is_digit & ~is_dot
+    ok = (_count_per_field(bad, offsets, n) == 0) \
+        & (dot_count <= 1) & (digit_count >= 1)
+    fallback = digit_count > 18
+
+    # Digit ordinal within its field (among digits only), via a global
+    # cumulative sum rebased at each field start.
+    global_digit_cum = np.cumsum(is_digit & in_body, dtype=np.int64)
+    base = global_digit_cum[offsets] - (is_digit & in_body)[offsets]
+    ordinal = global_digit_cum - 1 - base[field_ids]
+    digits_after = digit_count[field_ids] - 1 - ordinal
+    weight = _POW10[np.clip(digits_after, 0, 18)]
+    contrib = np.where(is_digit & in_body & (digits_after <= 18),
+                       digits * weight, np.int64(0))
+    mantissa = np.add.reduceat(contrib, offsets) if n else \
+        np.zeros(0, dtype=np.int64)
+
+    # Fractional length: digits strictly after the dot.
+    dot_positions = np.where(is_dot & in_body, local, np.int64(-1))
+    dot_local = np.full(n, np.int64(np.iinfo(np.int64).max))
+    has_dot = dot_count == 1
+    if np.any(is_dot & in_body):
+        per_field_dot = np.maximum.reduceat(dot_positions, offsets)
+        dot_local = np.where(has_dot, per_field_dot, dot_local)
+    after_dot = local > dot_local[field_ids]
+    frac_len = _count_per_field(is_digit & in_body & after_dot, offsets, n)
+
+    if require_frac_after_dot:
+        ok &= ~has_dot | (frac_len >= 1)
+    sign = np.where(negative, np.int64(-1), np.int64(1))
+    return sign, mantissa, frac_len, digit_count, ok, fallback
+
+
+def parse_float_vector(buf: np.ndarray, offsets: np.ndarray,
+                       lengths: np.ndarray,
+                       dtype: DataType = DataType.FLOAT64
+                       ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorised float parsing for ``[+-]digits[.digits]`` literals.
+
+    Fields containing an exponent marker (``e``/``E``) or special literals
+    (``nan``/``inf``) are flagged for scalar fallback rather than parsed
+    here; so are >18-digit mantissas (precision).
+    """
+    n = len(lengths)
+    if n == 0:
+        empty = np.zeros(0, dtype=bool)
+        return np.zeros(0, dtype=dtype.numpy_dtype), empty, empty
+
+    # Any alphabetic byte routes to the scalar path (exponents, nan, inf).
+    lower = buf | np.uint8(0x20)
+    is_alpha = (lower >= np.uint8(ord("a"))) & (lower <= np.uint8(ord("z")))
+    alpha_count = _count_per_field(is_alpha, offsets, n)
+    route_scalar = alpha_count > 0
+
+    sign, mantissa, frac_len, digit_count, ok, fallback = \
+        _mantissa_and_fraction(buf, offsets, lengths,
+                               require_frac_after_dot=False)
+    # Beyond 15 significant digits the int64 mantissa is no longer exactly
+    # representable in float64, so the divide below would not be correctly
+    # rounded; route those to the scalar (strtod) path.
+    fallback = (fallback | route_scalar | (digit_count > 15)) \
+        & (lengths > 0)
+    # mantissa and 10**frac_len are both exact in float64 here, so one
+    # correctly-rounded division reproduces strtod's result bit for bit.
+    # The sign is applied in float space so "-0.0" keeps its sign bit.
+    values = mantissa.astype(np.float64) \
+        / np.power(10.0, frac_len.astype(np.float64))
+    values = np.where(sign < 0, -values, values)
+    values = values.astype(dtype.numpy_dtype)
+    ok = ok & ~route_scalar
+    values = np.where(ok, values, 0.0).astype(dtype.numpy_dtype)
+    return values, ok & ~fallback, fallback
+
+
+def parse_decimal_vector(buf: np.ndarray, offsets: np.ndarray,
+                         lengths: np.ndarray, scale: int
+                         ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorised fixed-scale decimal parsing into scaled int64."""
+    n = len(lengths)
+    if n == 0:
+        empty = np.zeros(0, dtype=bool)
+        return np.zeros(0, dtype=np.int64), empty, empty
+    sign, mantissa, frac_len, digit_count, ok, fallback = \
+        _mantissa_and_fraction(buf, offsets, lengths,
+                               require_frac_after_dot=True)
+    ok &= frac_len <= scale
+    # Total scaled digits must stay within the int64 weight table.
+    fallback |= (digit_count + scale - frac_len) > 18
+    shift = np.clip(scale - frac_len, 0, 18)
+    values = sign * mantissa * _POW10[shift]
+    values = np.where(ok, values, np.int64(0))
+    return values, ok & ~fallback, fallback
+
+
+def parse_bool_vector(buf: np.ndarray, offsets: np.ndarray,
+                      lengths: np.ndarray
+                      ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorised boolean parsing (1/0, t/f, true/false, common cases)."""
+    n = len(lengths)
+    values = np.zeros(n, dtype=bool)
+    ok = np.zeros(n, dtype=bool)
+    fallback = np.zeros(n, dtype=bool)
+    for literal, value in ((b"1", True), (b"0", False),
+                           (b"t", True), (b"f", False),
+                           (b"T", True), (b"F", False),
+                           (b"true", True), (b"false", False),
+                           (b"True", True), (b"False", False),
+                           (b"TRUE", True), (b"FALSE", False)):
+        candidates = lengths == len(literal)
+        if not np.any(candidates):
+            continue
+        match = candidates.copy()
+        for i, ch in enumerate(literal):
+            idx = offsets + i
+            # Guard the gather for non-candidate fields.
+            safe = np.where(candidates, idx, 0)
+            match &= buf[safe] == ch
+        values = np.where(match, value, values)
+        ok |= match
+    return values, ok, fallback
+
+
+def _fixed_width_matrix(buf: np.ndarray, offsets: np.ndarray,
+                        lengths: np.ndarray,
+                        width: int) -> tuple[np.ndarray, np.ndarray]:
+    """(n, width) byte matrix for fields of exactly ``width`` bytes.
+
+    Returns the matrix and the mask of fields with the right length;
+    wrong-length rows are zero filled.
+    """
+    n = len(lengths)
+    right_length = lengths == width
+    matrix = np.zeros((n, width), dtype=np.uint8)
+    if np.any(right_length):
+        rows = np.flatnonzero(right_length)
+        gather = offsets[rows, None] + np.arange(width, dtype=np.int64)
+        matrix[rows] = buf[gather]
+    return matrix, right_length
+
+
+def _civil_days_vector(year: np.ndarray, month: np.ndarray,
+                       day: np.ndarray) -> np.ndarray:
+    """Vectorised days_from_civil (same algorithm as the scalar one)."""
+    adjusted = year - (month <= 2)
+    era = adjusted // 400
+    year_of_era = adjusted - era * 400
+    month_shifted = month + np.where(month > 2, -3, 9)
+    day_of_year = (153 * month_shifted + 2) // 5 + day - 1
+    day_of_era = (year_of_era * 365 + year_of_era // 4
+                  - year_of_era // 100 + day_of_year)
+    return era * 146097 + day_of_era - 719468
+
+
+_DAYS_IN_MONTH = np.array([31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31],
+                          dtype=np.int64)
+
+
+def _valid_ymd_vector(year: np.ndarray, month: np.ndarray,
+                      day: np.ndarray) -> np.ndarray:
+    month_ok = (month >= 1) & (month <= 12)
+    safe_month = np.where(month_ok, month, 1)
+    limits = _DAYS_IN_MONTH[safe_month - 1].copy()
+    leap = (year % 4 == 0) & ((year % 100 != 0) | (year % 400 == 0))
+    limits = np.where((safe_month == 2) & leap, 29, limits)
+    return month_ok & (day >= 1) & (day <= limits)
+
+
+def _digits_value(matrix: np.ndarray,
+                  columns: slice) -> tuple[np.ndarray, np.ndarray]:
+    """Integer value of a digit span in a fixed-width matrix + validity."""
+    sub = matrix[:, columns].astype(np.int64) - int(_ZERO)
+    valid = np.all((sub >= 0) & (sub <= 9), axis=1)
+    weights = _POW10[np.arange(sub.shape[1])[::-1]]
+    return (sub * weights).sum(axis=1), valid
+
+
+def parse_date_vector(buf: np.ndarray, offsets: np.ndarray,
+                      lengths: np.ndarray
+                      ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorised ``YYYY-MM-DD`` parsing into days since the epoch."""
+    n = len(lengths)
+    if n == 0:
+        empty = np.zeros(0, dtype=bool)
+        return np.zeros(0, dtype=np.int32), empty, empty
+    matrix, right_length = _fixed_width_matrix(buf, offsets, lengths, 10)
+    separators = (matrix[:, 4] == ord("-")) & (matrix[:, 7] == ord("-"))
+    year, year_ok = _digits_value(matrix, slice(0, 4))
+    month, month_ok = _digits_value(matrix, slice(5, 7))
+    day, day_ok = _digits_value(matrix, slice(8, 10))
+    ok = right_length & separators & year_ok & month_ok & day_ok
+    ok &= _valid_ymd_vector(year, month, day)
+    days = np.where(ok, _civil_days_vector(year, month, day), 0)
+    fallback = np.zeros(n, dtype=bool)
+    return days.astype(np.int32), ok, fallback
+
+
+def parse_timestamp_vector(buf: np.ndarray, offsets: np.ndarray,
+                           lengths: np.ndarray
+                           ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorised ``YYYY-MM-DD HH:MM:SS`` parsing into epoch seconds."""
+    n = len(lengths)
+    if n == 0:
+        empty = np.zeros(0, dtype=bool)
+        return np.zeros(0, dtype=np.int64), empty, empty
+    matrix, right_length = _fixed_width_matrix(buf, offsets, lengths, 19)
+    separators = ((matrix[:, 4] == ord("-")) & (matrix[:, 7] == ord("-"))
+                  & (matrix[:, 10] == ord(" "))
+                  & (matrix[:, 13] == ord(":"))
+                  & (matrix[:, 16] == ord(":")))
+    year, year_ok = _digits_value(matrix, slice(0, 4))
+    month, month_ok = _digits_value(matrix, slice(5, 7))
+    day, day_ok = _digits_value(matrix, slice(8, 10))
+    hour, hour_ok = _digits_value(matrix, slice(11, 13))
+    minute, minute_ok = _digits_value(matrix, slice(14, 16))
+    second, second_ok = _digits_value(matrix, slice(17, 19))
+    ok = (right_length & separators & year_ok & month_ok & day_ok
+          & hour_ok & minute_ok & second_ok)
+    ok &= _valid_ymd_vector(year, month, day)
+    ok &= (hour <= 23) & (minute <= 59) & (second <= 59)
+    seconds = np.where(
+        ok,
+        _civil_days_vector(year, month, day) * 86400
+        + hour * 3600 + minute * 60 + second,
+        0)
+    fallback = np.zeros(n, dtype=bool)
+    return seconds.astype(np.int64), ok, fallback

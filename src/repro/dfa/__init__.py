@@ -1,0 +1,53 @@
+"""DFA machinery: parsing rules as deterministic finite automata.
+
+ParPaRaw expresses parsing rules as a DFA (paper §3.1): the DFA state is the
+parsing context, the transition table (compressed over *symbol groups*,
+paper §4.5, Table 1) drives state updates, and a Mealy-style *emission*
+table classifies each consumed symbol as data, a field delimiter, a record
+delimiter, or a control symbol to discard.
+
+Entry points:
+
+* :class:`~repro.dfa.dialects.Dialect` — declarative description of a
+  delimiter-separated format (delimiters, quoting, escapes, comments);
+* :func:`~repro.dfa.csv.rfc4180_dfa` — the paper's 6-state RFC 4180 CSV DFA;
+* :class:`~repro.dfa.builder.DfaBuilder` — fluent construction of custom
+  automata;
+* :mod:`~repro.dfa.logformats` — Common / Extended Log Format automata.
+"""
+
+from repro.dfa.automaton import Dfa, Emission
+from repro.dfa.builder import DfaBuilder
+from repro.dfa.dialects import Dialect
+from repro.dfa.csv import rfc4180_dfa, dialect_dfa
+from repro.dfa.logformats import common_log_format_dfa, extended_log_format_dfa
+from repro.dfa.transitions import (
+    transition_vector,
+    compose,
+    identity_vector,
+    simulate,
+)
+from repro.dfa.compression import group_symbols, CompressedTable
+from repro.dfa.utf8 import utf8_validation_dfa, validate_utf8
+from repro.dfa.sniffer import SniffResult, sniff_dialect
+
+__all__ = [
+    "Dfa",
+    "Emission",
+    "DfaBuilder",
+    "Dialect",
+    "rfc4180_dfa",
+    "dialect_dfa",
+    "common_log_format_dfa",
+    "extended_log_format_dfa",
+    "transition_vector",
+    "compose",
+    "identity_vector",
+    "simulate",
+    "group_symbols",
+    "CompressedTable",
+    "utf8_validation_dfa",
+    "validate_utf8",
+    "sniff_dialect",
+    "SniffResult",
+]

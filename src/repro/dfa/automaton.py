@@ -1,0 +1,244 @@
+"""The DFA data model driving ParPaRaw's parsing.
+
+A :class:`Dfa` bundles three tables:
+
+* ``symbol_groups`` — a 256-entry map collapsing all byte values with
+  identical transition behaviour into *symbol groups* (paper §4.5).  The
+  table-compression idea keeps the transition table tiny (one row per group,
+  as in the paper's Table 1) so it fits into registers / shared memory;
+* ``transitions[group, state] -> state`` — the state-transition table.
+  Rows are symbol groups (matching the paper's layout, which gives coalesced
+  access to all state transitions of a read symbol);
+* ``emissions[state, group] -> Emission`` — a Mealy-style output table
+  classifying every consumed symbol given the state it was read *in*:
+  data, field delimiter, record delimiter, or control (discarded).
+
+The split between transition and emission is what lets the pipeline tag
+symbols with bitmap indexes in a single pass once the chunk's start state is
+known (paper §3.1, last paragraph).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import DfaError
+
+__all__ = ["Dfa", "Emission"]
+
+NUM_BYTE_VALUES = 256
+
+
+class Emission(IntEnum):
+    """Classification of one consumed symbol (paper §3.1 bitmap indexes)."""
+
+    #: The symbol is part of the current field's value.
+    DATA = 0
+    #: The symbol delimits a field (within the current record).
+    FIELD_DELIMITER = 1
+    #: The symbol delimits a record (and implicitly its last field).
+    RECORD_DELIMITER = 2
+    #: The symbol is a control symbol *within* a record (quote, escape
+    #: introducer, CR of a CRLF…); discarded, but it still marks the
+    #: presence of record content (a lone ``\"\"`` is a record).
+    CONTROL = 3
+    #: The symbol belongs to a comment/directive line or is padding;
+    #: discarded and does NOT constitute record content.
+    COMMENT = 4
+
+
+@dataclass(frozen=True)
+class Dfa:
+    """An immutable deterministic finite automaton with emissions.
+
+    Instances are typically produced by :class:`repro.dfa.builder.DfaBuilder`
+    or the factory functions in :mod:`repro.dfa.csv` /
+    :mod:`repro.dfa.logformats`; the constructor validates shape and range
+    invariants so downstream vectorised code can index fearlessly.
+    """
+
+    #: Human-readable state names; index == state id.
+    state_names: tuple[str, ...]
+    #: ``(256,)`` uint8 array mapping byte value -> symbol group.
+    symbol_groups: np.ndarray
+    #: Human-readable group names; index == group id.
+    group_names: tuple[str, ...]
+    #: ``(num_groups, num_states)`` uint8 array: next state.
+    transitions: np.ndarray
+    #: ``(num_states, num_groups)`` uint8 array of :class:`Emission` codes.
+    emissions: np.ndarray
+    #: State the sequential automaton starts in.
+    start_state: int
+    #: States in which the input may validly end.
+    accepting: frozenset[int]
+    #: The designated sink state for invalid input, or ``None``.
+    invalid_state: int | None = None
+
+    def __post_init__(self) -> None:
+        num_states = len(self.state_names)
+        num_groups = len(self.group_names)
+        if num_states == 0:
+            raise DfaError("a DFA needs at least one state")
+        if num_groups == 0:
+            raise DfaError("a DFA needs at least one symbol group")
+        if self.symbol_groups.shape != (NUM_BYTE_VALUES,):
+            raise DfaError("symbol_groups must map all 256 byte values")
+        if self.symbol_groups.max(initial=0) >= num_groups:
+            raise DfaError("symbol_groups references an unknown group")
+        if self.transitions.shape != (num_groups, num_states):
+            raise DfaError(
+                f"transitions must be (num_groups={num_groups}, "
+                f"num_states={num_states}), got {self.transitions.shape}")
+        if self.transitions.max(initial=0) >= num_states:
+            raise DfaError("transition table references an unknown state")
+        if self.emissions.shape != (num_states, num_groups):
+            raise DfaError(
+                f"emissions must be (num_states={num_states}, "
+                f"num_groups={num_groups}), got {self.emissions.shape}")
+        if self.emissions.max(initial=0) > max(Emission):
+            raise DfaError("emission table contains an unknown code")
+        if not 0 <= self.start_state < num_states:
+            raise DfaError("start_state out of range")
+        for state in self.accepting:
+            if not 0 <= state < num_states:
+                raise DfaError("accepting state out of range")
+        if self.invalid_state is not None:
+            if not 0 <= self.invalid_state < num_states:
+                raise DfaError("invalid_state out of range")
+            row = self.transitions[:, self.invalid_state]
+            if not np.all(row == self.invalid_state):
+                raise DfaError("invalid_state must be a sink state")
+        # Freeze the arrays so the dataclass is truly immutable.
+        self.symbol_groups.setflags(write=False)
+        self.transitions.setflags(write=False)
+        self.emissions.setflags(write=False)
+
+    # -- basic properties ----------------------------------------------
+
+    @property
+    def num_states(self) -> int:
+        return len(self.state_names)
+
+    @property
+    def num_groups(self) -> int:
+        return len(self.group_names)
+
+    def state_index(self, name: str) -> int:
+        """Resolve a state name to its id."""
+        try:
+            return self.state_names.index(name)
+        except ValueError:
+            raise DfaError(f"unknown state {name!r}") from None
+
+    def group_of(self, byte: int) -> int:
+        """Symbol group of one byte value."""
+        if not 0 <= byte < NUM_BYTE_VALUES:
+            raise DfaError(f"byte value {byte} out of range")
+        return int(self.symbol_groups[byte])
+
+    # -- scalar simulation (reference semantics) -------------------------
+
+    def step(self, state: int, byte: int) -> tuple[int, Emission]:
+        """Consume one byte: return (next state, emission of this byte)."""
+        group = self.group_of(byte)
+        emission = Emission(int(self.emissions[state, group]))
+        next_state = int(self.transitions[group, state])
+        return next_state, emission
+
+    def simulate(self, data: bytes | bytearray | memoryview | np.ndarray,
+                 start_state: int | None = None) -> tuple[int, list[Emission]]:
+        """Run the automaton over ``data``; return final state + emissions.
+
+        This is the sequential reference semantics every parallel code path
+        is tested against.
+        """
+        state = self.start_state if start_state is None else start_state
+        emissions: list[Emission] = []
+        buf = np.frombuffer(bytes(data), dtype=np.uint8) \
+            if not isinstance(data, np.ndarray) else data
+        for byte in buf:
+            state, emission = self.step(state, int(byte))
+            emissions.append(emission)
+        return state, emissions
+
+    def transition_vector(
+            self, data: bytes | bytearray | np.ndarray) -> tuple[int, ...]:
+        """State-transition vector of a chunk (paper §3.1).
+
+        Entry ``i`` is the state the automaton ends in after reading all of
+        ``data`` having started in state ``i`` — the result of simulating
+        one DFA instance per state.
+        """
+        buf = np.frombuffer(bytes(data), dtype=np.uint8) \
+            if not isinstance(data, np.ndarray) else data
+        vector = np.arange(self.num_states, dtype=np.uint8)
+        for byte in buf:
+            group = self.symbol_groups[byte]
+            vector = self.transitions[group, vector]
+        return tuple(int(v) for v in vector)
+
+    def is_accepting(self, state: int) -> bool:
+        """Whether the input may validly end in ``state``."""
+        return state in self.accepting
+
+    # -- vectorised views -----------------------------------------------
+
+    def groups_of(self, data: np.ndarray) -> np.ndarray:
+        """Vectorised byte -> symbol-group lookup."""
+        if data.dtype != np.uint8:
+            raise DfaError("groups_of expects a uint8 array")
+        return self.symbol_groups[data]
+
+    def with_padding_group(self) -> "Dfa":
+        """Return a DFA extended with a synthetic no-op *padding* group.
+
+        Chunking pads the input to a multiple of the chunk size; padding
+        bytes must neither transition the automaton nor emit anything.  The
+        padding group's transition row is the identity and its emission is
+        CONTROL.  The group claims no byte value (its ``symbol_groups``
+        entries are unchanged); the pipeline assigns it explicitly to pad
+        positions.
+        """
+        identity_row = np.arange(self.num_states,
+                                 dtype=self.transitions.dtype)[None, :]
+        transitions = np.vstack([self.transitions, identity_row])
+        pad_emissions = np.full((self.num_states, 1), int(Emission.COMMENT),
+                                dtype=self.emissions.dtype)
+        emissions = np.hstack([self.emissions, pad_emissions])
+        return Dfa(
+            state_names=self.state_names,
+            symbol_groups=self.symbol_groups.copy(),
+            group_names=self.group_names + ("PAD",),
+            transitions=transitions,
+            emissions=emissions,
+            start_state=self.start_state,
+            accepting=self.accepting,
+            invalid_state=self.invalid_state,
+        )
+
+    # -- pretty printing -------------------------------------------------
+
+    def format_transition_table(self) -> str:
+        """Render the transition table as in the paper's Table 1."""
+        header = ["group"] + list(self.state_names)
+        rows = [header]
+        for g, gname in enumerate(self.group_names):
+            row = [gname]
+            for s in range(self.num_states):
+                row.append(self.state_names[int(self.transitions[g, s])])
+            rows.append(row)
+        widths = [max(len(r[c]) for r in rows) for c in range(len(header))]
+        lines = []
+        for r in rows:
+            lines.append("  ".join(cell.ljust(widths[c])
+                                   for c, cell in enumerate(r)))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"Dfa(states={list(self.state_names)}, "
+                f"groups={list(self.group_names)}, "
+                f"start={self.state_names[self.start_state]})")

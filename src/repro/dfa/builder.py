@@ -1,0 +1,197 @@
+"""Fluent construction of DFAs.
+
+:class:`DfaBuilder` lets applications define custom parsing rules — states,
+symbol groups, transitions, emissions — and compiles them into an immutable
+:class:`~repro.dfa.automaton.Dfa`.  Missing transitions can either default
+to a designated invalid sink state (strict formats) or self-loop (lenient
+formats), and unlisted byte values fall into a catch-all group, mirroring
+the paper's ``*`` group in Table 1.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.dfa.automaton import Dfa, Emission, NUM_BYTE_VALUES
+from repro.errors import DfaError
+
+__all__ = ["DfaBuilder"]
+
+
+class DfaBuilder:
+    """Incrementally assemble a :class:`Dfa`.
+
+    Example — a two-state automaton over ``a``/``b``::
+
+        dfa = (DfaBuilder()
+               .state("EVEN", accepting=True)
+               .state("ODD")
+               .group("flip", b"a")
+               .catch_all("other")
+               .transition("EVEN", "flip", "ODD", Emission.DATA)
+               .transition("ODD", "flip", "EVEN", Emission.DATA)
+               .transition("EVEN", "other", "EVEN", Emission.DATA)
+               .transition("ODD", "other", "ODD", Emission.DATA)
+               .start("EVEN")
+               .build())
+    """
+
+    def __init__(self) -> None:
+        self._states: list[str] = []
+        self._accepting: set[str] = set()
+        self._groups: list[str] = []
+        self._group_bytes: dict[str, list[int]] = {}
+        self._catch_all: str | None = None
+        self._transitions: dict[tuple[str, str], tuple[str, Emission]] = {}
+        self._start: str | None = None
+        self._invalid: str | None = None
+
+    # -- states ----------------------------------------------------------
+
+    def state(self, name: str, accepting: bool = False) -> "DfaBuilder":
+        """Declare a state.  Declaration order fixes state ids."""
+        if name in self._states:
+            raise DfaError(f"state {name!r} declared twice")
+        self._states.append(name)
+        if accepting:
+            self._accepting.add(name)
+        return self
+
+    def invalid_state(self, name: str) -> "DfaBuilder":
+        """Declare (or designate) the invalid sink state.
+
+        All unspecified transitions lead here, and all transitions out of it
+        return to it.  The pipeline uses it to detect format violations
+        (paper §4.3, *Validating format*).
+        """
+        if name not in self._states:
+            self.state(name)
+        self._invalid = name
+        return self
+
+    def start(self, name: str) -> "DfaBuilder":
+        """Designate the start state."""
+        if name not in self._states:
+            raise DfaError(f"unknown start state {name!r}")
+        self._start = name
+        return self
+
+    # -- symbol groups -----------------------------------------------------
+
+    def group(self, name: str, symbols: bytes | Iterable[int]) -> "DfaBuilder":
+        """Declare a symbol group covering the given byte values."""
+        if name in self._groups:
+            raise DfaError(f"group {name!r} declared twice")
+        byte_list = [b if isinstance(b, int) else b[0] for b in
+                     (symbols if not isinstance(symbols, bytes)
+                      else list(symbols))]
+        for byte in byte_list:
+            if not 0 <= byte < NUM_BYTE_VALUES:
+                raise DfaError(f"byte value {byte} out of range")
+        self._groups.append(name)
+        self._group_bytes[name] = byte_list
+        return self
+
+    def catch_all(self, name: str) -> "DfaBuilder":
+        """Declare the catch-all group for all unassigned byte values."""
+        if self._catch_all is not None:
+            raise DfaError("catch-all group declared twice")
+        if name in self._groups:
+            raise DfaError(f"group {name!r} declared twice")
+        self._groups.append(name)
+        self._group_bytes[name] = []
+        self._catch_all = name
+        return self
+
+    # -- transitions ---------------------------------------------------------
+
+    def transition(self, from_state: str, group: str, to_state: str,
+                   emission: Emission = Emission.DATA) -> "DfaBuilder":
+        """Define the transition for (state, group) with its emission."""
+        if from_state not in self._states:
+            raise DfaError(f"unknown state {from_state!r}")
+        if to_state not in self._states:
+            raise DfaError(f"unknown state {to_state!r}")
+        if group not in self._groups:
+            raise DfaError(f"unknown group {group!r}")
+        key = (from_state, group)
+        if key in self._transitions:
+            raise DfaError(
+                f"transition for state {from_state!r} / group {group!r} "
+                f"defined twice")
+        self._transitions[key] = (to_state, emission)
+        return self
+
+    # -- compilation -------------------------------------------------------
+
+    def build(self) -> Dfa:
+        """Validate and compile into an immutable :class:`Dfa`."""
+        if not self._states:
+            raise DfaError("no states declared")
+        if not self._groups:
+            raise DfaError("no symbol groups declared")
+        if self._start is None:
+            raise DfaError("no start state designated")
+        if self._catch_all is None:
+            covered = sum(len(v) for v in self._group_bytes.values())
+            if covered < NUM_BYTE_VALUES:
+                raise DfaError(
+                    "without a catch-all group every byte value must be "
+                    "assigned to a group")
+
+        state_index = {name: i for i, name in enumerate(self._states)}
+        group_index = {name: i for i, name in enumerate(self._groups)}
+
+        symbol_groups = np.full(
+            NUM_BYTE_VALUES,
+            group_index[self._catch_all] if self._catch_all is not None else 0,
+            dtype=np.uint8)
+        assigned: dict[int, str] = {}
+        for name, byte_values in self._group_bytes.items():
+            for byte in byte_values:
+                if byte in assigned:
+                    raise DfaError(
+                        f"byte {byte:#04x} assigned to both group "
+                        f"{assigned[byte]!r} and {name!r}")
+                assigned[byte] = name
+                symbol_groups[byte] = group_index[name]
+
+        num_states = len(self._states)
+        num_groups = len(self._groups)
+        transitions = np.zeros((num_groups, num_states), dtype=np.uint8)
+        emissions = np.zeros((num_states, num_groups), dtype=np.uint8)
+        default_target = (state_index[self._invalid]
+                          if self._invalid is not None else None)
+        for g, gname in enumerate(self._groups):
+            for s, sname in enumerate(self._states):
+                entry = self._transitions.get((sname, gname))
+                if entry is None:
+                    if default_target is None:
+                        raise DfaError(
+                            f"missing transition for state {sname!r} / "
+                            f"group {gname!r} and no invalid state declared")
+                    transitions[g, s] = default_target
+                    emissions[s, g] = int(Emission.CONTROL)
+                else:
+                    to_state, emission = entry
+                    transitions[g, s] = state_index[to_state]
+                    emissions[s, g] = int(emission)
+        if self._invalid is not None:
+            inv = state_index[self._invalid]
+            # Force the invalid state to be a sink regardless of user input.
+            # Symbols consumed inside the sink are not record content.
+            transitions[:, inv] = inv
+            emissions[inv, :] = int(Emission.COMMENT)
+
+        return Dfa(
+            state_names=tuple(self._states),
+            symbol_groups=symbol_groups,
+            group_names=tuple(self._groups),
+            transitions=transitions,
+            emissions=emissions,
+            start_state=state_index[self._start],
+            accepting=frozenset(state_index[s] for s in self._accepting),
+            invalid_state=default_target,
+        )

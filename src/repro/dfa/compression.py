@@ -1,0 +1,104 @@
+"""Transition-table compression via symbol groups (paper §4.5).
+
+The raw transition table of a byte-level DFA has 256 symbol rows.  Since
+delimiter-separated formats distinguish only a handful of symbols, all byte
+values with identical column behaviour collapse into *symbol groups*; the
+compressed table has one row per group (the paper's Table 1 shows the
+four-group RFC 4180 table).  A small table fits into registers / shared
+memory, which is what makes the per-thread multi-DFA simulation viable on a
+GPU.
+
+:func:`group_symbols` performs the collapse for an arbitrary 256-row table
+and is used both to verify that hand-built DFAs are minimal and to compress
+user-supplied tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dfa.automaton import Dfa, NUM_BYTE_VALUES
+from repro.errors import DfaError
+
+__all__ = ["CompressedTable", "group_symbols", "expand_table", "is_minimal"]
+
+
+@dataclass(frozen=True)
+class CompressedTable:
+    """A symbol-grouped transition table.
+
+    Attributes
+    ----------
+    symbol_groups:
+        ``(256,)`` byte-value -> group map.
+    transitions:
+        ``(num_groups, num_states)`` next-state table.
+    """
+
+    symbol_groups: np.ndarray
+    transitions: np.ndarray
+
+    @property
+    def num_groups(self) -> int:
+        return self.transitions.shape[0]
+
+    @property
+    def num_states(self) -> int:
+        return self.transitions.shape[1]
+
+
+def group_symbols(full_table: np.ndarray) -> CompressedTable:
+    """Collapse identical rows of a 256-row transition table.
+
+    Parameters
+    ----------
+    full_table:
+        ``(256, num_states)`` array; row ``b`` gives the next state for each
+        current state when byte ``b`` is read.
+
+    Returns
+    -------
+    CompressedTable
+        Groups numbered in order of first appearance, so the construction is
+        deterministic.
+    """
+    if full_table.ndim != 2 or full_table.shape[0] != NUM_BYTE_VALUES:
+        raise DfaError("expected a (256, num_states) table")
+    groups = np.empty(NUM_BYTE_VALUES, dtype=np.uint8)
+    rows: list[np.ndarray] = []
+    seen: dict[bytes, int] = {}
+    for byte in range(NUM_BYTE_VALUES):
+        key = full_table[byte].tobytes()
+        idx = seen.get(key)
+        if idx is None:
+            idx = len(rows)
+            if idx > 255:
+                raise DfaError("more than 256 distinct symbol groups")
+            seen[key] = idx
+            rows.append(full_table[byte].copy())
+        groups[byte] = idx
+    return CompressedTable(symbol_groups=groups,
+                           transitions=np.stack(rows).astype(full_table.dtype))
+
+
+def expand_table(dfa: Dfa) -> np.ndarray:
+    """Expand a DFA's grouped table back to the full 256-row form."""
+    return dfa.transitions[dfa.symbol_groups]
+
+
+def is_minimal(dfa: Dfa) -> bool:
+    """Whether the DFA's grouping is the coarsest possible.
+
+    True when no two of its symbol groups have identical transition *and*
+    emission behaviour.  The paper's hand-built tables are minimal; builder
+    users may over-split, which is legal but wastes table space.
+    """
+    signatures = set()
+    for g in range(dfa.num_groups):
+        key = (dfa.transitions[g].tobytes(), dfa.emissions[:, g].tobytes())
+        if key in signatures:
+            return False
+        signatures.add(key)
+    return True

@@ -1,0 +1,207 @@
+"""DFA factories for CSV-style dialects.
+
+:func:`rfc4180_dfa` builds the paper's six-state automaton (Table 1):
+states ``EOR`` (record start), ``ENC`` (inside enclosed field), ``FLD``
+(inside plain field), ``EOF`` (just after a field delimiter), ``ESC`` (just
+read a quote inside an enclosed field), and the sink ``INV``; symbol groups
+``\\n``, ``\"``, ``,`` and the catch-all ``*``.
+
+:func:`dialect_dfa` generalises the construction to any
+:class:`~repro.dfa.dialects.Dialect`, adding states for CRLF handling,
+backslash escapes, and line comments as needed.  Comments are the feature
+that defeats quote-counting parsers (paper §1): a quote inside a comment
+must not toggle quotation scope.
+
+Emission semantics (the Mealy outputs; see
+:class:`~repro.dfa.automaton.Emission`):
+
+* delimiters emit ``FIELD_DELIMITER`` / ``RECORD_DELIMITER`` only when they
+  act as delimiters — inside an enclosed field they emit ``DATA``;
+* enclosing quotes emit ``CONTROL`` (they are not part of the value), but
+  the *second* quote of an RFC 4180 doubled pair emits ``DATA`` (one literal
+  quote);
+* every byte of a comment line, including its terminating newline, emits
+  ``COMMENT`` — a comment line does not produce a record and does not
+  count as record content.
+"""
+
+from __future__ import annotations
+
+from repro.dfa.automaton import Dfa, Emission
+from repro.dfa.builder import DfaBuilder
+from repro.dfa.dialects import Dialect
+from repro.errors import DialectError
+
+__all__ = ["rfc4180_dfa", "dialect_dfa"]
+
+CARRIAGE_RETURN = 0x0D
+
+
+def rfc4180_dfa() -> Dfa:
+    """The paper's RFC 4180 automaton, exactly as in Table 1.
+
+    Six states (EOR, ENC, FLD, EOF, ESC, INV), four symbol groups
+    (``\\n``, ``\"``, ``,``, ``*``), doubled-quote escaping, no CRLF or
+    comment handling.
+    """
+    dfa = dialect_dfa(Dialect(strip_carriage_return=False))
+    assert dfa.state_names == ("EOR", "ENC", "FLD", "EOF", "ESC", "INV")
+    return dfa
+
+
+def dialect_dfa(dialect: Dialect) -> Dfa:
+    """Compile a :class:`Dialect` into a :class:`Dfa`.
+
+    The state set adapts to the dialect: the six RFC 4180 states always
+    exist (ENC/ESC only when quoting is enabled); ``CR`` is added for CRLF
+    normalisation, ``COMMENT`` for line comments, and ``ESCU``/``ESCQ`` for
+    backslash-style escapes outside/inside quotes.
+    """
+    b = DfaBuilder()
+
+    has_quote = dialect.quote is not None
+    has_comment = dialect.comment is not None
+    has_escape = dialect.escape is not None
+    has_cr = dialect.strip_carriage_return
+
+    # State declaration order fixes ids; keep the paper's order for the
+    # shared six so rfc4180_dfa() reproduces Table 1 exactly.
+    b.state("EOR", accepting=True)
+    if has_quote:
+        b.state("ENC")
+    b.state("FLD", accepting=True)
+    b.state("EOF", accepting=True)
+    if has_quote:
+        b.state("ESC", accepting=True)
+    b.invalid_state("INV")
+    if has_cr:
+        b.state("CR")
+    if has_comment:
+        b.state("COMMENT", accepting=True)
+    if has_escape:
+        b.state("ESCU")
+        if has_quote:
+            b.state("ESCQ")
+
+    # Symbol groups, in the paper's order: record delimiter, quote, field
+    # delimiter, then dialect extras, then the catch-all.
+    b.group("EOL", dialect.record_delimiter)
+    if has_quote:
+        b.group("QUOTE", dialect.quote)
+    b.group("DELIM", dialect.delimiter)
+    if has_escape:
+        b.group("ESCAPE", dialect.escape)
+    if has_comment:
+        b.group("COMMENT_SYM", dialect.comment)
+    if has_cr:
+        b.group("CR_SYM", bytes([CARRIAGE_RETURN]))
+    b.catch_all("OTHER")
+
+    field_delim = Emission.FIELD_DELIMITER
+    record_delim = Emission.RECORD_DELIMITER
+    data = Emission.DATA
+    control = Emission.CONTROL
+
+    # States from which a record delimiter actually ends a record.
+    record_enders = ["EOR", "FLD", "EOF"] + (["ESC"] if has_quote else [])
+
+    for state in record_enders:
+        b.transition(state, "EOL", "EOR", record_delim)
+        b.transition(state, "DELIM", "EOF", field_delim)
+        if has_cr:
+            b.transition(state, "CR_SYM", "CR", control)
+
+    # Plain-field entry points: EOR and EOF accept field-starting bytes.
+    for state in ("EOR", "EOF"):
+        b.transition(state, "OTHER", "FLD", data)
+        if has_quote:
+            b.transition(state, "QUOTE", "ENC", control)
+        if has_escape:
+            b.transition(state, "ESCAPE", "ESCU", control)
+    if has_comment:
+        # A comment symbol only opens a comment at record start; after a
+        # field delimiter it is ordinary field data.
+        b.transition("EOR", "COMMENT_SYM", "COMMENT", Emission.COMMENT)
+        b.transition("EOF", "COMMENT_SYM", "FLD", data)
+
+    # Inside a plain field.
+    b.transition("FLD", "OTHER", "FLD", data)
+    if has_quote:
+        # RFC 4180: a bare quote inside an unquoted field is invalid
+        # (matches Table 1's FLD/'"' -> INV).
+        b.transition("FLD", "QUOTE", "INV", control)
+    if has_escape:
+        b.transition("FLD", "ESCAPE", "ESCU", control)
+    if has_comment:
+        b.transition("FLD", "COMMENT_SYM", "FLD", data)
+
+    if has_quote:
+        # Inside an enclosed field: everything is data except the quote
+        # (and the escape byte, when configured).
+        b.transition("ENC", "EOL", "ENC", data)
+        b.transition("ENC", "DELIM", "ENC", data)
+        b.transition("ENC", "OTHER", "ENC", data)
+        b.transition("ENC", "QUOTE", "ESC", control)
+        if has_comment:
+            b.transition("ENC", "COMMENT_SYM", "ENC", data)
+        if has_cr:
+            b.transition("ENC", "CR_SYM", "ENC", data)
+        if has_escape:
+            b.transition("ENC", "ESCAPE", "ESCQ", control)
+
+        # Just read a quote inside an enclosed field: either it closed the
+        # field (delimiter / record delimiter follows) or, with RFC 4180
+        # doubling, a second quote makes it a literal quote.
+        if dialect.doubled_quote:
+            b.transition("ESC", "QUOTE", "ENC", data)
+        # Other ESC transitions (OTHER, COMMENT_SYM, ESCAPE) fall through
+        # to INV via the builder default: garbage after a closing quote.
+
+    if has_cr:
+        # CR is only valid as part of a CRLF record delimiter.
+        b.transition("CR", "EOL", "EOR", record_delim)
+
+    if has_comment:
+        # Comment-line content never constitutes record content.
+        comment = Emission.COMMENT
+        b.transition("COMMENT", "EOL", "EOR", comment)
+        b.transition("COMMENT", "DELIM", "COMMENT", comment)
+        b.transition("COMMENT", "OTHER", "COMMENT", comment)
+        b.transition("COMMENT", "COMMENT_SYM", "COMMENT", comment)
+        if has_quote:
+            b.transition("COMMENT", "QUOTE", "COMMENT", comment)
+        if has_cr:
+            b.transition("COMMENT", "CR_SYM", "COMMENT", comment)
+        if has_escape:
+            b.transition("COMMENT", "ESCAPE", "COMMENT", comment)
+
+    if has_escape:
+        # The byte after an escape introducer is literal data, whatever it
+        # is; afterwards parsing resumes in the surrounding context.
+        for group in _all_groups(dialect):
+            b.transition("ESCU", group, "FLD", data)
+        if has_quote:
+            for group in _all_groups(dialect):
+                b.transition("ESCQ", group, "ENC", data)
+
+    b.start("EOR")
+    dfa = b.build()
+    if dfa.num_states > 32:
+        raise DialectError("dialect compiles to more than 32 states")
+    return dfa
+
+
+def _all_groups(dialect: Dialect) -> list[str]:
+    """Names of every symbol group the dialect's DFA defines."""
+    groups = ["EOL"]
+    if dialect.quote is not None:
+        groups.append("QUOTE")
+    groups.append("DELIM")
+    if dialect.escape is not None:
+        groups.append("ESCAPE")
+    if dialect.comment is not None:
+        groups.append("COMMENT_SYM")
+    if dialect.strip_carriage_return:
+        groups.append("CR_SYM")
+    groups.append("OTHER")
+    return groups

@@ -1,0 +1,135 @@
+"""Declarative descriptions of delimiter-separated formats.
+
+A :class:`Dialect` captures the surface syntax of a delimiter-separated
+format — field/record delimiters, quoting, escape convention, comment
+prefix — from which :func:`repro.dfa.csv.dialect_dfa` derives the DFA that
+actually drives parsing.  Keeping the two separated lets tests enumerate
+dialect space (quoting on/off, comments on/off, escape styles) while the DFA
+construction stays a single, well-tested function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import DialectError
+
+__all__ = ["Dialect"]
+
+
+@dataclass(frozen=True)
+class Dialect:
+    """Surface syntax of a delimiter-separated format.
+
+    Parameters
+    ----------
+    delimiter:
+        Field delimiter byte (e.g. ``b','``).
+    record_delimiter:
+        Record delimiter byte (e.g. ``b'\\n'``).  A preceding ``\\r`` is
+        treated as part of the delimiter when ``strip_carriage_return`` is
+        set.
+    quote:
+        Enclosing byte (e.g. ``b'"'``) or ``None`` to disable quoting.
+        Inside an enclosed field, delimiters are data (RFC 4180 §2.6).
+    doubled_quote:
+        If true (RFC 4180), a doubled quote inside an enclosed field encodes
+        one literal quote.
+    escape:
+        Optional escape byte (e.g. ``b'\\\\'``); the byte following it inside
+        a field is taken literally.  Mutually exclusive with
+        ``doubled_quote`` semantics on the same byte.
+    comment:
+        Optional comment byte (e.g. ``b'#'``); when it appears at the start
+        of a record, the remainder of the line is discarded and the line
+        does not produce a record.  This is exactly the feature that breaks
+        quote-counting parsers (paper §1, §2).
+    strip_carriage_return:
+        Treat ``\\r`` immediately before the record delimiter as part of it
+        (CRLF line endings).
+    """
+
+    delimiter: bytes = b","
+    record_delimiter: bytes = b"\n"
+    quote: bytes | None = b'"'
+    doubled_quote: bool = True
+    escape: bytes | None = None
+    comment: bytes | None = None
+    strip_carriage_return: bool = True
+
+    def __post_init__(self) -> None:
+        for name in ("delimiter", "record_delimiter"):
+            value = getattr(self, name)
+            if not isinstance(value, bytes) or len(value) != 1:
+                raise DialectError(f"{name} must be a single byte")
+        for name in ("quote", "escape", "comment"):
+            value = getattr(self, name)
+            if value is not None and (not isinstance(value, bytes)
+                                      or len(value) != 1):
+                raise DialectError(f"{name} must be a single byte or None")
+        special = [self.delimiter, self.record_delimiter]
+        for value in (self.quote, self.escape, self.comment):
+            if value is not None:
+                special.append(value)
+        if len(set(special)) != len(special):
+            raise DialectError(
+                "delimiter, record delimiter, quote, escape and comment "
+                "bytes must be pairwise distinct")
+        if self.escape is not None and self.quote is None:
+            # An escape outside quotes is permitted, but an escape with no
+            # quoting at all is unusual enough to allow explicitly.
+            pass
+
+    # -- convenience constructors -------------------------------------
+
+    @staticmethod
+    def csv() -> "Dialect":
+        """RFC 4180 CSV: comma, newline, double-quote enclosing."""
+        return Dialect()
+
+    @staticmethod
+    def tsv() -> "Dialect":
+        """Tab-separated values without quoting."""
+        return Dialect(delimiter=b"\t", quote=None, doubled_quote=False)
+
+    @staticmethod
+    def pipe() -> "Dialect":
+        """Pipe-separated values (common log/export format)."""
+        return Dialect(delimiter=b"|", quote=None, doubled_quote=False)
+
+    @staticmethod
+    def csv_with_comments(comment: bytes = b"#") -> "Dialect":
+        """RFC 4180 CSV extended with line comments/directives."""
+        return Dialect(comment=comment)
+
+    # -- derived views -------------------------------------------------
+
+    @property
+    def delimiter_byte(self) -> int:
+        return self.delimiter[0]
+
+    @property
+    def record_delimiter_byte(self) -> int:
+        return self.record_delimiter[0]
+
+    @property
+    def quote_byte(self) -> int | None:
+        return None if self.quote is None else self.quote[0]
+
+    @property
+    def escape_byte(self) -> int | None:
+        return None if self.escape is None else self.escape[0]
+
+    @property
+    def comment_byte(self) -> int | None:
+        return None if self.comment is None else self.comment[0]
+
+    def special_bytes(self) -> set[int]:
+        """All byte values with syntactic meaning in this dialect."""
+        out = {self.delimiter_byte, self.record_delimiter_byte}
+        for value in (self.quote_byte, self.escape_byte, self.comment_byte):
+            if value is not None:
+                out.add(value)
+        if self.strip_carriage_return:
+            out.add(0x0D)
+        return out

@@ -1,0 +1,143 @@
+"""DFAs for web-server log formats.
+
+The paper motivates ParPaRaw with log files as a second major source of
+delimiter-separated data (§1): the NCSA Common Log Format and the W3C
+Extended Log Format.  Both are space-delimited with context-dependent
+symbols, which makes them good demonstrations of the DFA approach:
+
+* the Common Log Format wraps the timestamp in ``[...]`` and the request in
+  ``"..."`` — spaces inside either are data, not delimiters;
+* the Extended Log Format starts directive lines with ``#`` — everything on
+  such a line, including quotes, must be ignored, which again defeats
+  quote-counting.
+"""
+
+from __future__ import annotations
+
+from repro.dfa.automaton import Dfa, Emission
+from repro.dfa.builder import DfaBuilder
+from repro.dfa.dialects import Dialect
+
+__all__ = ["common_log_format_dfa", "extended_log_format_dfa"]
+
+
+def common_log_format_dfa() -> Dfa:
+    """DFA for NCSA Common Log Format lines.
+
+    ``host ident authuser [date] "request" status bytes``
+
+    Space-delimited fields, with two enclosing conventions: square brackets
+    around the timestamp and double quotes around the request line.  Spaces
+    inside either enclosure are field data.
+    """
+    b = DfaBuilder()
+    b.state("EOR", accepting=True)      # record start
+    b.state("FLD", accepting=True)      # inside a bare field
+    b.state("EOF", accepting=True)      # just after a field delimiter
+    b.state("BRK")                       # inside [...]
+    b.state("QTD")                       # inside "..."
+    b.state("BRK_END", accepting=True)  # just after closing ]
+    b.state("QTD_END", accepting=True)  # just after closing "
+    b.invalid_state("INV")
+
+    b.group("EOL", b"\n")
+    b.group("SP", b" ")
+    b.group("LBRK", b"[")
+    b.group("RBRK", b"]")
+    b.group("QUOTE", b'"')
+    b.catch_all("OTHER")
+
+    fdel = Emission.FIELD_DELIMITER
+    rdel = Emission.RECORD_DELIMITER
+    data = Emission.DATA
+    ctrl = Emission.CONTROL
+
+    for state in ("EOR", "FLD", "EOF", "BRK_END", "QTD_END"):
+        b.transition(state, "EOL", "EOR", rdel)
+        b.transition(state, "SP", "EOF", fdel)
+    for state in ("EOR", "EOF"):
+        b.transition(state, "LBRK", "BRK", ctrl)
+        b.transition(state, "QUOTE", "QTD", ctrl)
+        b.transition(state, "OTHER", "FLD", data)
+        b.transition(state, "RBRK", "FLD", data)
+    b.transition("FLD", "OTHER", "FLD", data)
+    b.transition("FLD", "LBRK", "FLD", data)
+    b.transition("FLD", "RBRK", "FLD", data)
+    b.transition("FLD", "QUOTE", "INV", ctrl)
+
+    # Inside [...]: everything except ] is data (including spaces/quotes).
+    b.transition("BRK", "OTHER", "BRK", data)
+    b.transition("BRK", "SP", "BRK", data)
+    b.transition("BRK", "QUOTE", "BRK", data)
+    b.transition("BRK", "LBRK", "BRK", data)
+    b.transition("BRK", "RBRK", "BRK_END", ctrl)
+    # Newline inside a bracketed timestamp is malformed.
+
+    # Inside "...": everything except " is data.
+    b.transition("QTD", "OTHER", "QTD", data)
+    b.transition("QTD", "SP", "QTD", data)
+    b.transition("QTD", "LBRK", "QTD", data)
+    b.transition("QTD", "RBRK", "QTD", data)
+    b.transition("QTD", "QUOTE", "QTD_END", ctrl)
+
+    # After a closing bracket/quote only a delimiter may follow; anything
+    # else is malformed (handled by the INV default).
+
+    b.start("EOR")
+    return b.build()
+
+
+def extended_log_format_dfa() -> Dfa:
+    """DFA for W3C Extended Log Format lines.
+
+    Space-delimited fields with ``#`` directive lines (``#Fields: ...`` and
+    friends).  Directive lines produce no records and their content —
+    including any quotes — is ignored, exactly the situation where a prior
+    sequential pass was previously required (paper §1).
+    """
+    b = DfaBuilder()
+    b.state("EOR", accepting=True)
+    b.state("FLD", accepting=True)
+    b.state("EOF", accepting=True)
+    b.state("QTD")
+    b.state("QTD_END", accepting=True)
+    b.invalid_state("INV")
+    b.state("DIRECTIVE", accepting=True)
+
+    b.group("EOL", b"\n")
+    b.group("SP", b" ")
+    b.group("QUOTE", b'"')
+    b.group("HASH", b"#")
+    b.catch_all("OTHER")
+
+    fdel = Emission.FIELD_DELIMITER
+    rdel = Emission.RECORD_DELIMITER
+    data = Emission.DATA
+    ctrl = Emission.CONTROL
+
+    for state in ("EOR", "FLD", "EOF", "QTD_END"):
+        b.transition(state, "EOL", "EOR", rdel)
+        b.transition(state, "SP", "EOF", fdel)
+    for state in ("EOR", "EOF"):
+        b.transition(state, "QUOTE", "QTD", ctrl)
+        b.transition(state, "OTHER", "FLD", data)
+    b.transition("EOR", "HASH", "DIRECTIVE", Emission.COMMENT)
+    b.transition("EOF", "HASH", "FLD", data)
+    b.transition("FLD", "OTHER", "FLD", data)
+    b.transition("FLD", "HASH", "FLD", data)
+    b.transition("FLD", "QUOTE", "INV", ctrl)
+
+    b.transition("QTD", "OTHER", "QTD", data)
+    b.transition("QTD", "SP", "QTD", data)
+    b.transition("QTD", "HASH", "QTD", data)
+    b.transition("QTD", "QUOTE", "QTD_END", ctrl)
+
+    comment = Emission.COMMENT
+    b.transition("DIRECTIVE", "EOL", "EOR", comment)
+    b.transition("DIRECTIVE", "SP", "DIRECTIVE", comment)
+    b.transition("DIRECTIVE", "QUOTE", "DIRECTIVE", comment)
+    b.transition("DIRECTIVE", "HASH", "DIRECTIVE", comment)
+    b.transition("DIRECTIVE", "OTHER", "DIRECTIVE", comment)
+
+    b.start("EOR")
+    return b.build()

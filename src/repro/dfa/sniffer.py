@@ -1,0 +1,119 @@
+"""Dialect detection (sniffing) from a raw sample.
+
+Practical front door for the schema-less path: given the first kilobytes
+of an unknown delimiter-separated file, guess the field delimiter, whether
+quoting is in use, and whether ``#`` comment lines appear — then hand the
+resulting :class:`~repro.dfa.dialects.Dialect` to the parser.
+
+The approach is deliberately simple and fully explainable (no ML): for
+each candidate delimiter, parse the sample with the reference parser under
+that dialect and score the outcome by (a) the number of columns, (b) the
+consistency of the per-record column count, and (c) the absence of
+invalid-state aborts.  Consistent multi-column interpretations win.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dfa.csv import dialect_dfa
+from repro.dfa.dialects import Dialect
+from repro.errors import DialectError
+
+__all__ = ["SniffResult", "sniff_dialect"]
+
+#: Delimiters tried, most common first (ties break in this order).
+CANDIDATE_DELIMITERS = (b",", b"\t", b";", b"|", b" ", b":")
+
+
+@dataclass(frozen=True)
+class SniffResult:
+    """The sniffer's verdict."""
+
+    dialect: Dialect
+    #: Inferred columns per record under the winning dialect.
+    num_columns: int
+    #: Fraction of sampled records with exactly ``num_columns`` fields.
+    consistency: float
+    #: Records examined.
+    records_sampled: int
+
+
+def _score(data: bytes, dialect: Dialect) -> tuple[float, int, int]:
+    """(score, columns, records) for one candidate dialect."""
+    # Imported lazily: baselines import core.options which imports this
+    # package — a module-level import would be circular.
+    from repro.baselines.sequential import sequential_rows
+    try:
+        dfa = dialect_dfa(dialect)
+    except DialectError:
+        return (-1.0, 0, 0)
+    rows, state, _ = sequential_rows(data, dfa)
+    if not rows:
+        return (-1.0, 0, 0)
+    counts: dict[int, int] = {}
+    for row in rows:
+        counts[len(row)] = counts.get(len(row), 0) + 1
+    columns, majority = max(counts.items(), key=lambda kv: kv[1])
+    consistency = majority / len(rows)
+    if columns < 2:
+        # A single column matches everything; heavily penalise so a real
+        # delimiter (if any) wins, but keep it as the last resort.
+        return (0.1 * consistency, columns, len(rows))
+    invalid_penalty = 0.5 if dfa.invalid_state is not None \
+        and state == dfa.invalid_state else 0.0
+    score = consistency * (1.0 + 0.05 * min(columns, 20)) \
+        - invalid_penalty
+    return (score, columns, len(rows))
+
+
+def sniff_dialect(sample: bytes, max_records: int = 200) -> SniffResult:
+    """Guess the dialect of ``sample``.
+
+    Parameters
+    ----------
+    sample:
+        Leading bytes of the input (a few KB suffice).  Should end at a
+        line boundary if possible; a trailing partial line is tolerated.
+    max_records:
+        Cap on records examined per candidate.
+    """
+    if not sample:
+        raise DialectError("cannot sniff an empty sample")
+    # Truncate to whole lines when there is at least one newline.
+    cut = sample.rfind(b"\n")
+    if cut > 0:
+        sample = sample[:cut + 1]
+    lines = sample.split(b"\n")
+    if len(lines) > max_records:
+        sample = b"\n".join(lines[:max_records]) + b"\n"
+
+    has_comments = any(line.startswith(b"#") for line in sample.split(b"\n")
+                       if line)
+    quoting_likely = sample.count(b'"') >= 2
+
+    best: tuple[float, int, int] | None = None
+    best_dialect: Dialect | None = None
+    for delimiter in CANDIDATE_DELIMITERS:
+        for quote in ((b'"', None) if quoting_likely else (None, b'"')):
+            try:
+                dialect = Dialect(
+                    delimiter=delimiter,
+                    quote=quote,
+                    doubled_quote=quote is not None,
+                    comment=b"#" if has_comments and delimiter != b"#"
+                    else None)
+            except DialectError:
+                continue
+            result = _score(sample, dialect)
+            if best is None or result[0] > best[0]:
+                best = result
+                best_dialect = dialect
+    assert best is not None and best_dialect is not None
+    score, columns, records = best
+    if score <= 0:
+        raise DialectError("sample does not look delimiter separated")
+    return SniffResult(dialect=best_dialect, num_columns=columns,
+                       consistency=min(1.0, score / (1.0 + 0.05
+                                                     * min(columns, 20))),
+                       records_sampled=records)

@@ -1,0 +1,76 @@
+"""Exception hierarchy for the ParPaRaw reproduction.
+
+All library-raised exceptions derive from :class:`ReproError`, so callers can
+catch everything from this package with a single ``except`` clause while still
+being able to discriminate specific failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class DialectError(ReproError):
+    """A :class:`~repro.dfa.dialects.Dialect` is internally inconsistent.
+
+    Examples: the field delimiter equals the quote character, or a symbol is
+    assigned to two different symbol groups.
+    """
+
+
+class DfaError(ReproError):
+    """A DFA definition is malformed (unknown state, missing transition...)."""
+
+
+class ParseError(ReproError):
+    """The input violates the configured format.
+
+    Raised only when :attr:`~repro.core.options.ParseOptions.strict` is
+    enabled; otherwise offending records are rejected and reported in the
+    :class:`~repro.core.result.ParseResult`.
+    """
+
+    def __init__(self, message: str, *, byte_offset: int | None = None,
+                 record: int | None = None):
+        super().__init__(message)
+        #: Byte offset into the raw input where the violation was detected,
+        #: if known.
+        self.byte_offset = byte_offset
+        #: Zero-based record number of the offending record, if known.
+        self.record = record
+
+
+class ConversionError(ReproError):
+    """A field could not be converted to the declared column type.
+
+    Raised only in strict mode; otherwise the field is rejected (its
+    validity bit is cleared and the per-column reject counter incremented).
+    """
+
+    def __init__(self, message: str, *, column: int | None = None,
+                 record: int | None = None, text: str | None = None):
+        super().__init__(message)
+        #: Zero-based column index of the offending field, if known.
+        self.column = column
+        #: Zero-based record number of the offending field, if known.
+        self.record = record
+        #: The raw field text that failed to convert, if available.
+        self.text = text
+
+
+class SchemaError(ReproError):
+    """A schema is inconsistent with the input or with itself."""
+
+
+class CapacityError(ReproError):
+    """A bounded container (e.g. MFIRA) was asked to exceed its capacity."""
+
+
+class SimulationError(ReproError):
+    """The GPU execution simulator was configured inconsistently."""
+
+
+class StreamingError(ReproError):
+    """The streaming pipeline was misconfigured or violated a dependency."""

@@ -1,0 +1,112 @@
+"""Software implementations of the GPU bit intrinsics the paper relies on.
+
+MFIRA (paper §4.5) is built on two PTX intrinsics that cost only two clock
+cycles on recent microarchitectures:
+
+* **BFI** (bit-field insert) — deposit the low ``length`` bits of one
+  register into another at an arbitrary bit offset;
+* **BFE** (bit-field extract) — extract ``length`` bits from an arbitrary
+  offset.
+
+SWAR symbol matching (Table 2) additionally uses **bfind** (position of the
+most significant set bit; ``0xFFFFFFFF`` when none) and **popc**.
+
+All functions operate on 32-bit unsigned semantics, matching the PTX
+definitions, and clamp offset/length the way the hardware does (reads
+outside the register yield zero bits; writes outside are dropped).
+"""
+
+from __future__ import annotations
+
+__all__ = ["bfi", "bfe", "bfind", "popc", "brev", "NOT_FOUND"]
+
+_U32 = 0xFFFFFFFF
+#: Value ``bfind`` returns when no bit is set (matches PTX).
+NOT_FOUND = 0xFFFFFFFF
+
+
+def _check_u32(value: int, name: str) -> int:
+    if not 0 <= value <= _U32:
+        raise ValueError(f"{name} must fit in 32 unsigned bits, got {value}")
+    return value
+
+
+def bfi(source: int, target: int, offset: int, length: int) -> int:
+    """Bit-field insert (PTX ``bfi.b32``).
+
+    Deposits the low ``length`` bits of ``source`` into ``target`` starting
+    at bit ``offset``; all other bits of ``target`` are preserved.  Bits
+    that would land beyond bit 31 are dropped, as on hardware.
+
+    >>> hex(bfi(0b101, 0, 4, 3))
+    '0x50'
+    """
+    _check_u32(source, "source")
+    _check_u32(target, "target")
+    if offset < 0 or length < 0:
+        raise ValueError("offset and length must be non-negative")
+    if offset >= 32 or length == 0:
+        return target
+    length = min(length, 32 - offset)
+    mask = ((1 << length) - 1) << offset
+    return (target & ~mask | ((source << offset) & mask)) & _U32
+
+
+def bfe(source: int, offset: int, length: int) -> int:
+    """Bit-field extract (PTX ``bfe.u32``).
+
+    Returns ``length`` bits of ``source`` starting at bit ``offset``,
+    right-aligned.  Bits beyond bit 31 read as zero.
+
+    >>> bfe(0x50, 4, 3)
+    5
+    """
+    _check_u32(source, "source")
+    if offset < 0 or length < 0:
+        raise ValueError("offset and length must be non-negative")
+    if offset >= 32 or length == 0:
+        return 0
+    length = min(length, 32 - offset)
+    return (source >> offset) & ((1 << length) - 1)
+
+
+def bfind(value: int) -> int:
+    """Position of the most significant set bit (PTX ``bfind.u32``).
+
+    Returns :data:`NOT_FOUND` (``0xFFFFFFFF``) when ``value`` is zero,
+    which the SWAR matcher exploits: shifting it right by three gives the
+    sentinel ``0x1FFFFFFF`` that loses every ``min`` against a real match
+    index (paper Table 2).
+
+    >>> bfind(0b1000)
+    3
+    >>> hex(bfind(0))
+    '0xffffffff'
+    """
+    _check_u32(value, "value")
+    if value == 0:
+        return NOT_FOUND
+    return value.bit_length() - 1
+
+
+def popc(value: int) -> int:
+    """Population count (PTX ``popc.b32``).
+
+    >>> popc(0b1011)
+    3
+    """
+    return _check_u32(value, "value").bit_count()
+
+
+def brev(value: int) -> int:
+    """Bit reverse (PTX ``brev.b32``) — handy for bitmap manipulations.
+
+    >>> hex(brev(0x1))
+    '0x80000000'
+    """
+    _check_u32(value, "value")
+    result = 0
+    for i in range(32):
+        if value & (1 << i):
+            result |= 1 << (31 - i)
+    return result

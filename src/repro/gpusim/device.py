@@ -1,0 +1,163 @@
+"""GPU device specifications.
+
+The evaluation system of the paper hosts an NVIDIA Titan X (Pascal) with
+12 GB device memory, 3 584 cores and a 1 417 MHz base clock (paper §5);
+its PCIe 3.0 x16 link moves ≈11-12 GB/s per direction and supports
+full-duplex transfers (§4.4).  :data:`TITAN_X_PASCAL` captures those
+parameters; additional specs are provided for scaling experiments (the
+"more cores keep helping" claim of §6 is exercised by swapping specs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+
+__all__ = ["DeviceSpec", "TITAN_X_PASCAL", "GTX_1080", "V100"]
+
+GiB = 1024 ** 3
+MiB = 1024 ** 2
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of one GPU.
+
+    Attributes
+    ----------
+    name:
+        Marketing name.
+    num_sms:
+        Streaming multiprocessors.
+    cores_per_sm:
+        CUDA cores per SM.
+    clock_hz:
+        Base clock.
+    memory_bytes:
+        Device memory capacity.
+    memory_bandwidth:
+        Peak device-memory bandwidth, bytes/second.
+    shared_memory_per_sm:
+        Addressable on-chip memory per SM, bytes (paper: "tens of KB").
+    registers_per_sm:
+        32-bit registers per SM.
+    warp_size:
+        Threads per warp executing in lock step.
+    max_threads_per_sm:
+        Resident-thread bound per SM (occupancy ceiling).
+    kernel_launch_overhead:
+        Seconds per kernel invocation (paper §5.1 estimates 5-10 µs).
+    pcie_bandwidth:
+        Effective PCIe bandwidth per direction, bytes/second; the bus is
+        full duplex (§4.4).
+    pcie_latency:
+        Per-transfer fixed latency, seconds.
+    """
+
+    name: str
+    num_sms: int
+    cores_per_sm: int
+    clock_hz: float
+    memory_bytes: int
+    memory_bandwidth: float
+    shared_memory_per_sm: int
+    registers_per_sm: int
+    warp_size: int
+    max_threads_per_sm: int
+    kernel_launch_overhead: float
+    pcie_bandwidth: float
+    pcie_latency: float
+
+    def __post_init__(self) -> None:
+        if self.num_sms <= 0 or self.cores_per_sm <= 0:
+            raise SimulationError("device must have SMs and cores")
+        if self.warp_size <= 0:
+            raise SimulationError("warp size must be positive")
+
+    @property
+    def num_cores(self) -> int:
+        return self.num_sms * self.cores_per_sm
+
+    @property
+    def peak_ops_per_second(self) -> float:
+        """One operation per core per clock — the scaling denominator."""
+        return self.num_cores * self.clock_hz
+
+    def scaled(self, core_factor: float) -> "DeviceSpec":
+        """A hypothetical device with ``core_factor`` times the SMs.
+
+        Memory bandwidth scales with the cores (HBM stacks per die), PCIe
+        does not — which is exactly why the streaming experiments become
+        PCIe-bound as the device grows (paper §6).
+        """
+        if core_factor <= 0:
+            raise SimulationError("core_factor must be positive")
+        sms = max(1, round(self.num_sms * core_factor))
+        return DeviceSpec(
+            name=f"{self.name} x{core_factor:g}",
+            num_sms=sms,
+            cores_per_sm=self.cores_per_sm,
+            clock_hz=self.clock_hz,
+            memory_bytes=self.memory_bytes,
+            memory_bandwidth=self.memory_bandwidth * (sms / self.num_sms),
+            shared_memory_per_sm=self.shared_memory_per_sm,
+            registers_per_sm=self.registers_per_sm,
+            warp_size=self.warp_size,
+            max_threads_per_sm=self.max_threads_per_sm,
+            kernel_launch_overhead=self.kernel_launch_overhead,
+            pcie_bandwidth=self.pcie_bandwidth,
+            pcie_latency=self.pcie_latency,
+        )
+
+
+#: The paper's evaluation GPU (§5).
+TITAN_X_PASCAL = DeviceSpec(
+    name="NVIDIA Titan X (Pascal)",
+    num_sms=28,
+    cores_per_sm=128,           # 3 584 cores total
+    clock_hz=1_417e6,
+    memory_bytes=12 * GiB,
+    memory_bandwidth=480e9,     # GDDR5X, ~480 GB/s
+    shared_memory_per_sm=96 * 1024,
+    registers_per_sm=65_536,
+    warp_size=32,
+    max_threads_per_sm=2048,
+    kernel_launch_overhead=7e-6,   # paper §5.1: "roughly 5 - 10 µs"
+    pcie_bandwidth=11.8e9,         # PCIe 3.0 x16 effective
+    pcie_latency=10e-6,
+)
+
+#: A smaller Pascal part, for scaling sweeps.
+GTX_1080 = DeviceSpec(
+    name="NVIDIA GTX 1080",
+    num_sms=20,
+    cores_per_sm=128,
+    clock_hz=1_607e6,
+    memory_bytes=8 * GiB,
+    memory_bandwidth=320e9,
+    shared_memory_per_sm=96 * 1024,
+    registers_per_sm=65_536,
+    warp_size=32,
+    max_threads_per_sm=2048,
+    kernel_launch_overhead=7e-6,
+    pcie_bandwidth=11.8e9,
+    pcie_latency=10e-6,
+)
+
+#: The 5 120-core part the introduction cites (paper §1).
+V100 = DeviceSpec(
+    name="NVIDIA Tesla V100",
+    num_sms=80,
+    cores_per_sm=64,
+    clock_hz=1_370e6,
+    memory_bytes=16 * GiB,
+    memory_bandwidth=900e9,
+    shared_memory_per_sm=96 * 1024,
+    registers_per_sm=65_536,
+    warp_size=32,
+    max_threads_per_sm=2048,
+    kernel_launch_overhead=7e-6,
+    pcie_bandwidth=11.8e9,
+    pcie_latency=10e-6,
+)

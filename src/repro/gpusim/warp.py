@@ -1,0 +1,81 @@
+"""Warp-level execution model (lockstep + divergence accounting).
+
+GPUs execute threads in warps that share one instruction stream; threads
+taking different branches serialise (paper §3.3 highlights this when
+neighbouring threads convert different column types, and §4.5's SWAR
+matcher exists to avoid divergent symbol comparisons).
+
+:class:`WarpExecutionModel` estimates the divergence penalty of a kernel
+from the distribution of code paths its threads take, which the cost model
+uses to quantify the benefit of the columnar conversion order (all threads
+of a warp convert the *same* column after partitioning) versus converting
+in row order (neighbouring threads hit different types).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import SimulationError
+
+__all__ = ["WarpExecutionModel"]
+
+
+@dataclass(frozen=True)
+class WarpExecutionModel:
+    """Divergence accounting over warps of ``warp_size`` lanes."""
+
+    warp_size: int = 32
+
+    def warp_serialisation(self, lane_paths: Sequence[int]) -> int:
+        """Serialisation factor of one warp.
+
+        ``lane_paths[l]`` identifies the code path lane ``l`` executes;
+        the warp replays once per *distinct* path, so the factor is the
+        number of distinct paths (1 = fully converged).
+
+        >>> WarpExecutionModel().warp_serialisation([0, 0, 1, 1])
+        2
+        """
+        if not lane_paths:
+            raise SimulationError("a warp needs at least one lane")
+        return len(set(lane_paths))
+
+    def average_serialisation(self, thread_paths: Sequence[int]) -> float:
+        """Mean serialisation factor over all warps of a launch.
+
+        Threads are assigned to warps in index order, matching the
+        contiguous thread-id to data mapping of the pipeline's kernels.
+        """
+        if len(thread_paths) == 0:
+            return 1.0
+        total = 0.0
+        num_warps = 0
+        for start in range(0, len(thread_paths), self.warp_size):
+            warp = thread_paths[start:start + self.warp_size]
+            total += self.warp_serialisation(warp)
+            num_warps += 1
+        return total / num_warps
+
+    def divergence_penalty(self, path_mix: dict[int, float]) -> float:
+        """Expected serialisation when each lane draws its path i.i.d.
+
+        ``path_mix`` maps path id -> probability.  The expected number of
+        distinct paths among ``warp_size`` lanes is
+        ``sum_p 1 - (1 - prob_p) ** warp_size``.
+
+        With a single path the penalty is 1.0; with a uniform mix over many
+        paths it approaches the number of paths — the situation the
+        partition-then-convert design avoids.
+        """
+        if not path_mix:
+            raise SimulationError("path_mix must not be empty")
+        total_prob = sum(path_mix.values())
+        if not 0.999 <= total_prob <= 1.001:
+            raise SimulationError("path probabilities must sum to 1")
+        expected_distinct = sum(
+            1.0 - (1.0 - p) ** self.warp_size
+            for p in path_mix.values() if p > 0)
+        return max(1.0, expected_distinct)

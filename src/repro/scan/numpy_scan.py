@@ -1,0 +1,159 @@
+"""Vectorised scans used by the production pipeline.
+
+These functions implement the same scans as the scalar algorithms in this
+subpackage, but over NumPy arrays with the data-parallel Hillis–Steele
+doubling structure, so that an array lane corresponds to a GPU thread.  The
+scalar algorithms remain the readable reference; equivalence between the two
+is covered by tests.
+
+Two of the scans are ParPaRaw-specific:
+
+* :func:`scan_transition_vectors` scans an ``(n_chunks, |S|)`` array of
+  state-transition vectors under composition — paper §3.1;
+* :func:`scan_column_offsets` scans ``(kind, value)`` column-offset pairs
+  under the rel/abs operator — paper §3.2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "exclusive_sum",
+    "inclusive_sum",
+    "compose_vectors",
+    "scan_transition_vectors",
+    "scan_column_offsets",
+]
+
+
+def inclusive_sum(values: np.ndarray) -> np.ndarray:
+    """Inclusive prefix sum as int64 (overflow-safe for byte offsets)."""
+    return np.cumsum(values, dtype=np.int64)
+
+
+def exclusive_sum(values: np.ndarray) -> np.ndarray:
+    """Exclusive prefix sum as int64: output[i] = sum(values[:i]).
+
+    >>> exclusive_sum(np.array([3, 5, 1, 2])).tolist()
+    [0, 3, 8, 9]
+    """
+    out = np.empty(len(values), dtype=np.int64)
+    if len(values) == 0:
+        return out
+    np.cumsum(values[:-1], dtype=np.int64, out=out[1:])
+    out[0] = 0
+    return out
+
+
+def compose_vectors(left: np.ndarray, right: np.ndarray) -> np.ndarray:
+    """Compose state-transition vectors element-wise: ``out[i] = b[a[i]]``.
+
+    Both arguments are ``(..., S)`` arrays; the composition applies the
+    left-hand chunk first, then the right-hand chunk, for every hypothetical
+    start state (paper §3.1).
+    """
+    return np.take_along_axis(right, left, axis=-1)
+
+
+def scan_transition_vectors(vectors: np.ndarray,
+                            exclusive: bool = True) -> np.ndarray:
+    """Scan an ``(n, S)`` array of state-transition vectors by composition.
+
+    Runs the Hillis–Steele doubling scheme across the chunk axis — exactly
+    ``ceil(log2 n)`` vectorised sweeps — so the scan itself is the
+    data-parallel algorithm of the paper, not a disguised sequential loop.
+
+    Parameters
+    ----------
+    vectors:
+        ``(n, S)`` integer array; row ``c`` maps start state ``i`` to the
+        end state after chunk ``c``.
+    exclusive:
+        If true (default), row ``c`` of the result maps a global start state
+        to the state *entering* chunk ``c`` (identity row prepended).
+
+    Returns
+    -------
+    np.ndarray
+        ``(n, S)`` scanned array.
+    """
+    vectors = np.asarray(vectors)
+    if vectors.ndim != 2:
+        raise ValueError("expected an (n_chunks, num_states) array")
+    n, num_states = vectors.shape
+    if n == 0:
+        return vectors.copy()
+    scanned = vectors.copy()
+    offset = 1
+    while offset < n:
+        # lanes [offset:] combine the vector `offset` positions to their
+        # left *before* themselves: new[i] = current[i] ∘-after current[i-offset]
+        combined = compose_vectors(scanned[:-offset], scanned[offset:])
+        scanned = scanned.copy()
+        scanned[offset:] = combined
+        offset *= 2
+    if not exclusive:
+        return scanned
+    out = np.empty_like(scanned)
+    out[0] = np.arange(num_states, dtype=scanned.dtype)
+    out[1:] = scanned[:-1]
+    return out
+
+
+def scan_column_offsets(kinds: np.ndarray, values: np.ndarray,
+                        exclusive: bool = True) -> tuple[np.ndarray, np.ndarray]:
+    """Scan rel/abs column offsets (paper §3.2) across chunks.
+
+    Parameters
+    ----------
+    kinds:
+        ``(n,)`` boolean array; True where the chunk's offset is *absolute*
+        (the chunk contains a record delimiter).
+    values:
+        ``(n,)`` integer offsets (field-delimiter counts).
+    exclusive:
+        If true (default), entry ``c`` gives the column offset *entering*
+        chunk ``c``; the seed is ``relative(0)``.
+
+    Returns
+    -------
+    (np.ndarray, np.ndarray)
+        Scanned ``(kinds, values)`` pair.  After an exclusive scan over an
+        input whose first chunk starts at a record boundary, every entry
+        reachable from an absolute offset is absolute.
+    """
+    kinds = np.asarray(kinds, dtype=bool)
+    values = np.asarray(values, dtype=np.int64)
+    if kinds.shape != values.shape or kinds.ndim != 1:
+        raise ValueError("kinds and values must be equal-length 1-D arrays")
+    n = len(kinds)
+    if n == 0:
+        return kinds.copy(), values.copy()
+    acc_kind = kinds.copy()
+    acc_value = values.copy()
+    offset = 1
+    while offset < n:
+        left_kind = acc_kind[:-offset]
+        left_value = acc_value[:-offset]
+        right_kind = acc_kind[offset:]
+        right_value = acc_value[offset:]
+        # a ⊕ b: absolute right operand wins outright; relative right
+        # operand adds onto the left operand and inherits its kind.
+        new_kind = np.where(right_kind, True, left_kind)
+        new_value = np.where(right_kind, right_value,
+                             left_value + right_value)
+        acc_kind = acc_kind.copy()
+        acc_value = acc_value.copy()
+        acc_kind[offset:] = new_kind
+        acc_value[offset:] = new_value
+        offset *= 2
+    if not exclusive:
+        return acc_kind, acc_value
+    out_kind = np.empty_like(acc_kind)
+    out_value = np.empty_like(acc_value)
+    out_kind[0] = False
+    out_value[0] = 0
+    out_kind[1:] = acc_kind[:-1]
+    out_value[1:] = acc_value[:-1]
+    return out_kind, out_value

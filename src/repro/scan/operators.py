@@ -1,0 +1,164 @@
+"""Monoids (associative operators with identity) for prefix scans.
+
+All efficient parallel prefix-scan algorithms require the binary operator to
+be associative (paper §2).  ParPaRaw uses three such operators:
+
+* **addition** over record counts and symbol counts;
+* **state-transition-vector composition** ``(a ∘ b)[i] = b[a[i]]`` over the
+  per-chunk DFA simulation results (paper §3.1) — associative but *not*
+  commutative;
+* the **rel/abs column-offset operator** (paper §3.2) — also associative and
+  non-commutative: an absolute right operand overrides, a relative right
+  operand accumulates.
+
+The scan algorithm implementations in this subpackage are written against
+the small :class:`Monoid` protocol so that every algorithm works with every
+operator, and so the associativity-dependent invariants can be property
+tested uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Generic, Protocol, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+class Monoid(Protocol, Generic[T]):
+    """An associative binary operator with an identity element."""
+
+    def combine(self, left: T, right: T) -> T:
+        """Apply the operator: ``left ⊕ right`` (order matters)."""
+        ...
+
+    def identity(self) -> T:
+        """The identity element ``e`` with ``e ⊕ x == x ⊕ e == x``."""
+        ...
+
+
+class SumMonoid:
+    """Integer addition; identity 0.  The paper's prefix *sum*."""
+
+    def combine(self, left: int, right: int) -> int:
+        return left + right
+
+    def identity(self) -> int:
+        return 0
+
+
+class MaxMonoid:
+    """Maximum; identity is -infinity (here: a very small sentinel).
+
+    Used by the column-count inference capability (paper §4.3), which
+    reduces per-chunk maximum column counts.
+    """
+
+    _IDENTITY = -(1 << 62)
+
+    def combine(self, left: int, right: int) -> int:
+        return left if left >= right else right
+
+    def identity(self) -> int:
+        return self._IDENTITY
+
+
+class MinMonoid:
+    """Minimum; identity is +infinity (here: a very large sentinel).
+
+    Used by numeric type inference (paper §4.3), which reduces the minimum
+    numeric type able to back each field.
+    """
+
+    _IDENTITY = 1 << 62
+
+    def combine(self, left: int, right: int) -> int:
+        return left if left <= right else right
+
+    def identity(self) -> int:
+        return self._IDENTITY
+
+
+class TransitionComposeMonoid:
+    """Composition of state-transition vectors (paper §3.1).
+
+    A state-transition vector ``v`` of length ``|S|`` maps a hypothetical
+    start state ``i`` to the end state ``v[i]`` after reading a chunk.  The
+    composite of two vectors chains the two chunks:
+
+    ``(a ∘ b)[i] = b[a[i]]``
+
+    i.e. start in ``i``, run chunk A (ending in ``a[i]``), then run chunk B
+    from there.  The identity is the vector mapping each state to itself.
+
+    Vectors are represented as tuples so they are hashable and immutable,
+    which keeps the scalar scan algorithms honest (no in-place aliasing).
+    """
+
+    def __init__(self, num_states: int):
+        if num_states <= 0:
+            raise ValueError("a DFA needs at least one state")
+        self.num_states = num_states
+        self._identity = tuple(range(num_states))
+
+    def combine(self, left: Sequence[int], right: Sequence[int]) -> tuple[int, ...]:
+        if len(left) != self.num_states or len(right) != self.num_states:
+            raise ValueError("state-transition vector has wrong length")
+        return tuple(right[left[i]] for i in range(self.num_states))
+
+    def identity(self) -> tuple[int, ...]:
+        return self._identity
+
+
+class OffsetKind(Enum):
+    """Whether a column offset is relative or absolute (paper §3.2)."""
+
+    RELATIVE = 0
+    ABSOLUTE = 1
+
+
+@dataclass(frozen=True)
+class ColumnOffset:
+    """A chunk's column offset: relative increment or absolute position.
+
+    A chunk that contains at least one record delimiter knows the *absolute*
+    column offset for the following chunk (counted from the last record
+    delimiter); a chunk without a record delimiter only knows it adds ``k``
+    field delimiters *relative* to whatever offset preceded it.
+    """
+
+    kind: OffsetKind
+    value: int
+
+    @staticmethod
+    def relative(value: int) -> "ColumnOffset":
+        return ColumnOffset(OffsetKind.RELATIVE, value)
+
+    @staticmethod
+    def absolute(value: int) -> "ColumnOffset":
+        return ColumnOffset(OffsetKind.ABSOLUTE, value)
+
+    @property
+    def is_absolute(self) -> bool:
+        return self.kind is OffsetKind.ABSOLUTE
+
+
+class ColumnOffsetMonoid:
+    """The rel/abs column-offset operator of paper §3.2.
+
+    ``a ⊕ b = b`` if ``b`` is absolute (a record delimiter occurred in the
+    right-hand chunk, resetting the column position), otherwise
+    ``a ⊕ b = (a.kind, a.value + b.value)`` — a relative right operand just
+    adds its field-delimiter count.
+
+    The identity is ``relative(0)``.
+    """
+
+    def combine(self, left: ColumnOffset, right: ColumnOffset) -> ColumnOffset:
+        if right.is_absolute:
+            return right
+        return ColumnOffset(left.kind, left.value + right.value)
+
+    def identity(self) -> ColumnOffset:
+        return ColumnOffset.relative(0)

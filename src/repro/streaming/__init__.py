@@ -1,0 +1,34 @@
+"""End-to-end streaming (paper §4.4, Figure 7).
+
+Inputs that do not reside on the GPU (or exceed its memory) are split into
+partitions; transfer-to-device, parse, and transfer-back overlap across
+partitions, exploiting the PCIe bus's full-duplex capability and hiding
+transfer latency.
+
+Two halves:
+
+* a **working streaming parser**
+  (:class:`~repro.streaming.stream_parser.StreamingParser`) that actually
+  parses arbitrary byte streams partition by partition, carrying the last
+  incomplete record over to the next partition — output is bit-identical
+  to a batch parse (tested);
+* a **pipeline simulator** (:class:`~repro.streaming.pipeline.StreamingPipeline`)
+  that schedules the Figure 7 dependency DAG (double buffers, carry-over
+  copies, serial HtD/DtH channels, serial GPU) over the
+  :mod:`repro.gpusim` cost model to produce the end-to-end timings of
+  Figures 12 and 13.
+"""
+
+from repro.streaming.pcie import PcieLink
+from repro.streaming.buffers import DoubleBuffer, CarryOver
+from repro.streaming.pipeline import StreamingPipeline, PipelineSchedule
+from repro.streaming.stream_parser import StreamingParser
+
+__all__ = [
+    "PcieLink",
+    "DoubleBuffer",
+    "CarryOver",
+    "StreamingPipeline",
+    "PipelineSchedule",
+    "StreamingParser",
+]

@@ -1,0 +1,26 @@
+"""Shared low-level utilities (bit manipulation, RLE, timing)."""
+
+from repro.utils.bits import (
+    popcount32,
+    popcount64,
+    popcount_array,
+    bits_required,
+    next_power_of_two,
+    clear_bits_below,
+    last_set_bit_position,
+)
+from repro.utils.rle import run_length_encode, run_starts
+from repro.utils.timing import StepTimer
+
+__all__ = [
+    "popcount32",
+    "popcount64",
+    "popcount_array",
+    "bits_required",
+    "next_power_of_two",
+    "clear_bits_below",
+    "last_set_bit_position",
+    "run_length_encode",
+    "run_starts",
+    "StepTimer",
+]

@@ -1,0 +1,56 @@
+"""Run-length encoding helpers.
+
+ParPaRaw generates the index into a column's concatenated symbol string (CSS)
+by run-length encoding the column's record-tags: each run is one field, the
+run value is the record it belongs to, and the run length is the field's
+symbol count (paper §3.3, Figure 5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["run_length_encode", "run_starts"]
+
+
+def run_starts(values: np.ndarray) -> np.ndarray:
+    """Indexes at which a new run begins in ``values``.
+
+    Position 0 always starts a run (for non-empty input).
+
+    >>> run_starts(np.array([7, 7, 8, 8, 8, 7])).tolist()
+    [0, 2, 5]
+    """
+    values = np.asarray(values)
+    if values.ndim != 1:
+        raise ValueError("run_starts expects a 1-D array")
+    if values.size == 0:
+        return np.empty(0, dtype=np.int64)
+    changed = np.empty(values.size, dtype=bool)
+    changed[0] = True
+    np.not_equal(values[1:], values[:-1], out=changed[1:])
+    return np.flatnonzero(changed).astype(np.int64)
+
+
+def run_length_encode(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Run-length encode a 1-D array.
+
+    Returns ``(run_values, run_lengths)`` such that repeating each
+    ``run_values[i]`` exactly ``run_lengths[i]`` times reconstructs the input.
+
+    This is the data-parallel primitive used for CSS index generation: on the
+    GPU it is implemented with a head-flag + prefix-sum; here the equivalent
+    vectorised formulation uses :func:`run_starts` and a difference.
+
+    >>> vals, lens = run_length_encode(np.array([0, 0, 0, 1, 1, 3]))
+    >>> vals.tolist(), lens.tolist()
+    ([0, 1, 3], [3, 2, 1])
+    """
+    values = np.asarray(values)
+    starts = run_starts(values)
+    if starts.size == 0:
+        return values[:0].copy(), np.empty(0, dtype=np.int64)
+    lengths = np.empty(starts.size, dtype=np.int64)
+    lengths[:-1] = np.diff(starts)
+    lengths[-1] = values.size - starts[-1]
+    return values[starts], lengths

@@ -1,0 +1,78 @@
+"""Wall-clock step timing for the parsing pipeline.
+
+The paper reports per-step breakdowns (parse / scan / tag / partition /
+convert — Figures 9 and 11).  :class:`StepTimer` accumulates named step
+durations so the parser can expose the same breakdown.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["StepTimer"]
+
+
+class StepTimer:
+    """Accumulates wall-clock durations per named pipeline step.
+
+    Example
+    -------
+    >>> timer = StepTimer()
+    >>> with timer.step("parse"):
+    ...     _ = sum(range(10))
+    >>> sorted(timer.totals()) == ['parse']
+    True
+    """
+
+    def __init__(self) -> None:
+        self._totals: dict[str, float] = {}
+        self._counts: dict[str, int] = {}
+
+    @contextmanager
+    def step(self, name: str) -> Iterator[None]:
+        """Context manager measuring one invocation of step ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self._totals[name] = self._totals.get(name, 0.0) + elapsed
+            self._counts[name] = self._counts.get(name, 0) + 1
+
+    def add(self, name: str, seconds: float) -> None:
+        """Manually credit ``seconds`` to step ``name``."""
+        if seconds < 0:
+            raise ValueError("cannot add a negative duration")
+        self._totals[name] = self._totals.get(name, 0.0) + seconds
+        self._counts[name] = self._counts.get(name, 0) + 1
+
+    def totals(self) -> dict[str, float]:
+        """Total seconds per step (copy)."""
+        return dict(self._totals)
+
+    def counts(self) -> dict[str, int]:
+        """Number of timed invocations per step (copy)."""
+        return dict(self._counts)
+
+    def total(self) -> float:
+        """Sum over all steps, in seconds."""
+        return sum(self._totals.values())
+
+    def merge(self, other: "StepTimer") -> None:
+        """Fold another timer's accumulated totals into this one."""
+        for name, seconds in other._totals.items():
+            self._totals[name] = self._totals.get(name, 0.0) + seconds
+        for name, count in other._counts.items():
+            self._counts[name] = self._counts.get(name, 0) + count
+
+    def reset(self) -> None:
+        """Drop all accumulated measurements."""
+        self._totals.clear()
+        self._counts.clear()
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{k}={v * 1e3:.2f}ms"
+                          for k, v in sorted(self._totals.items()))
+        return f"StepTimer({parts})"

@@ -1,0 +1,43 @@
+"""Synthetic dataset generators matched to the paper's evaluation data.
+
+The paper evaluates on *yelp reviews* (4.8 GB CSV, 9 columns, text-heavy
+quoted reviews, ≈721.4 B/record) and *NYC taxi trips* (9.1 GB CSV, 17
+numeric/temporal columns, ≈88.3 B/record, ≈5.2 B/field).  Neither dataset
+ships here, so these generators produce deterministic synthetic equivalents
+with the same statistical shape, at any size:
+
+* :func:`~repro.workloads.yelp.generate_yelp_like` — reviews with embedded
+  field/record delimiters inside quoted text (the property that breaks
+  naive parallel parsers);
+* :func:`~repro.workloads.taxi.generate_taxi_like` — many short numeric
+  and temporal fields (stressing type conversion);
+* :func:`~repro.workloads.skew.skew_dataset` — the Figure 11 variant with
+  one record inflated to a configurable size;
+* :func:`~repro.workloads.logs.generate_clf` /
+  :func:`~repro.workloads.logs.generate_elf` — web-server log workloads
+  for the log-format DFAs;
+* :class:`~repro.workloads.generators.CsvGenerator` — a configurable
+  generic generator for property tests.
+"""
+
+from repro.workloads.generators import CsvGenerator, random_field_text
+from repro.workloads.yelp import generate_yelp_like, YELP_SCHEMA
+from repro.workloads.taxi import generate_taxi_like, TAXI_SCHEMA
+from repro.workloads.skew import skew_dataset
+from repro.workloads.logs import generate_clf, generate_elf
+from repro.workloads.writer import render_value, write_rows, write_table
+
+__all__ = [
+    "write_rows",
+    "write_table",
+    "render_value",
+    "CsvGenerator",
+    "random_field_text",
+    "generate_yelp_like",
+    "YELP_SCHEMA",
+    "generate_taxi_like",
+    "TAXI_SCHEMA",
+    "skew_dataset",
+    "generate_clf",
+    "generate_elf",
+]

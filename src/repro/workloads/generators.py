@@ -1,0 +1,110 @@
+"""Generic, deterministic CSV generation for tests and benchmarks.
+
+:class:`CsvGenerator` produces RFC 4180 output with controllable column
+types, quoting probability, embedded-delimiter probability, empty-field
+probability, and optional comment lines — the knobs the correctness tests
+sweep.  All randomness flows from an explicit seed, so every generated
+dataset is reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.dfa.dialects import Dialect
+
+__all__ = ["CsvGenerator", "random_field_text"]
+
+_WORDS = (
+    "frame shelf bookcase ribba billy kallax lack hemnes malm brimnes "
+    "desk chair table lamp sofa rug plant mirror clock vase drawer "
+    "red green blue black white oak birch walnut steel glass"
+).split()
+
+
+def random_field_text(rng: random.Random, min_words: int = 1,
+                      max_words: int = 6) -> str:
+    """A small, deterministic pseudo-English text fragment."""
+    count = rng.randint(min_words, max_words)
+    return " ".join(rng.choice(_WORDS) for _ in range(count))
+
+
+@dataclass
+class CsvGenerator:
+    """Configurable RFC 4180 data generator.
+
+    Parameters
+    ----------
+    num_columns:
+        Columns per record.
+    quote_probability:
+        Chance a text field is enclosed in quotes.
+    embedded_delim_probability:
+        Chance a *quoted* field embeds a field or record delimiter (the
+        adversarial case for parallel parsers).
+    empty_probability:
+        Chance a field is empty.
+    comment_probability:
+        Chance of a comment line before a record (needs a dialect with a
+        comment byte).
+    numeric_columns:
+        Column indexes generated as numbers rather than text.
+    dialect:
+        Output dialect; quoting requires ``dialect.quote``.
+    seed:
+        PRNG seed; same seed -> same bytes.
+    """
+
+    num_columns: int = 4
+    quote_probability: float = 0.3
+    embedded_delim_probability: float = 0.3
+    empty_probability: float = 0.05
+    comment_probability: float = 0.0
+    numeric_columns: tuple[int, ...] = ()
+    dialect: Dialect = field(default_factory=Dialect.csv)
+    seed: int = 42
+
+    def generate(self, num_records: int,
+                 trailing_newline: bool = True) -> bytes:
+        """Generate ``num_records`` records as raw bytes."""
+        rng = random.Random(self.seed)
+        out: list[bytes] = []
+        newline = self.dialect.record_delimiter
+        for _ in range(num_records):
+            if (self.comment_probability > 0
+                    and self.dialect.comment is not None
+                    and rng.random() < self.comment_probability):
+                out.append(self.dialect.comment
+                           + random_field_text(rng).encode() + newline)
+            fields = [self._field(rng, col)
+                      for col in range(self.num_columns)]
+            out.append(self.dialect.delimiter.join(fields) + newline)
+        data = b"".join(out)
+        if not trailing_newline and data.endswith(newline):
+            data = data[:-len(newline)]
+        return data
+
+    # -- internals -----------------------------------------------------------
+
+    def _field(self, rng: random.Random, column: int) -> bytes:
+        if rng.random() < self.empty_probability:
+            return b""
+        if column in self.numeric_columns:
+            if rng.random() < 0.5:
+                return str(rng.randint(-10_000, 10_000)).encode()
+            return f"{rng.uniform(-1000, 1000):.2f}".encode()
+        text = random_field_text(rng)
+        quote = self.dialect.quote
+        if quote is not None and rng.random() < self.quote_probability:
+            if rng.random() < self.embedded_delim_probability:
+                insert = rng.choice([
+                    self.dialect.delimiter.decode(),
+                    self.dialect.record_delimiter.decode(),
+                    quote.decode(),  # becomes a doubled quote when escaped
+                ])
+                cut = rng.randint(0, len(text))
+                text = text[:cut] + insert + text[cut:]
+            escaped = text.replace(quote.decode(), quote.decode() * 2)
+            return quote + escaped.encode() + quote
+        return text.encode()

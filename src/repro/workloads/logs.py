@@ -1,0 +1,67 @@
+"""Web-server log workloads (paper §1's second motivating format).
+
+Generates NCSA Common Log Format and W3C Extended Log Format data for the
+log-format DFAs in :mod:`repro.dfa.logformats`.  The ELF generator
+interleaves ``#`` directive lines — with quotes inside them — which is the
+pattern that defeats quote-counting parsers and motivates the FSM
+approach.
+"""
+
+from __future__ import annotations
+
+import random
+
+__all__ = ["generate_clf", "generate_elf"]
+
+_PATHS = ("/index.html", "/api/v1/items", "/static/app.js", "/login",
+          "/images/logo.png", "/search?q=shelf", "/cart", "/checkout")
+_AGENTS = ("Mozilla/5.0 (X11; Linux)", "curl/7.88", "Googlebot/2.1")
+_MONTHS = ("Jan", "Feb", "Mar", "Apr", "May", "Jun",
+           "Jul", "Aug", "Sep", "Oct", "Nov", "Dec")
+
+
+def _clf_line(rng: random.Random) -> str:
+    host = (f"{rng.randint(1, 254)}.{rng.randint(0, 255)}."
+            f"{rng.randint(0, 255)}.{rng.randint(1, 254)}")
+    date = (f"[{rng.randint(1, 28):02d}/{rng.choice(_MONTHS)}/2018:"
+            f"{rng.randint(0, 23):02d}:{rng.randint(0, 59):02d}:"
+            f"{rng.randint(0, 59):02d} +0000]")
+    request = (f'"{rng.choice(("GET", "POST", "HEAD"))} '
+               f'{rng.choice(_PATHS)} HTTP/1.1"')
+    status = rng.choice((200, 200, 200, 301, 404, 500))
+    size = rng.randint(100, 50_000)
+    return f"{host} - frank {date} {request} {status} {size}\n"
+
+
+def generate_clf(num_lines: int, seed: int = 3) -> bytes:
+    """Common Log Format: space-delimited with ``[...]`` and ``"..."``."""
+    rng = random.Random(seed)
+    return "".join(_clf_line(rng) for _ in range(num_lines)).encode()
+
+
+def generate_elf(num_lines: int, seed: int = 5,
+                 directive_every: int = 40) -> bytes:
+    """Extended Log Format with interleaved ``#`` directive lines.
+
+    Directives contain quotes (``#Remark: "rotated"``) to exercise the
+    quote-counting failure mode.
+    """
+    rng = random.Random(seed)
+    out: list[str] = [
+        "#Version: 1.0\n",
+        "#Fields: date time c-ip cs-method cs-uri sc-status time-taken\n",
+    ]
+    for i in range(num_lines):
+        if directive_every and i and i % directive_every == 0:
+            out.append('#Remark: "log segment rotated", see "ops manual"\n')
+        date = (f"2018-{rng.randint(1, 12):02d}-{rng.randint(1, 28):02d}")
+        time = (f"{rng.randint(0, 23):02d}:{rng.randint(0, 59):02d}:"
+                f"{rng.randint(0, 59):02d}")
+        ip = (f"{rng.randint(1, 254)}.{rng.randint(0, 255)}."
+              f"{rng.randint(0, 255)}.{rng.randint(1, 254)}")
+        method = rng.choice(("GET", "POST"))
+        uri = rng.choice(_PATHS)
+        status = rng.choice((200, 200, 304, 404))
+        taken = rng.randint(1, 900)
+        out.append(f"{date} {time} {ip} {method} {uri} {status} {taken}\n")
+    return "".join(out).encode()

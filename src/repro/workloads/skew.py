@@ -1,0 +1,51 @@
+"""Skewed inputs (paper §5.1, Figure 11 right).
+
+The paper demonstrates robustness by replacing part of the input with a
+*single 200 MB record* while keeping the remaining records unchanged — the
+pathological case for record-per-thread designs (one thread would own
+200 MB) and the reason ParPaRaw partitions symbols, not records, and adds
+block-/device-level collaboration for huge fields (§3.3).
+"""
+
+from __future__ import annotations
+
+__all__ = ["skew_dataset"]
+
+
+def skew_dataset(data: bytes, giant_record_bytes: int,
+                 column: int = 0, num_columns: int | None = None,
+                 quoted: bool = True) -> bytes:
+    """Prepend one giant record to an existing CSV payload.
+
+    Parameters
+    ----------
+    data:
+        The original dataset (unchanged, appended after the giant record).
+    giant_record_bytes:
+        Approximate size of the injected record (the paper uses 200 MB at
+        512 MB total; benchmarks scale this down proportionally).
+    column:
+        Which column receives the giant value.
+    num_columns:
+        Columns per record; inferred from the first line of ``data`` when
+        omitted.
+    quoted:
+        Quote the giant value (and embed delimiters in it) — keeps the
+        workload adversarial for context-free splitting.
+    """
+    if num_columns is None:
+        first_line = data.split(b"\n", 1)[0]
+        num_columns = first_line.count(b",") + 1
+    if not 0 <= column < num_columns:
+        raise ValueError("column out of range")
+
+    filler = b"lorem ipsum dolor sit amet, consectetur adipiscing elit.\n"
+    repeats = max(1, giant_record_bytes // len(filler))
+    giant = filler * repeats
+    if quoted:
+        value = b'"' + giant.replace(b'"', b'""') + b'"'
+    else:
+        value = giant.replace(b",", b" ").replace(b"\n", b" ")
+    fields = [b"0"] * num_columns
+    fields[column] = value
+    return b",".join(fields) + b"\n" + data

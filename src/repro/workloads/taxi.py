@@ -1,0 +1,79 @@
+"""NYC-taxi-trips-like synthetic dataset (paper §5).
+
+The original: 102.8 M yellow-taxi trips from 2018, 9.073 GB, 17 columns of
+numeric and temporal types, average 88.3 B/record and only 5.2 B/field —
+"the majority of the fields are very short and of a numerical type,
+putting the emphasis on data type conversion".
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.columnar.schema import DataType, Field, Schema
+
+__all__ = ["TAXI_SCHEMA", "generate_taxi_like"]
+
+#: Schema mirroring the 2018 yellow-taxi trip records (17 columns).
+TAXI_SCHEMA = Schema([
+    Field("vendor_id", DataType.INT8),
+    Field("pickup_datetime", DataType.TIMESTAMP),
+    Field("dropoff_datetime", DataType.TIMESTAMP),
+    Field("passenger_count", DataType.INT8),
+    Field("trip_distance", DataType.FLOAT64),
+    Field("rate_code", DataType.INT8),
+    Field("store_and_fwd", DataType.BOOL),
+    Field("pu_location", DataType.INT16),
+    Field("do_location", DataType.INT16),
+    Field("payment_type", DataType.INT8),
+    Field("fare_amount", DataType.DECIMAL),
+    Field("extra", DataType.DECIMAL),
+    Field("mta_tax", DataType.DECIMAL),
+    Field("tip_amount", DataType.DECIMAL),
+    Field("tolls_amount", DataType.DECIMAL),
+    Field("improvement_surcharge", DataType.DECIMAL),
+    Field("total_amount", DataType.DECIMAL),
+])
+
+
+def _timestamp(rng: random.Random) -> str:
+    return (f"2018-{rng.randint(1, 12):02d}-{rng.randint(1, 28):02d} "
+            f"{rng.randint(0, 23):02d}:{rng.randint(0, 59):02d}:"
+            f"{rng.randint(0, 59):02d}")
+
+
+def generate_taxi_like(target_bytes: int, seed: int = 11) -> bytes:
+    """Generate approximately ``target_bytes`` of taxi-like CSV.
+
+    Unquoted, 17 short numeric/temporal fields per record — trivially
+    splittable at newlines (every line break is a record delimiter), which
+    is exactly why CPU baselines fare much better on it (paper §5.2).
+    """
+    rng = random.Random(seed)
+    chunks: list[bytes] = []
+    total = 0
+    while total < target_bytes:
+        fare = rng.uniform(2.5, 80.0)
+        tip = fare * rng.uniform(0.0, 0.3)
+        record = ",".join((
+            str(rng.randint(1, 2)),
+            _timestamp(rng),
+            _timestamp(rng),
+            str(rng.randint(1, 6)),
+            f"{rng.uniform(0.3, 30.0):.2f}",
+            str(rng.randint(1, 6)),
+            rng.choice(("N", "Y")).replace("N", "0").replace("Y", "1"),
+            str(rng.randint(1, 265)),
+            str(rng.randint(1, 265)),
+            str(rng.randint(1, 4)),
+            f"{fare:.2f}",
+            f"{rng.choice((0.0, 0.5, 1.0)):.2f}",
+            "0.50",
+            f"{tip:.2f}",
+            f"{rng.choice((0.0, 0.0, 5.76)):.2f}",
+            "0.30",
+            f"{fare + tip + 0.8:.2f}",
+        )).encode() + b"\n"
+        chunks.append(record)
+        total += len(record)
+    return b"".join(chunks)

@@ -1,0 +1,90 @@
+"""Yelp-reviews-like synthetic dataset (paper §5).
+
+The original: 6.69 M reviews, 4.823 GB, average 721.4 B/record, nine
+columns (identifiers, numeric ratings, a timestamp, and a long text review
+"that may include field and record delimiters"), *all fields enclosed in
+double-quotes*.  This generator reproduces those statistics: nine
+quoted columns with a long review text embedding commas, newlines and
+doubled quotes, padded so the mean record size lands near 721 bytes.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.columnar.schema import DataType, Field, Schema
+from repro.workloads.generators import random_field_text
+
+__all__ = ["YELP_SCHEMA", "generate_yelp_like"]
+
+#: Schema mirroring the yelp reviews CSV (9 columns: text-based,
+#: numerical, and temporal types — paper §5).
+YELP_SCHEMA = Schema([
+    Field("review_id", DataType.STRING),
+    Field("user_id", DataType.STRING),
+    Field("business_id", DataType.STRING),
+    Field("stars", DataType.INT8),
+    Field("useful", DataType.INT32),
+    Field("funny", DataType.INT32),
+    Field("cool", DataType.INT32),
+    Field("text", DataType.STRING),
+    Field("date", DataType.TIMESTAMP),
+])
+
+_ID_ALPHABET = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789-_"
+
+#: Average record size of the real dataset (bytes) — paper §5.
+TARGET_RECORD_BYTES = 721.4
+
+
+def _random_id(rng: random.Random) -> str:
+    return "".join(rng.choice(_ID_ALPHABET) for _ in range(22))
+
+
+def _review_text(rng: random.Random, target_bytes: int) -> str:
+    """Review text of roughly ``target_bytes``, with embedded delimiters."""
+    parts: list[str] = []
+    size = 0
+    while size < target_bytes:
+        sentence = random_field_text(rng, 4, 10)
+        roll = rng.random()
+        if roll < 0.25:
+            sentence += ","           # embedded field delimiter
+        elif roll < 0.35:
+            sentence += ".\n"         # embedded record delimiter
+        elif roll < 0.40:
+            sentence = f'"{sentence}"'  # embedded (doubled) quotes
+        else:
+            sentence += "."
+        parts.append(sentence)
+        size += len(sentence) + 1
+    return " ".join(parts)
+
+
+def generate_yelp_like(target_bytes: int, seed: int = 7) -> bytes:
+    """Generate approximately ``target_bytes`` of yelp-like CSV.
+
+    Deterministic in ``seed``; every field is double-quoted, reviews embed
+    commas, newlines and doubled quotes — the adversarial properties that
+    make the real dataset "of particular interest" (paper §5).
+    """
+    rng = random.Random(seed)
+    chunks: list[bytes] = []
+    total = 0
+    while total < target_bytes:
+        review_target = max(40, int(rng.gauss(TARGET_RECORD_BYTES - 180,
+                                              120.0)))
+        text = _review_text(rng, review_target)
+        text = text.replace('"', '""')
+        date = (f"20{rng.randint(10, 19):02d}-{rng.randint(1, 12):02d}-"
+                f"{rng.randint(1, 28):02d} {rng.randint(0, 23):02d}:"
+                f"{rng.randint(0, 59):02d}:{rng.randint(0, 59):02d}")
+        record = (
+            f'"{_random_id(rng)}","{_random_id(rng)}","{_random_id(rng)}",'
+            f'"{rng.randint(1, 5)}","{rng.randint(0, 99)}",'
+            f'"{rng.randint(0, 99)}","{rng.randint(0, 99)}",'
+            f'"{text}","{date}"\n'
+        ).encode()
+        chunks.append(record)
+        total += len(record)
+    return b"".join(chunks)

@@ -1,0 +1,92 @@
+"""Tests for the Instant-Loading baseline: correct where the paper says it
+is, wrong where the paper says it breaks."""
+
+import pytest
+
+from repro.baselines.instant_loading import InstantLoadingParser
+from repro.baselines.sequential import SequentialParser
+from repro.core.options import ParseOptions
+from repro.dfa.dialects import Dialect
+from repro.errors import ParseError
+from repro.workloads.generators import CsvGenerator
+from repro.workloads.taxi import generate_taxi_like
+from repro.workloads.yelp import generate_yelp_like
+
+NO_CR = Dialect(strip_carriage_return=False)
+
+
+def reference_rows(data: bytes, dialect=NO_CR):
+    return SequentialParser(ParseOptions(dialect=dialect)).parse_rows(data)
+
+
+class TestUnsafeMode:
+    def test_correct_on_simple_input(self):
+        data = generate_taxi_like(5_000)
+        parser = InstantLoadingParser(NO_CR, num_threads=7)
+        assert parser.parse_rows(data) == reference_rows(data)
+
+    def test_wrong_on_quoted_newlines(self):
+        """The paper §5.2: unsafe Instant Loading cannot handle yelp-like
+        data (quoted strings containing record delimiters)."""
+        data = generate_yelp_like(30_000)
+        parser = InstantLoadingParser(NO_CR, num_threads=8)
+        rows = parser.parse_rows(data)
+        assert rows != reference_rows(data)
+
+    def test_single_thread_is_sequential(self):
+        data = generate_yelp_like(10_000)
+        parser = InstantLoadingParser(NO_CR, num_threads=1)
+        assert parser.parse_rows(data) == reference_rows(data)
+
+    def test_empty_input(self):
+        assert InstantLoadingParser(NO_CR).parse_rows(b"") == []
+
+
+class TestSafeMode:
+    def test_correct_on_quoted_newlines(self):
+        data = generate_yelp_like(30_000)
+        parser = InstantLoadingParser(NO_CR, num_threads=8, safe_mode=True)
+        assert parser.parse_rows(data) == reference_rows(data)
+
+    def test_correct_on_comments(self):
+        dialect = Dialect(comment=b"#", strip_carriage_return=False)
+        data = CsvGenerator(dialect=dialect, comment_probability=0.3,
+                            seed=5).generate(200)
+        parser = InstantLoadingParser(dialect, num_threads=6,
+                                      safe_mode=True)
+        assert parser.parse_rows(data) == reference_rows(data, dialect)
+
+    def test_serial_fraction_positive(self):
+        data = generate_taxi_like(5_000)
+        parser = InstantLoadingParser(NO_CR, num_threads=8, safe_mode=True)
+        parser.parse_rows(data)
+        assert parser.serial_fraction() > 0.0
+
+    def test_amdahl_bound(self):
+        """Safe mode's sequential pre-pass caps the speed-up well below
+        the core count (the paper's scalability argument, §2)."""
+        data = generate_taxi_like(20_000)
+        parser = InstantLoadingParser(NO_CR, num_threads=8, safe_mode=True)
+        parser.parse_rows(data)
+        assert parser.amdahl_speedup(3584) < 3.0
+
+    def test_unsafe_has_no_serial_work(self):
+        data = generate_taxi_like(5_000)
+        parser = InstantLoadingParser(NO_CR, num_threads=8)
+        parser.parse_rows(data)
+        assert parser.serial_fraction() == 0.0
+        assert parser.amdahl_speedup(3584) > 1000
+
+
+class TestWorkAccounting:
+    def test_idle_threads_on_giant_record(self):
+        """A record spanning many chunks leaves most threads without a
+        boundary in their chunk (the load-balancing pathology, §2)."""
+        giant = b"x" * 10_000 + b"\n" + b"a,b\n"
+        parser = InstantLoadingParser(NO_CR, num_threads=8)
+        parser.parse_rows(giant)
+        assert parser.stats.idle_threads >= 5
+
+    def test_rejects_bad_thread_count(self):
+        with pytest.raises(ParseError):
+            InstantLoadingParser(num_threads=0)

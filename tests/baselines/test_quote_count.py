@@ -1,0 +1,56 @@
+"""Tests for the quote-parity parser: exact on RFC 4180, broken by
+comments — the paper's §2 claim about format-tailored parsers."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.quote_count import QuoteCountParser
+from repro.baselines.sequential import SequentialParser
+from repro.core.options import ParseOptions
+from repro.dfa.dialects import Dialect
+from repro.workloads.generators import CsvGenerator
+from repro.workloads.yelp import generate_yelp_like
+
+NO_CR = Dialect(strip_carriage_return=False)
+
+
+def reference_rows(data: bytes, dialect=NO_CR):
+    return SequentialParser(ParseOptions(dialect=dialect)).parse_rows(data)
+
+
+class TestAgreementOnRfc4180:
+    def test_yelp_like(self):
+        data = generate_yelp_like(30_000)
+        assert QuoteCountParser(NO_CR).parse_rows(data) \
+            == reference_rows(data)
+
+    def test_quoted_edge_cases(self):
+        for data in (b'""\n', b'"a""b"\n', b'"a,b",c\n', b'a,"x\ny"\n',
+                     b"a,b", b"", b"\n", b"a,,b\n"):
+            assert QuoteCountParser(NO_CR).parse_rows(data) \
+                == reference_rows(data), data
+
+    @given(st.integers(0, 10 ** 6))
+    @settings(max_examples=25)
+    def test_generated_corpora(self, seed):
+        data = CsvGenerator(dialect=NO_CR, seed=seed,
+                            quote_probability=0.5,
+                            embedded_delim_probability=0.5).generate(30)
+        assert QuoteCountParser(NO_CR).parse_rows(data) \
+            == reference_rows(data)
+
+
+class TestBreakage:
+    def test_comments_break_parity(self):
+        """A comment line containing an odd number of quotes flips the
+        speculated quotation scope for everything after it (paper §2)."""
+        dialect = Dialect(comment=b"#", strip_carriage_return=False)
+        data = b'#note: "rotated\n1,2\n3,4\n'
+        wrong = QuoteCountParser(NO_CR).parse_rows(data)
+        right = reference_rows(data, dialect)
+        assert wrong != right
+        assert right == [[b"1", b"2"], [b"3", b"4"]]
+
+    def test_unquoted_dialect(self):
+        parser = QuoteCountParser(Dialect.tsv())
+        assert parser.parse_rows(b"a\tb\nc\td\n") \
+            == [[b"a", b"b"], [b"c", b"d"]]

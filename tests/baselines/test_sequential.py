@@ -1,0 +1,72 @@
+"""Tests for the sequential reference parser itself."""
+
+import pytest
+
+from repro.baselines.sequential import SequentialParser, sequential_rows
+from repro.core.options import ColumnCountPolicy, ParseOptions
+from repro.columnar.schema import DataType, Field, Schema
+from repro.errors import ParseError
+
+
+class TestSequentialRows:
+    def test_basic(self, csv_dfa):
+        rows, state, trailing = sequential_rows(b"a,b\nc,d\n", csv_dfa)
+        assert rows == [[b"a", b"b"], [b"c", b"d"]]
+        assert not trailing
+
+    def test_empty_field_is_none(self, csv_dfa):
+        rows, _, _ = sequential_rows(b"a,,c\n", csv_dfa)
+        assert rows == [[b"a", None, b"c"]]
+
+    def test_quoted_delimiters(self, csv_dfa, paper_example):
+        rows, _, _ = sequential_rows(paper_example, csv_dfa)
+        assert rows[1] == [b"1938", b"19.99", b'Frame\n"Ribba", black']
+
+    def test_trailing_record(self, csv_dfa):
+        rows, _, trailing = sequential_rows(b"a\nb", csv_dfa)
+        assert rows == [[b"a"], [b"b"]]
+        assert trailing
+
+    def test_invalid_discards_rest(self, csv_dfa):
+        rows, _, _ = sequential_rows(b'ok\nbad"x\nmore\n', csv_dfa)
+        assert rows == [[b"ok"]]
+
+    def test_strict_raises(self, csv_dfa):
+        with pytest.raises(ParseError):
+            sequential_rows(b'bad"x\n', csv_dfa, strict=True)
+
+    def test_comment_lines(self, comment_dfa):
+        rows, _, _ = sequential_rows(b"#c\na\n#d", comment_dfa)
+        assert rows == [[b"a"]]
+
+
+class TestSequentialParserOptions:
+    def test_schema_conversion(self):
+        schema = Schema([Field("n", DataType.INT64),
+                         Field("s", DataType.STRING)])
+        table = SequentialParser(ParseOptions(schema=schema)) \
+            .parse(b"1,a\nbad,b\n")
+        assert table.to_pylist() == [
+            {"n": 1, "s": "a"}, {"n": None, "s": "b"}]
+        assert table.column("n").rejects == 1
+
+    def test_select_columns(self):
+        options = ParseOptions(select_columns=(1,))
+        table = SequentialParser(options).parse(b"a,b\nc,d\n")
+        assert table.to_pylist() == [{"col1": "b"}, {"col1": "d"}]
+
+    def test_reject_policy(self):
+        options = ParseOptions(schema=Schema.all_strings(2),
+                               column_count_policy=ColumnCountPolicy.REJECT)
+        table = SequentialParser(options).parse(b"a,b\nc\nd,e\n")
+        assert table.num_rows == 2
+
+    def test_skip_rows(self):
+        options = ParseOptions(skip_rows=frozenset({0}))
+        table = SequentialParser(options).parse(b"a\nb\nc\n")
+        assert [r["col0"] for r in table.to_pylist()] == ["b", "c"]
+
+    def test_skip_records(self):
+        options = ParseOptions(skip_records=frozenset({1}))
+        table = SequentialParser(options).parse(b"a\nb\nc\n")
+        assert [r["col0"] for r in table.to_pylist()] == ["a", "c"]

@@ -1,0 +1,58 @@
+"""Tests for the Figure 13 comparator models."""
+
+import pytest
+
+from repro.baselines.system_models import PAPER_SYSTEMS, modelled_duration
+from repro.errors import SimulationError
+
+YELP = 4.823e9
+TAXI = 9.073e9
+
+
+class TestCalibration:
+    @pytest.mark.parametrize("system,yelp,taxi", [
+        ("cuDF*", 7.3, 9.4),
+        ("cuDF", 10.5, 16.5),
+        ("MonetDB", 58.2, 38.0),
+        ("Spark", 94.3, 98.1),
+        ("pandas", 91.3, 83.4),
+    ])
+    def test_paper_durations(self, system, yelp, taxi):
+        assert modelled_duration(system, YELP, True) \
+            == pytest.approx(yelp, rel=1e-6)
+        assert modelled_duration(system, TAXI, False) \
+            == pytest.approx(taxi, rel=1e-6)
+
+    def test_instant_loading_taxi(self):
+        assert modelled_duration("Inst. Loading", TAXI, False) \
+            == pytest.approx(3.6)
+
+    def test_instant_loading_fails_on_yelp(self):
+        """Paper §5.2: could not handle the yelp dataset."""
+        with pytest.raises(SimulationError):
+            modelled_duration("Inst. Loading", YELP, True)
+
+    def test_unknown_system(self):
+        with pytest.raises(SimulationError):
+            modelled_duration("DuckDB", YELP, True)
+
+
+class TestScaling:
+    def test_linear_in_size(self):
+        half = modelled_duration("pandas", YELP / 2, True)
+        full = modelled_duration("pandas", YELP, True)
+        assert full == pytest.approx(2 * half, rel=1e-6)
+
+    def test_spark_startup_floor(self):
+        tiny = modelled_duration("Spark", 1e6, True)
+        assert tiny > 4.0  # JVM spin-up dominates tiny inputs
+
+    def test_ordering_matches_figure13(self):
+        """Who beats whom on each dataset (the figure's visual story)."""
+        yelp_order = ["cuDF*", "cuDF", "MonetDB", "pandas", "Spark"]
+        durations = [modelled_duration(s, YELP, True) for s in yelp_order]
+        assert durations == sorted(durations)
+        taxi_order = ["Inst. Loading", "cuDF*", "cuDF", "MonetDB",
+                      "pandas", "Spark"]
+        durations = [modelled_duration(s, TAXI, False) for s in taxi_order]
+        assert durations == sorted(durations)

@@ -1,0 +1,65 @@
+"""Tests for validity bitmaps (Arrow LSB-first packing)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.columnar.buffers import ValidityBitmap, pack_validity, \
+    unpack_validity
+
+
+class TestPacking:
+    def test_lsb_first(self):
+        # Arrow packs bit i of byte j as row 8j + i.
+        packed = pack_validity(np.array([True, False, True]))
+        assert packed.tolist() == [0b101]
+
+    def test_multibyte(self):
+        mask = np.array([True] * 9)
+        packed = pack_validity(mask)
+        assert packed.tolist() == [0xFF, 0x01]
+
+    @given(hnp.arrays(np.bool_, st.integers(0, 100)))
+    def test_roundtrip(self, mask):
+        packed = pack_validity(mask)
+        assert unpack_validity(packed, len(mask)).tolist() == mask.tolist()
+
+    def test_unpack_too_short(self):
+        with pytest.raises(ValueError):
+            unpack_validity(np.array([1], dtype=np.uint8), 9)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            pack_validity(np.zeros((2, 2), dtype=bool))
+
+
+class TestValidityBitmap:
+    def test_bit_access(self):
+        bitmap = ValidityBitmap.from_mask(np.array([True, False, True]))
+        assert bitmap[0] and not bitmap[1] and bitmap[2]
+        assert len(bitmap) == 3
+
+    def test_out_of_range(self):
+        bitmap = ValidityBitmap.all_valid(3)
+        with pytest.raises(IndexError):
+            bitmap[3]
+
+    def test_null_count(self):
+        bitmap = ValidityBitmap.from_mask(
+            np.array([True, False, False, True]))
+        assert bitmap.null_count() == 2
+
+    def test_all_valid(self):
+        bitmap = ValidityBitmap.all_valid(10)
+        assert bitmap.null_count() == 0
+
+    def test_equality_ignores_padding_bits(self):
+        a = ValidityBitmap(np.array([0b00000101], dtype=np.uint8), 3)
+        b = ValidityBitmap(np.array([0b11111101], dtype=np.uint8), 3)
+        assert a == b
+
+    def test_buffer_read_only(self):
+        bitmap = ValidityBitmap.all_valid(8)
+        with pytest.raises(ValueError):
+            bitmap.buffer[0] = 0

@@ -1,0 +1,78 @@
+"""Tests for schemas and data types."""
+
+import numpy as np
+import pytest
+
+from repro.columnar.schema import DataType, Field, Schema
+from repro.errors import SchemaError
+
+
+class TestDataType:
+    def test_numpy_dtypes(self):
+        assert DataType.INT64.numpy_dtype == np.dtype(np.int64)
+        assert DataType.DATE.numpy_dtype == np.dtype(np.int32)
+        assert DataType.DECIMAL.numpy_dtype == np.dtype(np.int64)
+
+    def test_variable_width(self):
+        assert DataType.STRING.is_variable_width
+        assert not DataType.INT32.is_variable_width
+
+    def test_classification(self):
+        assert DataType.DECIMAL.is_numeric
+        assert DataType.TIMESTAMP.is_temporal
+        assert not DataType.STRING.is_numeric
+
+
+class TestField:
+    def test_rejects_empty_name(self):
+        with pytest.raises(SchemaError):
+            Field("", DataType.INT64)
+
+    def test_rejects_negative_scale(self):
+        with pytest.raises(SchemaError):
+            Field("x", DataType.DECIMAL, decimal_scale=-1)
+
+    def test_defaults(self):
+        f = Field("x", DataType.INT64)
+        assert f.nullable and f.default is None
+
+
+class TestSchema:
+    def test_lookup(self):
+        schema = Schema([Field("a", DataType.INT64),
+                         Field("b", DataType.STRING)])
+        assert schema.index_of("b") == 1
+        assert schema["b"].dtype is DataType.STRING
+        assert schema[0].name == "a"
+        assert schema.names == ("a", "b")
+        assert len(schema) == 2
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([Field("a", DataType.INT64), Field("a", DataType.INT8)])
+
+    def test_unknown_name(self):
+        schema = Schema([Field("a", DataType.INT64)])
+        with pytest.raises(SchemaError):
+            schema.index_of("z")
+
+    def test_select(self):
+        schema = Schema([Field("a", DataType.INT64),
+                         Field("b", DataType.STRING),
+                         Field("c", DataType.BOOL)])
+        projected = schema.select(["c", "a"])
+        assert projected.names == ("c", "a")
+
+    def test_of_types(self):
+        schema = Schema.of_types([DataType.INT8, DataType.STRING])
+        assert schema.names == ("col0", "col1")
+
+    def test_all_strings(self):
+        schema = Schema.all_strings(3)
+        assert all(f.dtype is DataType.STRING for f in schema)
+
+    def test_equality(self):
+        a = Schema([Field("a", DataType.INT64)])
+        b = Schema([Field("a", DataType.INT64)])
+        c = Schema([Field("a", DataType.INT8)])
+        assert a == b and a != c

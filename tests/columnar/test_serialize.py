@@ -1,0 +1,77 @@
+"""Round-trip tests for table serialisation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.columnar.schema import DataType, Field, Schema
+from repro.columnar.serialize import deserialize_table, serialize_table
+from repro.columnar.table import Column, Table
+from repro.errors import SchemaError
+
+
+def sample_table() -> Table:
+    schema = Schema([
+        Field("id", DataType.INT64),
+        Field("price", DataType.DECIMAL, decimal_scale=2),
+        Field("flag", DataType.BOOL),
+        Field("name", DataType.STRING),
+    ])
+    return Table(schema, [
+        Column.from_values(schema[0], [1, None, 3]),
+        Column.from_values(schema[1], [100, 250, None]),
+        Column.from_values(schema[2], [True, False, True]),
+        Column.from_values(schema[3], ["a", "", None]),
+    ])
+
+
+class TestRoundTrip:
+    def test_sample(self):
+        table = sample_table()
+        rebuilt = deserialize_table(serialize_table(table))
+        assert rebuilt.schema == table.schema
+        assert rebuilt.to_pylist() == table.to_pylist()
+
+    def test_empty_table(self):
+        schema = Schema([Field("x", DataType.INT32)])
+        table = Table(schema, [Column.from_values(schema[0], [])])
+        rebuilt = deserialize_table(serialize_table(table))
+        assert rebuilt.num_rows == 0
+
+    def test_parse_result_roundtrip(self):
+        from repro import parse_bytes
+        table = parse_bytes(b'a,1\n"x,y",2\n').table
+        rebuilt = deserialize_table(serialize_table(table))
+        assert rebuilt.to_pylist() == table.to_pylist()
+
+    @given(st.lists(st.one_of(st.none(),
+                              st.text(max_size=10)), max_size=30),
+           st.lists(st.one_of(st.none(),
+                              st.integers(-(2 ** 31), 2 ** 31 - 1)),
+                    max_size=30))
+    def test_property_roundtrip(self, strings, ints):
+        n = min(len(strings), len(ints))
+        schema = Schema([Field("s", DataType.STRING),
+                         Field("i", DataType.INT64)])
+        table = Table(schema, [
+            Column.from_values(schema[0], strings[:n]),
+            Column.from_values(schema[1], ints[:n]),
+        ])
+        rebuilt = deserialize_table(serialize_table(table))
+        assert rebuilt.to_pylist() == table.to_pylist()
+
+
+class TestErrors:
+    def test_bad_magic(self):
+        with pytest.raises(SchemaError):
+            deserialize_table(b"NOPE!" + b"\x00" * 20)
+
+    def test_truncated(self):
+        raw = serialize_table(sample_table())
+        with pytest.raises(SchemaError):
+            deserialize_table(raw[:len(raw) // 2])
+
+    def test_trailing_garbage(self):
+        raw = serialize_table(sample_table())
+        with pytest.raises(SchemaError):
+            deserialize_table(raw + b"x")

@@ -1,0 +1,138 @@
+"""Tests for columns, tables and concatenation."""
+
+import numpy as np
+import pytest
+
+from repro.columnar.buffers import ValidityBitmap
+from repro.columnar.schema import DataType, Field, Schema
+from repro.columnar.table import Column, Table, concat_tables
+from repro.errors import SchemaError
+
+
+class TestColumn:
+    def test_fixed_width_from_values(self):
+        col = Column.from_values(Field("x", DataType.INT64), [1, None, 3])
+        assert col.to_list() == [1, None, 3]
+        assert col.null_count == 1
+
+    def test_string_from_values(self):
+        col = Column.from_values(Field("s", DataType.STRING),
+                                 ["ab", None, "", "xyz"])
+        assert col.to_list() == ["ab", None, "", "xyz"]
+
+    def test_string_requires_offsets(self):
+        with pytest.raises(SchemaError):
+            Column(Field("s", DataType.STRING),
+                   np.zeros(0, dtype=np.uint8))
+
+    def test_fixed_rejects_offsets(self):
+        with pytest.raises(SchemaError):
+            Column(Field("x", DataType.INT64),
+                   np.zeros(1, dtype=np.int64),
+                   offsets=np.array([0, 1], dtype=np.int64))
+
+    def test_dtype_mismatch(self):
+        with pytest.raises(SchemaError):
+            Column(Field("x", DataType.INT64),
+                   np.zeros(1, dtype=np.int32))
+
+    def test_bool_materialisation(self):
+        col = Column.from_values(Field("b", DataType.BOOL), [True, False])
+        assert col.to_list() == [True, False]
+        assert isinstance(col.value(0), bool)
+
+    def test_float_materialisation(self):
+        col = Column.from_values(Field("f", DataType.FLOAT64), [1.5])
+        assert isinstance(col.value(0), float)
+
+    def test_offsets_overrun(self):
+        with pytest.raises(SchemaError):
+            Column(Field("s", DataType.STRING),
+                   np.zeros(2, dtype=np.uint8),
+                   offsets=np.array([0, 5], dtype=np.int64))
+
+    def test_equality(self):
+        f = Field("x", DataType.INT64)
+        assert Column.from_values(f, [1, 2]) == Column.from_values(f, [1, 2])
+        assert Column.from_values(f, [1, 2]) != Column.from_values(f, [1, 3])
+
+
+class TestTable:
+    def make(self):
+        schema = Schema([Field("a", DataType.INT64),
+                         Field("b", DataType.STRING)])
+        return Table(schema, [
+            Column.from_values(schema[0], [1, 2]),
+            Column.from_values(schema[1], ["x", None]),
+        ])
+
+    def test_shape(self):
+        table = self.make()
+        assert table.num_rows == 2
+        assert table.num_columns == 2
+
+    def test_row_access(self):
+        assert self.make().row(1) == (2, None)
+
+    def test_column_by_name(self):
+        assert self.make().column("b").to_list() == ["x", None]
+
+    def test_to_pylist(self):
+        assert self.make().to_pylist() == [
+            {"a": 1, "b": "x"}, {"a": 2, "b": None}]
+
+    def test_length_mismatch(self):
+        schema = Schema([Field("a", DataType.INT64),
+                         Field("b", DataType.INT64)])
+        with pytest.raises(SchemaError):
+            Table(schema, [Column.from_values(schema[0], [1]),
+                           Column.from_values(schema[1], [1, 2])])
+
+    def test_schema_column_count_mismatch(self):
+        schema = Schema([Field("a", DataType.INT64)])
+        with pytest.raises(SchemaError):
+            Table(schema, [])
+
+
+class TestConcatTables:
+    def test_concat_roundtrip(self):
+        schema = Schema([Field("a", DataType.INT64),
+                         Field("s", DataType.STRING)])
+
+        def table(rows):
+            return Table(schema, [
+                Column.from_values(schema[0], [r[0] for r in rows]),
+                Column.from_values(schema[1], [r[1] for r in rows]),
+            ])
+
+        t1 = table([(1, "aa"), (2, None)])
+        t2 = table([(3, "b")])
+        t3 = table([])
+        combined = concat_tables([t1, t2, t3])
+        assert combined.to_pylist() == [
+            {"a": 1, "s": "aa"}, {"a": 2, "s": None}, {"a": 3, "s": "b"}]
+
+    def test_rejects_schema_mismatch(self):
+        a = Table(Schema([Field("x", DataType.INT64)]),
+                  [Column.from_values(Field("x", DataType.INT64), [1])])
+        b = Table(Schema([Field("x", DataType.INT8)]),
+                  [Column.from_values(Field("x", DataType.INT8), [1])])
+        with pytest.raises(SchemaError):
+            concat_tables([a, b])
+
+    def test_rejects_empty_list(self):
+        with pytest.raises(SchemaError):
+            concat_tables([])
+
+    def test_single_table_passthrough(self):
+        schema = Schema([Field("x", DataType.INT64)])
+        t = Table(schema, [Column.from_values(schema[0], [1])])
+        assert concat_tables([t]) is t
+
+    def test_rejects_accumulate(self):
+        schema = Schema([Field("x", DataType.INT64)])
+        col = Column.from_values(schema[0], [1])
+        col.rejects = 2
+        t = Table(schema, [col])
+        combined = concat_tables([t, t])
+        assert combined.total_rejects() == 4

@@ -1,0 +1,68 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dfa import Dialect, dialect_dfa, rfc4180_dfa
+
+
+@pytest.fixture(scope="session")
+def csv_dfa():
+    """The paper's six-state RFC 4180 automaton."""
+    return rfc4180_dfa()
+
+
+@pytest.fixture(scope="session")
+def comment_dfa():
+    """CSV automaton extended with '#' line comments."""
+    return dialect_dfa(Dialect.csv_with_comments())
+
+
+@pytest.fixture(scope="session")
+def paper_example() -> bytes:
+    """The worked example of Figures 3-5."""
+    return b'1941,199.99,"Bookcase"\n1938,19.99,"Frame\n""Ribba"", black"\n'
+
+
+#: A corpus of small adversarial inputs used by several equivalence tests.
+TRICKY_INPUTS = [
+    b"",
+    b"\n",
+    b"\n\n",
+    b"a",
+    b"a\n",
+    b"a,b\n",
+    b"a,b",
+    b",\n",
+    b",,\n",
+    b"a,\n,b\n",
+    b'""\n',
+    b'"",""\n',
+    b'"a"\n',
+    b'"a,b"\n',
+    b'"a\nb"\n',
+    b'"a""b"\n',
+    b'""""\n',
+    b'"",\n',
+    b',""\n',
+    b"x,y,z\n1,2,3\n",
+    b'a,"b\nc",d\ne,f,g\n',
+    b'"start\n"mid",end\n',   # quote after closing quote -> invalid tail
+    b"trailing,record",
+    b'"unclosed\neverything,is,data',
+    b"1,2\n3,4,5\n6\n",       # varying column counts
+    b"long" * 100 + b",x\n",
+    b'"' + b"huge " * 200 + b'",tail\n',
+]
+
+
+@pytest.fixture(params=TRICKY_INPUTS,
+                ids=[f"tricky{i}" for i in range(len(TRICKY_INPUTS))])
+def tricky_input(request) -> bytes:
+    return request.param
+
+
+def as_uint8(data: bytes) -> np.ndarray:
+    return np.frombuffer(data, dtype=np.uint8)

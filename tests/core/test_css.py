@@ -1,0 +1,103 @@
+"""Tests for CSS index generation in all three tagging modes (Fig. 5/6)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.css import delimited_index, inline_index, tagged_index
+from repro.errors import ParseError
+
+
+class TestTaggedIndex:
+    def test_figure5_text_column(self):
+        # Column 2 of Figure 5: "Bookcase\0Frame..." with records 0, 1.
+        tags = np.array([0] * 9 + [1] * 21)
+        index = tagged_index(tags)
+        assert index.records.tolist() == [0, 1]
+        assert index.offsets.tolist() == [0, 9]
+        assert index.lengths.tolist() == [9, 21]
+
+    def test_empty(self):
+        index = tagged_index(np.array([], dtype=np.int64))
+        assert index.num_fields == 0
+
+    def test_missing_records_absent(self):
+        # Record 1 contributed no symbols: only records 0 and 2 indexed.
+        tags = np.array([0, 0, 2, 2, 2])
+        index = tagged_index(tags)
+        assert index.records.tolist() == [0, 2]
+
+    @given(st.lists(st.integers(0, 30), max_size=200))
+    def test_reconstruction(self, tag_list):
+        tags = np.array(tag_list, dtype=np.int64)
+        index = tagged_index(tags)
+        rebuilt = np.repeat(index.records, index.lengths)
+        assert rebuilt.tolist() == tag_list
+        # Offsets are the exclusive prefix sum of lengths.
+        assert index.offsets.tolist() == \
+            np.concatenate([[0], np.cumsum(index.lengths)[:-1]]).tolist() \
+            if index.num_fields else True
+
+
+class TestInlineIndex:
+    def test_figure6(self):
+        # "Apples\x1e\x1ePears\x1e" -> offsets 0,7,9; lengths 6,0,5.
+        css = np.frombuffer(b"Apples\x1e\x1ePears\x1e", dtype=np.uint8)
+        index = inline_index(css, 0x1E)
+        assert index.offsets.tolist() == [0, 7, 8]
+        assert index.lengths.tolist() == [6, 0, 5]
+        assert index.records.tolist() == [0, 1, 2]
+
+    def test_empty_css(self):
+        index = inline_index(np.array([], dtype=np.uint8), 0x1E)
+        assert index.num_fields == 0
+
+    def test_missing_trailing_terminator_rejected(self):
+        css = np.frombuffer(b"abc", dtype=np.uint8)
+        with pytest.raises(ParseError):
+            inline_index(css, 0x1E)
+
+    def test_all_empty_fields(self):
+        css = np.full(3, 0x1E, dtype=np.uint8)
+        index = inline_index(css, 0x1E)
+        assert index.lengths.tolist() == [0, 0, 0]
+
+    @given(st.lists(st.binary(max_size=8).filter(lambda b: 0x1E not in b),
+                    max_size=30))
+    def test_roundtrip(self, fields):
+        css_bytes = b"".join(f + b"\x1e" for f in fields)
+        css = np.frombuffer(css_bytes, dtype=np.uint8)
+        index = inline_index(css, 0x1E)
+        assert index.num_fields == len(fields)
+        for i, expected in enumerate(fields):
+            lo = int(index.offsets[i])
+            hi = lo + int(index.lengths[i])
+            assert css[lo:hi].tobytes() == expected
+
+
+class TestDelimitedIndex:
+    def test_figure6(self):
+        # "Apples??Pears?" with marks 00000011000001.
+        marks = np.array([0, 0, 0, 0, 0, 0, 1, 1, 0, 0, 0, 0, 0, 1],
+                         dtype=bool)
+        index = delimited_index(marks)
+        assert index.offsets.tolist() == [0, 7, 8]
+        assert index.lengths.tolist() == [6, 0, 5]
+
+    def test_missing_trailing_mark_rejected(self):
+        with pytest.raises(ParseError):
+            delimited_index(np.array([True, False]))
+
+    def test_empty(self):
+        assert delimited_index(np.array([], dtype=bool)).num_fields == 0
+
+    @given(st.lists(st.integers(0, 6), max_size=30))
+    def test_matches_inline(self, field_lengths):
+        """Inline and delimited must index identical field geometry."""
+        css_bytes = b"".join(b"x" * n + b"\x1e" for n in field_lengths)
+        css = np.frombuffer(css_bytes, dtype=np.uint8)
+        marks = css == 0x1E
+        a = inline_index(css, 0x1E)
+        b = delimited_index(marks)
+        assert a.offsets.tolist() == b.offsets.tolist()
+        assert a.lengths.tolist() == b.lengths.tolist()

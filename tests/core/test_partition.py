@@ -1,0 +1,126 @@
+"""Tests for the stable radix-sort partition (§3.3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.partition import partition_by_column, stable_radix_sort
+from repro.errors import ParseError
+
+
+class TestStableRadixSort:
+    @given(hnp.arrays(np.int64, st.integers(0, 300),
+                      elements=st.integers(0, 40)),
+           st.sampled_from([1, 2, 4, 8, 16]))
+    def test_sorted_and_stable(self, keys, radix_bits):
+        perm = stable_radix_sort(keys, radix_bits=radix_bits)
+        sorted_keys = keys[perm]
+        assert np.all(sorted_keys[:-1] <= sorted_keys[1:]) \
+            if keys.size else True
+        # Stability: among equal keys, original order preserved.
+        for value in np.unique(keys):
+            positions = perm[sorted_keys == value]
+            assert np.all(positions[:-1] < positions[1:])
+
+    @given(hnp.arrays(np.int64, st.integers(0, 200),
+                      elements=st.integers(0, 100)))
+    def test_matches_numpy_stable(self, keys):
+        perm = stable_radix_sort(keys)
+        expected = np.argsort(keys, kind="stable")
+        assert perm.tolist() == expected.tolist()
+
+    def test_is_permutation(self):
+        keys = np.array([3, 1, 3, 0, 2, 1])
+        perm = stable_radix_sort(keys, radix_bits=1)
+        assert sorted(perm.tolist()) == list(range(6))
+
+    def test_empty(self):
+        assert stable_radix_sort(np.array([], dtype=np.int64)).size == 0
+
+    def test_multi_pass(self):
+        # Keys needing several 2-bit passes.
+        keys = np.array([255, 0, 128, 64, 192, 1])
+        perm = stable_radix_sort(keys, radix_bits=2)
+        assert keys[perm].tolist() == sorted(keys.tolist())
+
+    def test_rejects_negative_keys(self):
+        with pytest.raises(ParseError):
+            stable_radix_sort(np.array([-1, 2]))
+
+    def test_rejects_bad_radix(self):
+        with pytest.raises(ParseError):
+            stable_radix_sort(np.array([1]), radix_bits=0)
+        with pytest.raises(ParseError):
+            stable_radix_sort(np.array([1]), radix_bits=17)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ParseError):
+            stable_radix_sort(np.zeros((2, 2), dtype=np.int64))
+
+
+class TestPartitionByColumn:
+    def test_figure5_layout(self):
+        """Figure 5: symbols partitioned into per-column CSSs, record
+        tags moved along, offsets from the histogram."""
+        data = np.frombuffer(b"19411938x199.9919.99y", dtype=np.uint8)
+        #                      col0 col0  ?  col1  col1  ?
+        column_ids = np.array([0] * 4 + [0] * 4 + [9] + [1] * 6 + [1] * 5
+                              + [9])
+        record_ids = np.array([0] * 4 + [1] * 4 + [0] + [0] * 6 + [1] * 5
+                              + [1])
+        keep = column_ids != 9
+        part = partition_by_column(data, keep, column_ids, record_ids,
+                                   num_columns=2)
+        assert part.column_css(0).tobytes() == b"19411938"
+        assert part.column_css(1).tobytes() == b"199.9919.99"
+        assert part.column_offsets.tolist() == [0, 8, 19]
+        assert part.column_record_tags(0).tolist() == [0] * 4 + [1] * 4
+
+    def test_order_gathers_payload(self):
+        data = np.frombuffer(b"ba", dtype=np.uint8)
+        column_ids = np.array([1, 0])
+        record_ids = np.array([0, 0])
+        keep = np.ones(2, dtype=bool)
+        part = partition_by_column(data, keep, column_ids, record_ids, 2)
+        assert part.css.tobytes() == b"ab"
+        assert part.order.tolist() == [1, 0]
+
+    def test_empty_columns_have_empty_css(self):
+        data = np.frombuffer(b"xy", dtype=np.uint8)
+        part = partition_by_column(data, np.ones(2, dtype=bool),
+                                   np.array([2, 2]), np.array([0, 0]), 4)
+        assert part.column_css(0).size == 0
+        assert part.column_css(2).tobytes() == b"xy"
+        assert part.column_css(3).size == 0
+
+    def test_rejects_overflowing_tags(self):
+        data = np.frombuffer(b"x", dtype=np.uint8)
+        with pytest.raises(ParseError):
+            partition_by_column(data, np.ones(1, dtype=bool),
+                                np.array([5]), np.array([0]), 2)
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ParseError):
+            partition_by_column(np.zeros(2, dtype=np.uint8),
+                                np.ones(3, dtype=bool),
+                                np.zeros(2, dtype=np.int64),
+                                np.zeros(2, dtype=np.int64), 1)
+
+    @given(st.data())
+    @settings(max_examples=60)
+    def test_preserves_order_within_column(self, data):
+        n = data.draw(st.integers(0, 150))
+        payload = data.draw(hnp.arrays(np.uint8, n))
+        columns = data.draw(hnp.arrays(np.int64, n,
+                                       elements=st.integers(0, 5)))
+        records = data.draw(hnp.arrays(np.int64, n,
+                                       elements=st.integers(0, 8)))
+        keep = data.draw(hnp.arrays(np.bool_, n))
+        part = partition_by_column(payload, keep, columns, records, 6)
+        for c in range(6):
+            expected = payload[keep & (columns == c)]
+            assert part.column_css(c).tolist() == expected.tolist()
+            expected_tags = records[keep & (columns == c)]
+            assert part.column_record_tags(c).tolist() \
+                == expected_tags.tolist()

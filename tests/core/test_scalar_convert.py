@@ -1,0 +1,183 @@
+"""Tests for the scalar reference converters."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.columnar.schema import DataType, Field
+from repro.core.scalar_convert import (
+    convert_scalar,
+    days_from_civil,
+    parse_bool_scalar,
+    parse_date_scalar,
+    parse_decimal_scalar,
+    parse_float_scalar,
+    parse_int_scalar,
+    parse_timestamp_scalar,
+)
+
+
+class TestParseInt:
+    @pytest.mark.parametrize("text,value", [
+        (b"0", 0), (b"42", 42), (b"-7", -7), (b"+13", 13),
+        (b"007", 7), (b"9223372036854775807", 2 ** 63 - 1),
+        (b"-9223372036854775808", -(2 ** 63)),
+    ])
+    def test_accepts(self, text, value):
+        assert parse_int_scalar(text) == (value, True)
+
+    @pytest.mark.parametrize("text", [
+        b"", b"-", b"+", b"1.5", b"1e3", b"abc", b"12 ", b" 12",
+        b"1-2", b"--1", b"9223372036854775808",
+    ])
+    def test_rejects(self, text):
+        assert parse_int_scalar(text) == (None, False)
+
+    def test_narrow_types_range_checked(self):
+        assert parse_int_scalar(b"127", DataType.INT8) == (127, True)
+        assert parse_int_scalar(b"128", DataType.INT8) == (None, False)
+        assert parse_int_scalar(b"-32768", DataType.INT16) == (-32768, True)
+        assert parse_int_scalar(b"70000", DataType.INT16) == (None, False)
+
+    @given(st.integers(min_value=-(2 ** 63), max_value=2 ** 63 - 1))
+    def test_roundtrip(self, value):
+        assert parse_int_scalar(str(value).encode()) == (value, True)
+
+
+class TestParseFloat:
+    @pytest.mark.parametrize("text", [
+        b"0", b"1.5", b"-2.25", b"+0.125", b".5", b"1.", b"1e3",
+        b"2.5E-2", b"-1e+10", b"nan", b"inf", b"-infinity", b"NaN",
+    ])
+    def test_accepts(self, text):
+        value, ok = parse_float_scalar(text)
+        assert ok
+        if text.lower().strip(b"+-") != b"nan":
+            assert value == float(text)
+
+    @pytest.mark.parametrize("text", [
+        b"", b".", b"-", b"1.2.3", b"e5", b"1e", b"abc", b"1_000",
+        b"0x1p3", b" 1", b"1 ",
+    ])
+    def test_rejects(self, text):
+        assert parse_float_scalar(text) == (None, False)
+
+    @given(st.floats(allow_nan=False, allow_infinity=False))
+    def test_roundtrip(self, value):
+        text = repr(value).encode()
+        parsed, ok = parse_float_scalar(text)
+        assert ok and parsed == value
+
+
+class TestParseDecimal:
+    @pytest.mark.parametrize("text,scale,value", [
+        (b"199.99", 2, 19999),
+        (b"19.99", 2, 1999),
+        (b"0.50", 2, 50),
+        (b"-1.5", 2, -150),
+        (b"3", 2, 300),
+        (b"42", 0, 42),
+        (b".25", 2, 25),
+    ])
+    def test_accepts(self, text, scale, value):
+        assert parse_decimal_scalar(text, scale) == (value, True)
+
+    @pytest.mark.parametrize("text,scale", [
+        (b"", 2), (b".", 2), (b"1.", 2), (b"1.234", 2), (b"1,5", 2),
+        (b"abc", 2), (b"--1", 2), (b"1.2.3", 2),
+    ])
+    def test_rejects(self, text, scale):
+        assert parse_decimal_scalar(text, scale) == (None, False)
+
+    @given(st.integers(-(10 ** 15), 10 ** 15), st.integers(0, 4))
+    def test_roundtrip(self, scaled, scale):
+        text = str(scaled * 10 ** scale // 10 ** scale)
+        # Construct "<int>.<frac>" from a scaled integer.
+        sign = "-" if scaled < 0 else ""
+        magnitude = abs(scaled)
+        whole, frac = divmod(magnitude, 10 ** scale)
+        literal = f"{sign}{whole}.{str(frac).zfill(scale)}" if scale \
+            else f"{sign}{whole}"
+        assert parse_decimal_scalar(literal.encode(), scale) \
+            == (scaled, True)
+
+
+class TestParseBool:
+    @pytest.mark.parametrize("text,value", [
+        (b"1", True), (b"0", False), (b"t", True), (b"f", False),
+        (b"true", True), (b"False", False), (b"TRUE", True),
+    ])
+    def test_accepts(self, text, value):
+        assert parse_bool_scalar(text) == (value, True)
+
+    @pytest.mark.parametrize("text", [b"", b"yes", b"2", b"tru", b"10"])
+    def test_rejects(self, text):
+        assert parse_bool_scalar(text) == (None, False)
+
+
+class TestDaysFromCivil:
+    @pytest.mark.parametrize("ymd,days", [
+        ((1970, 1, 1), 0),
+        ((1970, 1, 2), 1),
+        ((1969, 12, 31), -1),
+        ((2000, 3, 1), 11017),
+        ((2018, 1, 1), 17532),
+    ])
+    def test_known_dates(self, ymd, days):
+        assert days_from_civil(*ymd) == days
+
+    @given(st.integers(-300000, 300000))
+    def test_matches_datetime(self, offset):
+        import datetime
+        date = datetime.date(1970, 1, 1) + datetime.timedelta(days=offset)
+        assert days_from_civil(date.year, date.month, date.day) == offset
+
+
+class TestParseDate:
+    def test_accepts(self):
+        assert parse_date_scalar(b"1970-01-01") == (0, True)
+        assert parse_date_scalar(b"2016-02-29") == (16860, True)
+
+    @pytest.mark.parametrize("text", [
+        b"", b"1970-1-1", b"1970/01/01", b"2017-02-29", b"2018-13-01",
+        b"2018-00-10", b"2018-01-32", b"2018-01-00", b"18-01-01",
+        b"2018-01-01x",
+    ])
+    def test_rejects(self, text):
+        assert parse_date_scalar(text) == (None, False)
+
+
+class TestParseTimestamp:
+    def test_accepts(self):
+        assert parse_timestamp_scalar(b"1970-01-01 00:00:00") == (0, True)
+        assert parse_timestamp_scalar(b"1970-01-02 01:02:03") \
+            == (86400 + 3723, True)
+
+    @pytest.mark.parametrize("text", [
+        b"", b"1970-01-01", b"1970-01-01T00:00:00",
+        b"1970-01-01 24:00:00", b"1970-01-01 00:60:00",
+        b"1970-01-01 00:00:61", b"1970-01-01 0:00:00",
+    ])
+    def test_rejects(self, text):
+        assert parse_timestamp_scalar(text) == (None, False)
+
+
+class TestConvertScalarDispatch:
+    def test_string_passthrough(self):
+        field = Field("s", DataType.STRING)
+        assert convert_scalar(field, b"hi") == ("hi", True)
+
+    def test_decimal_uses_field_scale(self):
+        field = Field("d", DataType.DECIMAL, decimal_scale=3)
+        assert convert_scalar(field, b"1.250") == (1250, True)
+
+    def test_all_types_dispatch(self):
+        cases = {
+            DataType.INT8: b"5", DataType.INT16: b"5",
+            DataType.INT32: b"5", DataType.INT64: b"5",
+            DataType.FLOAT32: b"1.5", DataType.FLOAT64: b"1.5",
+            DataType.BOOL: b"true", DataType.DATE: b"2000-01-01",
+            DataType.TIMESTAMP: b"2000-01-01 00:00:00",
+        }
+        for dtype, text in cases.items():
+            _, ok = convert_scalar(Field("x", dtype), text)
+            assert ok, dtype

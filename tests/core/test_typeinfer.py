@@ -1,0 +1,52 @@
+"""Tests for numeric/temporal type inference (§4.3)."""
+
+import numpy as np
+import pytest
+
+from repro.columnar.schema import DataType
+from repro.core.css import ColumnIndex
+from repro.core.typeinfer import infer_column_type
+
+
+def column(fields: list[bytes]):
+    css = np.frombuffer(b"".join(fields), dtype=np.uint8)
+    lengths = np.array([len(f) for f in fields], dtype=np.int64)
+    offsets = np.concatenate([[0], np.cumsum(lengths)[:-1]]) \
+        .astype(np.int64)
+    index = ColumnIndex(records=np.arange(len(fields), dtype=np.int64),
+                        offsets=offsets, lengths=lengths)
+    return css, index
+
+
+@pytest.mark.parametrize("fields,expected", [
+    ([b"0", b"1"], DataType.BOOL),
+    ([b"t", b"false"], DataType.BOOL),
+    ([b"0", b"2"], DataType.INT8),
+    ([b"127", b"-128"], DataType.INT8),
+    ([b"128"], DataType.INT16),
+    ([b"40000"], DataType.INT32),
+    ([b"3000000000"], DataType.INT64),
+    ([b"1", b"1.5"], DataType.FLOAT64),
+    ([b"1e300"], DataType.FLOAT64),
+    ([b"2020-01-01"], DataType.DATE),
+    ([b"2020-01-01 10:00:00"], DataType.TIMESTAMP),
+    ([b"hello"], DataType.STRING),
+    ([b"1", b"x"], DataType.STRING),
+    ([b"2020-01-01", b"5"], DataType.STRING),  # mixed temporal/numeric
+    ([], DataType.STRING),
+])
+def test_inference(fields, expected):
+    css, index = column(fields)
+    assert infer_column_type(css, index) is expected
+
+
+def test_empty_fields_are_neutral():
+    css, index = column([b"", b"7", b""])
+    assert infer_column_type(css, index) is DataType.INT8
+
+
+def test_widening_is_max_reduction():
+    # int8 candidates + one int64 -> int64 (paper: reduction over the
+    # minimum per-field type).
+    css, index = column([b"1", b"2", b"3000000000", b"4"])
+    assert infer_column_type(css, index) is DataType.INT64

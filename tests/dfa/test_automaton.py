@@ -1,0 +1,146 @@
+"""Tests for the DFA data model."""
+
+import numpy as np
+import pytest
+
+from repro.dfa.automaton import Dfa, Emission
+from repro.errors import DfaError
+
+
+def tiny_dfa() -> Dfa:
+    """Two states toggled by byte 'a'; everything else self-loops."""
+    groups = np.zeros(256, dtype=np.uint8)
+    groups[ord("a")] = 1
+    return Dfa(
+        state_names=("EVEN", "ODD"),
+        symbol_groups=groups,
+        group_names=("other", "flip"),
+        transitions=np.array([[0, 1], [1, 0]], dtype=np.uint8),
+        emissions=np.zeros((2, 2), dtype=np.uint8),
+        start_state=0,
+        accepting=frozenset({0}),
+    )
+
+
+class TestConstruction:
+    def test_tiny_builds(self):
+        dfa = tiny_dfa()
+        assert dfa.num_states == 2
+        assert dfa.num_groups == 2
+
+    def test_rejects_bad_transition_shape(self):
+        with pytest.raises(DfaError):
+            Dfa(state_names=("A",),
+                symbol_groups=np.zeros(256, dtype=np.uint8),
+                group_names=("g",),
+                transitions=np.zeros((2, 1), dtype=np.uint8),
+                emissions=np.zeros((1, 1), dtype=np.uint8),
+                start_state=0, accepting=frozenset())
+
+    def test_rejects_out_of_range_state(self):
+        with pytest.raises(DfaError):
+            Dfa(state_names=("A",),
+                symbol_groups=np.zeros(256, dtype=np.uint8),
+                group_names=("g",),
+                transitions=np.array([[3]], dtype=np.uint8),
+                emissions=np.zeros((1, 1), dtype=np.uint8),
+                start_state=0, accepting=frozenset())
+
+    def test_rejects_non_sink_invalid(self):
+        with pytest.raises(DfaError):
+            Dfa(state_names=("A", "INV"),
+                symbol_groups=np.zeros(256, dtype=np.uint8),
+                group_names=("g",),
+                transitions=np.array([[1, 0]], dtype=np.uint8),
+                emissions=np.zeros((2, 1), dtype=np.uint8),
+                start_state=0, accepting=frozenset(),
+                invalid_state=1)
+
+    def test_tables_frozen(self):
+        dfa = tiny_dfa()
+        with pytest.raises(ValueError):
+            dfa.transitions[0, 0] = 1
+
+    def test_state_index(self):
+        dfa = tiny_dfa()
+        assert dfa.state_index("ODD") == 1
+        with pytest.raises(DfaError):
+            dfa.state_index("MISSING")
+
+
+class TestSimulation:
+    def test_toggle(self):
+        dfa = tiny_dfa()
+        state, emissions = dfa.simulate(b"aa")
+        assert state == 0
+        state, _ = dfa.simulate(b"aba")
+        assert state == 0
+        state, _ = dfa.simulate(b"ab")
+        assert state == 1
+
+    def test_custom_start_state(self):
+        dfa = tiny_dfa()
+        state, _ = dfa.simulate(b"b", start_state=1)
+        assert state == 1
+
+    def test_transition_vector(self):
+        dfa = tiny_dfa()
+        assert dfa.transition_vector(b"a") == (1, 0)
+        assert dfa.transition_vector(b"aa") == (0, 1)
+        assert dfa.transition_vector(b"") == (0, 1)
+
+    def test_is_accepting(self):
+        dfa = tiny_dfa()
+        assert dfa.is_accepting(0)
+        assert not dfa.is_accepting(1)
+
+
+class TestPaperTable1:
+    """The RFC 4180 automaton must reproduce Table 1 exactly."""
+
+    EXPECTED = {
+        # group -> transitions for (EOR, ENC, FLD, EOF, ESC, INV)
+        "EOL": ("EOR", "ENC", "EOR", "EOR", "EOR", "INV"),
+        "QUOTE": ("ENC", "ESC", "INV", "ENC", "ENC", "INV"),
+        "DELIM": ("EOF", "ENC", "EOF", "EOF", "EOF", "INV"),
+        "OTHER": ("FLD", "ENC", "FLD", "FLD", "INV", "INV"),
+    }
+
+    def test_table(self, csv_dfa):
+        for g, gname in enumerate(csv_dfa.group_names):
+            expected = self.EXPECTED[gname]
+            for s in range(csv_dfa.num_states):
+                target = csv_dfa.state_names[int(csv_dfa.transitions[g, s])]
+                assert target == expected[s], (gname, csv_dfa.state_names[s])
+
+    def test_six_states(self, csv_dfa):
+        assert csv_dfa.state_names == ("EOR", "ENC", "FLD", "EOF", "ESC",
+                                       "INV")
+
+    def test_four_groups(self, csv_dfa):
+        assert csv_dfa.group_names == ("EOL", "QUOTE", "DELIM", "OTHER")
+
+    def test_symbol_group_assignment(self, csv_dfa):
+        assert csv_dfa.group_of(ord("\n")) == 0
+        assert csv_dfa.group_of(ord('"')) == 1
+        assert csv_dfa.group_of(ord(",")) == 2
+        assert csv_dfa.group_of(ord("x")) == 3
+
+    def test_format_transition_table(self, csv_dfa):
+        rendered = csv_dfa.format_transition_table()
+        assert "EOL" in rendered and "EOR" in rendered
+
+
+class TestPaddingGroup:
+    def test_padding_is_identity(self, csv_dfa):
+        padded = csv_dfa.with_padding_group()
+        pad = padded.num_groups - 1
+        assert padded.group_names[-1] == "PAD"
+        for s in range(padded.num_states):
+            assert int(padded.transitions[pad, s]) == s
+            assert padded.emissions[s, pad] == int(Emission.COMMENT)
+
+    def test_original_groups_untouched(self, csv_dfa):
+        padded = csv_dfa.with_padding_group()
+        assert np.array_equal(padded.transitions[:-1], csv_dfa.transitions)
+        assert np.array_equal(padded.symbol_groups, csv_dfa.symbol_groups)

@@ -1,0 +1,114 @@
+"""Tests for the fluent DFA builder."""
+
+import pytest
+
+from repro.dfa.automaton import Emission
+from repro.dfa.builder import DfaBuilder
+from repro.errors import DfaError
+
+
+def parity_builder() -> DfaBuilder:
+    return (DfaBuilder()
+            .state("EVEN", accepting=True)
+            .state("ODD")
+            .group("flip", b"a")
+            .catch_all("other")
+            .transition("EVEN", "flip", "ODD", Emission.DATA)
+            .transition("ODD", "flip", "EVEN", Emission.DATA)
+            .transition("EVEN", "other", "EVEN", Emission.DATA)
+            .transition("ODD", "other", "ODD", Emission.DATA)
+            .start("EVEN"))
+
+
+class TestBuild:
+    def test_docstring_example(self):
+        dfa = parity_builder().build()
+        state, _ = dfa.simulate(b"abca")
+        assert dfa.state_names[state] == "EVEN"
+
+    def test_missing_start(self):
+        builder = parity_builder()
+        builder._start = None
+        with pytest.raises(DfaError):
+            builder.build()
+
+    def test_duplicate_state(self):
+        with pytest.raises(DfaError):
+            DfaBuilder().state("A").state("A")
+
+    def test_duplicate_group(self):
+        with pytest.raises(DfaError):
+            DfaBuilder().group("g", b"a").group("g", b"b")
+
+    def test_byte_in_two_groups(self):
+        builder = (DfaBuilder().state("A").group("g1", b"a")
+                   .group("g2", b"a").catch_all("rest").start("A"))
+        with pytest.raises(DfaError):
+            builder.build()
+
+    def test_duplicate_transition(self):
+        builder = parity_builder()
+        with pytest.raises(DfaError):
+            builder.transition("EVEN", "flip", "EVEN")
+
+    def test_unknown_references(self):
+        builder = DfaBuilder().state("A").group("g", b"a")
+        with pytest.raises(DfaError):
+            builder.transition("X", "g", "A")
+        with pytest.raises(DfaError):
+            builder.transition("A", "nope", "A")
+        with pytest.raises(DfaError):
+            builder.start("X")
+
+    def test_missing_transition_without_invalid(self):
+        builder = (DfaBuilder().state("A").group("g", b"a")
+                   .catch_all("rest").start("A")
+                   .transition("A", "g", "A"))
+        with pytest.raises(DfaError):
+            builder.build()  # "rest" transition undefined, no INV
+
+    def test_missing_transitions_default_to_invalid(self):
+        dfa = (DfaBuilder().state("A", accepting=True)
+               .invalid_state("BAD")
+               .group("g", b"a").catch_all("rest")
+               .transition("A", "g", "A", Emission.DATA)
+               .start("A").build())
+        state, _ = dfa.simulate(b"ax")
+        assert dfa.state_names[state] == "BAD"
+        assert dfa.invalid_state == dfa.state_index("BAD")
+
+    def test_invalid_state_is_forced_sink(self):
+        dfa = (DfaBuilder().state("A").invalid_state("BAD")
+               .group("g", b"a").catch_all("rest")
+               .transition("A", "g", "A")
+               # Even an explicit escape from BAD is overridden:
+               .transition("BAD", "g", "A")
+               .start("A").build())
+        inv = dfa.state_index("BAD")
+        assert all(int(dfa.transitions[g, inv]) == inv
+                   for g in range(dfa.num_groups))
+
+    def test_catch_all_covers_everything(self):
+        dfa = parity_builder().build()
+        # "flip" is group 0, the catch-all "other" is group 1.
+        assert dfa.group_of(ord("a")) == 0
+        assert dfa.group_of(0) == 1
+        assert dfa.group_of(255) == 1
+
+    def test_no_catch_all_requires_full_coverage(self):
+        builder = DfaBuilder().state("A").group("g", bytes(range(256)))
+        builder.transition("A", "g", "A").start("A")
+        dfa = builder.build()
+        assert dfa.num_groups == 1
+
+    def test_group_accepts_int_iterable(self):
+        dfa = (DfaBuilder().state("A").group("g", [0x61, 0x62])
+               .catch_all("rest")
+               .transition("A", "g", "A")
+               .transition("A", "rest", "A")
+               .start("A").build())
+        assert dfa.group_of(0x61) == dfa.group_of(0x62) == 0
+
+    def test_group_rejects_out_of_range(self):
+        with pytest.raises(DfaError):
+            DfaBuilder().group("g", [300])

@@ -1,0 +1,140 @@
+"""Tests for the CSV dialect DFAs: emission semantics over real inputs."""
+
+import pytest
+
+from repro.dfa.automaton import Emission
+from repro.dfa.csv import dialect_dfa, rfc4180_dfa
+from repro.dfa.dialects import Dialect
+from repro.errors import DialectError
+
+D = Emission.DATA
+F = Emission.FIELD_DELIMITER
+R = Emission.RECORD_DELIMITER
+C = Emission.CONTROL
+M = Emission.COMMENT
+
+
+def emissions_of(dfa, data: bytes) -> list[Emission]:
+    _, emissions = dfa.simulate(data)
+    return emissions
+
+
+class TestRfc4180Emissions:
+    def test_plain_record(self, csv_dfa):
+        assert emissions_of(csv_dfa, b"ab,c\n") == [D, D, F, D, R]
+
+    def test_quoted_field(self, csv_dfa):
+        # Quotes are control; the enclosed comma is data.
+        assert emissions_of(csv_dfa, b'"a,b"\n') == [C, D, D, D, C, R]
+
+    def test_enclosed_newline_is_data(self, csv_dfa):
+        assert emissions_of(csv_dfa, b'"a\nb"\n') == [C, D, D, D, C, R]
+
+    def test_doubled_quote_second_is_data(self, csv_dfa):
+        # 'a""b' -> a, control, data-quote, b
+        assert emissions_of(csv_dfa, b'"a""b"\n') == [C, D, C, D, D, C, R]
+
+    def test_empty_quoted(self, csv_dfa):
+        assert emissions_of(csv_dfa, b'""\n') == [C, C, R]
+
+    def test_quote_in_plain_field_goes_invalid(self, csv_dfa):
+        state, emissions = csv_dfa.simulate(b'a"b')
+        assert csv_dfa.state_names[state] == "INV"
+
+    def test_garbage_after_closing_quote_invalid(self, csv_dfa):
+        state, _ = csv_dfa.simulate(b'"a"x')
+        assert csv_dfa.state_names[state] == "INV"
+
+    def test_end_states(self, csv_dfa):
+        for data, expected in [(b"a,b\n", "EOR"), (b"a,b", "FLD"),
+                               (b"a,", "EOF"), (b'"a"', "ESC"),
+                               (b'"a', "ENC")]:
+            state, _ = csv_dfa.simulate(data)
+            assert csv_dfa.state_names[state] == expected, data
+
+    def test_accepting_states(self, csv_dfa):
+        # ENC (unclosed quote) and INV are the non-accepting states.
+        names = {csv_dfa.state_names[s] for s in range(csv_dfa.num_states)
+                 if csv_dfa.is_accepting(s)}
+        assert names == {"EOR", "FLD", "EOF", "ESC"}
+
+
+class TestCommentDialect:
+    def test_comment_line_all_comment(self, comment_dfa):
+        emissions = emissions_of(comment_dfa, b"#x\n")
+        assert emissions == [M, M, M]
+
+    def test_quote_inside_comment_ignored(self, comment_dfa):
+        state, emissions = comment_dfa.simulate(b'#"\na,b\n')
+        assert emissions[:3] == [M, M, M]
+        assert comment_dfa.state_names[state] == "EOR"
+
+    def test_hash_mid_field_is_data(self, comment_dfa):
+        assert emissions_of(comment_dfa, b"a#b\n") == [D, D, D, R]
+
+    def test_hash_after_delimiter_is_data(self, comment_dfa):
+        assert emissions_of(comment_dfa, b"a,#b\n") == [D, F, D, D, R]
+
+
+class TestCrlfDialect:
+    def test_crlf_record(self):
+        dfa = dialect_dfa(Dialect())  # strip_carriage_return=True
+        assert emissions_of(dfa, b"a\r\n") == [D, C, R]
+
+    def test_cr_inside_quotes_is_data(self):
+        dfa = dialect_dfa(Dialect())
+        assert emissions_of(dfa, b'"a\rb"\n') == [C, D, D, D, C, R]
+
+    def test_lone_cr_goes_invalid(self):
+        dfa = dialect_dfa(Dialect())
+        state, _ = dfa.simulate(b"a\rb")
+        assert dfa.state_names[state] == "INV"
+
+
+class TestEscapeDialect:
+    def test_backslash_escapes_delimiter(self):
+        dfa = dialect_dfa(Dialect(escape=b"\\", quote=None,
+                                  doubled_quote=False,
+                                  strip_carriage_return=False))
+        assert emissions_of(dfa, b"a\\,b\n") == [D, C, D, D, R]
+
+    def test_backslash_escapes_newline(self):
+        dfa = dialect_dfa(Dialect(escape=b"\\", quote=None,
+                                  doubled_quote=False,
+                                  strip_carriage_return=False))
+        assert emissions_of(dfa, b"a\\\nb\n") == [D, C, D, D, R]
+
+    def test_escape_inside_quotes(self):
+        dfa = dialect_dfa(Dialect(escape=b"\\",
+                                  strip_carriage_return=False))
+        assert emissions_of(dfa, b'"a\\"b"\n') == [C, D, C, D, D, C, R]
+
+
+class TestUnquotedDialects:
+    def test_tsv(self):
+        dfa = dialect_dfa(Dialect.tsv())
+        assert emissions_of(dfa, b"a\tb\n") == [D, F, D, R]
+
+    def test_pipe(self):
+        dfa = dialect_dfa(Dialect.pipe())
+        assert emissions_of(dfa, b"a|b\n") == [D, F, D, R]
+
+    def test_no_quote_states(self):
+        dfa = dialect_dfa(Dialect.tsv())
+        assert "ENC" not in dfa.state_names
+        assert "ESC" not in dfa.state_names
+
+
+class TestRfc4180Factory:
+    def test_exact_states(self):
+        dfa = rfc4180_dfa()
+        assert dfa.state_names == ("EOR", "ENC", "FLD", "EOF", "ESC", "INV")
+        assert dfa.start_state == 0
+        assert dfa.invalid_state == dfa.state_index("INV")
+
+    def test_figure3_transition_vectors(self):
+        # Thread 5 of Figure 3 reads '"' + ',?black"?'-style content; the
+        # key checked property: an STV entry per start state.
+        dfa = rfc4180_dfa()
+        vector = dfa.transition_vector(b'",')
+        assert len(vector) == 6

@@ -1,0 +1,52 @@
+"""Tests for dialect validation."""
+
+import pytest
+
+from repro.dfa.dialects import Dialect
+from repro.errors import DialectError
+
+
+class TestDialectValidation:
+    def test_default_is_rfc4180(self):
+        d = Dialect.csv()
+        assert d.delimiter == b"," and d.quote == b'"'
+        assert d.doubled_quote
+
+    def test_rejects_multibyte_delimiter(self):
+        with pytest.raises(DialectError):
+            Dialect(delimiter=b",,")
+
+    def test_rejects_empty_delimiter(self):
+        with pytest.raises(DialectError):
+            Dialect(delimiter=b"")
+
+    def test_rejects_clashing_bytes(self):
+        with pytest.raises(DialectError):
+            Dialect(delimiter=b",", quote=b",")
+        with pytest.raises(DialectError):
+            Dialect(comment=b"\n")
+        with pytest.raises(DialectError):
+            Dialect(escape=b'"')
+
+    def test_rejects_non_bytes(self):
+        with pytest.raises(DialectError):
+            Dialect(delimiter=",")  # type: ignore[arg-type]
+
+    def test_special_bytes(self):
+        d = Dialect.csv_with_comments()
+        special = d.special_bytes()
+        assert {ord(","), ord("\n"), ord('"'), ord("#"), 0x0D} <= special
+
+    def test_byte_properties(self):
+        d = Dialect.tsv()
+        assert d.delimiter_byte == ord("\t")
+        assert d.quote_byte is None
+        assert d.comment_byte is None
+
+    def test_convenience_constructors(self):
+        assert Dialect.pipe().delimiter == b"|"
+        assert Dialect.csv_with_comments(b";").comment == b";"
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            Dialect().delimiter = b";"  # type: ignore[misc]

@@ -1,0 +1,69 @@
+"""Tests for the log-format DFAs against realistic log lines."""
+
+from repro.baselines.sequential import sequential_rows
+from repro.dfa.logformats import common_log_format_dfa, \
+    extended_log_format_dfa
+
+
+class TestCommonLogFormat:
+    LINE = (b'127.0.0.1 - frank [10/Oct/2000:13:55:36 -0700] '
+            b'"GET /apache_pb.gif HTTP/1.0" 200 2326\n')
+
+    def test_fields(self):
+        dfa = common_log_format_dfa()
+        rows, state, _ = sequential_rows(self.LINE, dfa)
+        assert len(rows) == 1
+        assert rows[0] == [b"127.0.0.1", b"-", b"frank",
+                           b"10/Oct/2000:13:55:36 -0700",
+                           b"GET /apache_pb.gif HTTP/1.0",
+                           b"200", b"2326"]
+        assert dfa.state_names[state] == "EOR"
+
+    def test_spaces_inside_brackets_are_data(self):
+        dfa = common_log_format_dfa()
+        rows, _, _ = sequential_rows(b"[a b c] x\n", dfa)
+        assert rows == [[b"a b c", b"x"]]
+
+    def test_spaces_inside_quotes_are_data(self):
+        dfa = common_log_format_dfa()
+        rows, _, _ = sequential_rows(b'"GET / HTTP/1.1" 200\n', dfa)
+        assert rows == [[b"GET / HTTP/1.1", b"200"]]
+
+    def test_multiple_lines(self):
+        dfa = common_log_format_dfa()
+        rows, _, _ = sequential_rows(b"a b\nc d\n", dfa)
+        assert rows == [[b"a", b"b"], [b"c", b"d"]]
+
+    def test_quote_inside_bare_field_invalid(self):
+        dfa = common_log_format_dfa()
+        state, _ = dfa.simulate(b'ab"cd')
+        assert dfa.state_names[state] == "INV"
+
+
+class TestExtendedLogFormat:
+    def test_directives_produce_no_records(self):
+        dfa = extended_log_format_dfa()
+        data = (b"#Version: 1.0\n"
+                b"#Fields: date time cs-uri\n"
+                b"2018-01-01 00:00:01 /index.html\n")
+        rows, _, _ = sequential_rows(data, dfa)
+        assert rows == [[b"2018-01-01", b"00:00:01", b"/index.html"]]
+
+    def test_quotes_inside_directive_do_not_poison(self):
+        # The quote-counting killer: an odd number of quotes on a
+        # directive line must not flip quotation scope for later lines.
+        dfa = extended_log_format_dfa()
+        data = (b'#Remark: "unbalanced\n'
+                b"2018-01-01 00:00:01 /a\n")
+        rows, _, _ = sequential_rows(data, dfa)
+        assert rows == [[b"2018-01-01", b"00:00:01", b"/a"]]
+
+    def test_quoted_field_with_spaces(self):
+        dfa = extended_log_format_dfa()
+        rows, _, _ = sequential_rows(b'"Mozilla 5.0" 200\n', dfa)
+        assert rows == [[b"Mozilla 5.0", b"200"]]
+
+    def test_hash_mid_line_is_data(self):
+        dfa = extended_log_format_dfa()
+        rows, _, _ = sequential_rows(b"a b#c\n", dfa)
+        assert rows == [[b"a", b"b#c"]]

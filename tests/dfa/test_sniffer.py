@@ -1,0 +1,87 @@
+"""Tests for dialect sniffing."""
+
+import pytest
+
+from repro import ParPaRawParser, ParseOptions
+from repro.dfa.sniffer import sniff_dialect
+from repro.errors import DialectError
+from repro.workloads import generate_clf, generate_taxi_like, \
+    generate_yelp_like
+
+
+class TestSniffDelimiters:
+    @pytest.mark.parametrize("delimiter", [b",", b"\t", b";", b"|"])
+    def test_detects_delimiter(self, delimiter):
+        rows = [delimiter.join([b"alpha", b"42", b"x"]) for _ in range(20)]
+        sample = b"\n".join(rows) + b"\n"
+        result = sniff_dialect(sample)
+        assert result.dialect.delimiter == delimiter
+        assert result.num_columns == 3
+        assert result.consistency > 0.9
+
+    def test_taxi_like(self):
+        sample = generate_taxi_like(8_000, seed=11)
+        result = sniff_dialect(sample)
+        assert result.dialect.delimiter == b","
+        assert result.num_columns == 17
+
+    def test_yelp_like_quoted(self):
+        sample = generate_yelp_like(20_000, seed=7)
+        result = sniff_dialect(sample)
+        assert result.dialect.delimiter == b","
+        assert result.dialect.quote == b'"'
+        assert result.num_columns == 9
+
+    def test_space_delimited_logs(self):
+        sample = generate_clf(30, seed=3)
+        result = sniff_dialect(sample)
+        assert result.dialect.delimiter == b" "
+
+
+class TestSniffFeatures:
+    def test_detects_comments(self):
+        sample = b"#header\n1,2\n#note\n3,4\n" * 5
+        result = sniff_dialect(sample)
+        assert result.dialect.comment == b"#"
+        parsed = ParPaRawParser(
+            ParseOptions(dialect=result.dialect)).parse(sample)
+        assert parsed.num_rows == 10
+
+    def test_quotes_disabled_when_unused(self):
+        sample = b"a,b\nc,d\n" * 10
+        result = sniff_dialect(sample)
+        # Either choice parses this sample; sniffing must still return a
+        # working dialect with the right delimiter.
+        assert result.dialect.delimiter == b","
+
+    def test_quoted_fields_with_embedded_delimiters(self):
+        sample = b'"a,long,one",2\n"more,commas",4\n' * 8
+        result = sniff_dialect(sample)
+        assert result.dialect.quote == b'"'
+        assert result.num_columns == 2
+
+    def test_trailing_partial_line_tolerated(self):
+        sample = b"a,b\nc,d\npartial,li"
+        result = sniff_dialect(sample)
+        assert result.num_columns == 2
+
+
+class TestSniffErrors:
+    def test_empty_sample(self):
+        with pytest.raises(DialectError):
+            sniff_dialect(b"")
+
+    def test_single_column_fallback(self):
+        # No delimiter at all: 1-column verdict, low consistency claim OK.
+        result = sniff_dialect(b"justoneword\nanother\n")
+        assert result.num_columns == 1
+
+
+class TestEndToEnd:
+    def test_sniff_then_parse(self):
+        sample = b"id;name;qty\n1;bolt;10\n2;nut;20\n"
+        result = sniff_dialect(sample)
+        parsed = ParPaRawParser(
+            ParseOptions(dialect=result.dialect)).parse(sample)
+        assert parsed.table.num_columns == 3
+        assert parsed.table.row(1) == ("1", "bolt", "10")

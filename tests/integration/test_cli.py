@@ -1,0 +1,89 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pathlib
+
+import pytest
+
+from repro.__main__ import main
+from repro.columnar.serialize import deserialize_table
+
+
+@pytest.fixture()
+def csv_file(tmp_path: pathlib.Path) -> str:
+    path = tmp_path / "data.csv"
+    path.write_bytes(b'1,2.5,"a,b"\n2,3.25,"c\nd"\n3,4.0,e\n')
+    return str(path)
+
+
+class TestParseCommand:
+    def test_prints_rows(self, csv_file, capsys):
+        assert main(["parse", csv_file]) == 0
+        out = capsys.readouterr().out
+        assert "col0\tcol1\tcol2" in out
+        assert "1\t2.5\ta,b" in out
+
+    def test_limit(self, csv_file, capsys):
+        main(["parse", csv_file, "--limit", "1"])
+        out = capsys.readouterr().out
+        assert "more rows" in out
+
+    def test_summary(self, csv_file, capsys):
+        main(["parse", csv_file, "--summary"])
+        out = capsys.readouterr().out
+        assert "records:  3" in out
+        assert "end state: EOR (ok)" in out
+        assert "partition" in out
+
+    def test_custom_dialect(self, tmp_path, capsys):
+        path = tmp_path / "semi.csv"
+        path.write_bytes(b"# header\nx;1\n")
+        main(["parse", str(path), "--delimiter", ";", "--comment", "#"])
+        out = capsys.readouterr().out
+        assert "x\t1" in out
+
+    def test_serialised_output(self, csv_file, tmp_path, capsys):
+        out_path = tmp_path / "out.rprw"
+        main(["parse", csv_file, "--output", str(out_path)])
+        table = deserialize_table(out_path.read_bytes())
+        assert table.num_rows == 3
+        assert table.row(1) == ("2", "3.25", "c\nd")
+
+    def test_null_rendering(self, tmp_path, capsys):
+        path = tmp_path / "nulls.csv"
+        path.write_bytes(b"a,,c\n")
+        main(["parse", str(path)])
+        assert "a\tNULL\tc" in capsys.readouterr().out
+
+
+class TestInferCommand:
+    def test_inferred_types(self, tmp_path, capsys):
+        path = tmp_path / "typed.csv"
+        path.write_bytes(b"1,2.5,2020-01-01,x\n2,3.5,2021-02-02,y\n")
+        assert main(["infer", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "int8" in out and "float64" in out
+        assert "date" in out and "string" in out
+
+
+class TestSimulateCommand:
+    def test_step_breakdown(self, capsys):
+        assert main(["simulate", "--dataset", "yelp",
+                     "--size-mb", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "parse" in out and "convert" in out
+        assert "GB/s" in out
+        assert "streamed end-to-end" in out
+
+    def test_taxi_slower_than_yelp(self, capsys):
+        main(["simulate", "--dataset", "yelp", "--size-mb", "512"])
+        yelp_out = capsys.readouterr().out
+        main(["simulate", "--dataset", "taxi", "--size-mb", "512"])
+        taxi_out = capsys.readouterr().out
+
+        def total_ms(out: str) -> float:
+            for line in out.splitlines():
+                if line.strip().startswith("total"):
+                    return float(line.split()[1])
+            raise AssertionError("no total line")
+
+        assert total_ms(taxi_out) > total_ms(yelp_out)

@@ -1,0 +1,104 @@
+"""Deterministic mutation fuzzing: the parallel pipeline never diverges.
+
+Seeds well-formed CSV corpora, then applies byte-level mutations (flips,
+deletions, duplications, splices of quote/delimiter bytes) and checks the
+central invariant on every mutant: ParPaRaw == sequential reference, for
+several chunk sizes.  Complements the hypothesis tests with adversarial,
+structure-aware corruption.
+"""
+
+import random
+
+import pytest
+
+from repro import Dialect, ParPaRawParser, ParseOptions, Schema
+from repro.baselines import SequentialParser
+from repro.workloads import CsvGenerator, generate_taxi_like, \
+    generate_yelp_like
+
+NO_CR = Dialect(strip_carriage_return=False)
+
+MUTATION_BYTES = b'",\n#\\x00\xff'
+
+
+def mutate(data: bytes, rng: random.Random, operations: int) -> bytes:
+    buf = bytearray(data)
+    for _ in range(operations):
+        if not buf:
+            break
+        op = rng.randrange(4)
+        pos = rng.randrange(len(buf))
+        if op == 0:      # overwrite with a structural byte
+            buf[pos] = rng.choice(MUTATION_BYTES)
+        elif op == 1:    # delete
+            del buf[pos]
+        elif op == 2:    # duplicate a span
+            span = buf[pos:pos + rng.randrange(1, 8)]
+            buf[pos:pos] = span
+        else:            # bit flip
+            buf[pos] ^= 1 << rng.randrange(8)
+    return bytes(buf)
+
+
+def assert_equivalent(data: bytes, chunk_sizes=(3, 31)):
+    for chunk_size in chunk_sizes:
+        options = ParseOptions(dialect=NO_CR, chunk_size=chunk_size)
+        parallel = ParPaRawParser(options).parse(data).table.to_pylist()
+        sequential = SequentialParser(options).parse(data).to_pylist()
+        assert parallel == sequential, (chunk_size, data[:120])
+
+
+class TestMutationFuzz:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_mutated_quoted_csv(self, seed):
+        rng = random.Random(seed)
+        base = CsvGenerator(dialect=NO_CR, seed=seed,
+                            quote_probability=0.5,
+                            embedded_delim_probability=0.5).generate(15)
+        for _ in range(6):
+            assert_equivalent(mutate(base, rng, operations=4))
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_mutated_yelp_like(self, seed):
+        rng = random.Random(1000 + seed)
+        base = generate_yelp_like(3_000, seed=seed)
+        for _ in range(4):
+            assert_equivalent(mutate(base, rng, operations=6))
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_mutated_taxi_like(self, seed):
+        rng = random.Random(2000 + seed)
+        base = generate_taxi_like(2_000, seed=seed)
+        for _ in range(4):
+            assert_equivalent(mutate(base, rng, operations=6))
+
+    def test_pathological_quote_storms(self):
+        # Long runs of quotes exercise the ENC<->ESC oscillation.
+        for n in (1, 2, 3, 4, 7, 16, 33):
+            assert_equivalent(b'"' * n + b"\n")
+            assert_equivalent(b'a,' + b'"' * n + b",b\n")
+
+    def test_delimiter_storms(self):
+        for n in (1, 5, 64, 200):
+            assert_equivalent(b"," * n + b"\n")
+            assert_equivalent(b"\n" * n)
+
+    def test_alternating_structures(self):
+        assert_equivalent(b',"\n' * 40)
+        assert_equivalent(b'",\n"' * 40)
+        assert_equivalent(bytes(range(256)).replace(b"\r", b"") * 2)
+
+
+class TestTypedMutationFuzz:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_typed_schema_never_diverges(self, seed):
+        from repro.workloads import TAXI_SCHEMA
+        rng = random.Random(3000 + seed)
+        base = generate_taxi_like(1_500, seed=seed)
+        mutant = mutate(base, rng, operations=10)
+        options = ParseOptions(dialect=NO_CR, schema=TAXI_SCHEMA)
+        parallel = ParPaRawParser(options).parse(mutant)
+        sequential = SequentialParser(options).parse(mutant)
+        assert parallel.table.to_pylist() == sequential.to_pylist()
+        assert parallel.total_rejected_fields \
+            == sum(c.rejects for c in sequential.columns)

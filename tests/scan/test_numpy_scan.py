@@ -1,0 +1,120 @@
+"""Tests for the vectorised scans against their scalar references."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.scan.numpy_scan import (
+    compose_vectors,
+    exclusive_sum,
+    inclusive_sum,
+    scan_column_offsets,
+    scan_transition_vectors,
+)
+from repro.scan.operators import (
+    ColumnOffset,
+    ColumnOffsetMonoid,
+    OffsetKind,
+    TransitionComposeMonoid,
+)
+from repro.scan.sequential import exclusive_scan, inclusive_scan
+
+NUM_STATES = 6
+
+
+class TestSums:
+    def test_exclusive_example(self):
+        assert exclusive_sum(np.array([3, 5, 1, 2])).tolist() == [0, 3, 8, 9]
+
+    def test_empty(self):
+        assert exclusive_sum(np.array([], dtype=np.int64)).size == 0
+
+    @given(hnp.arrays(np.int32, st.integers(0, 100),
+                      elements=st.integers(-1000, 1000)))
+    def test_matches_python(self, values):
+        expected = []
+        acc = 0
+        for v in values:
+            expected.append(acc)
+            acc += int(v)
+        assert exclusive_sum(values).tolist() == expected
+
+    def test_inclusive_int64_no_overflow(self):
+        # Byte offsets must not wrap in int32.
+        values = np.full(10, 2 ** 30, dtype=np.int64)
+        assert int(inclusive_sum(values)[-1]) == 10 * 2 ** 30
+
+
+class TestComposeVectors:
+    def test_matches_monoid(self):
+        m = TransitionComposeMonoid(4)
+        a = np.array([1, 0, 3, 2], dtype=np.uint8)
+        b = np.array([2, 2, 0, 1], dtype=np.uint8)
+        assert compose_vectors(a, b).tolist() == list(m.combine(tuple(a),
+                                                                tuple(b)))
+
+    def test_batched(self):
+        a = np.array([[1, 0], [0, 1]], dtype=np.uint8)
+        b = np.array([[1, 1], [0, 0]], dtype=np.uint8)
+        out = compose_vectors(a, b)
+        assert out.tolist() == [[1, 1], [0, 0]]
+
+
+vector_arrays = hnp.arrays(
+    np.uint8, st.tuples(st.integers(0, 40), st.just(NUM_STATES)),
+    elements=st.integers(0, NUM_STATES - 1))
+
+
+class TestScanTransitionVectors:
+    @given(vector_arrays)
+    def test_matches_scalar_exclusive(self, vectors):
+        m = TransitionComposeMonoid(NUM_STATES)
+        rows = [tuple(int(x) for x in row) for row in vectors]
+        expected = exclusive_scan(rows, m)
+        out = scan_transition_vectors(vectors, exclusive=True)
+        assert [tuple(r) for r in out.tolist()] == expected
+
+    @given(vector_arrays)
+    def test_matches_scalar_inclusive(self, vectors):
+        m = TransitionComposeMonoid(NUM_STATES)
+        rows = [tuple(int(x) for x in row) for row in vectors]
+        expected = inclusive_scan(rows, m)
+        out = scan_transition_vectors(vectors, exclusive=False)
+        assert [tuple(r) for r in out.tolist()] == expected
+
+    def test_first_row_is_identity(self):
+        vectors = np.array([[3, 2, 1, 0, 4, 5]] * 4, dtype=np.uint8)
+        out = scan_transition_vectors(vectors)
+        assert out[0].tolist() == [0, 1, 2, 3, 4, 5]
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            scan_transition_vectors(np.zeros(5, dtype=np.uint8))
+
+
+class TestScanColumnOffsets:
+    @given(hnp.arrays(np.bool_, st.integers(0, 50)),
+           hnp.arrays(np.int64, st.integers(0, 50),
+                      elements=st.integers(0, 20)))
+    def test_matches_scalar(self, kinds, values):
+        n = min(len(kinds), len(values))
+        kinds, values = kinds[:n], values[:n]
+        m = ColumnOffsetMonoid()
+        items = [ColumnOffset(OffsetKind.ABSOLUTE if k
+                              else OffsetKind.RELATIVE, int(v))
+                 for k, v in zip(kinds, values)]
+        expected = exclusive_scan(items, m)
+        out_kinds, out_values = scan_column_offsets(kinds, values)
+        assert out_values.tolist() == [o.value for o in expected]
+        assert out_kinds.tolist() == [o.is_absolute for o in expected]
+
+    def test_figure4(self):
+        kinds = np.array([False, False, True, False, False, False])
+        values = np.array([1, 1, 0, 1, 0, 0])
+        _, entering = scan_column_offsets(kinds, values)
+        assert entering.tolist() == [0, 1, 2, 0, 1, 1]
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            scan_column_offsets(np.array([True]), np.array([1, 2]))

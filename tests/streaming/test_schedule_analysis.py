@@ -1,0 +1,68 @@
+"""Tests for pipeline schedule analysis (bottleneck, fill/drain, Gantt)."""
+
+import pytest
+
+from repro.gpusim.cost_model import WorkloadStats
+from repro.streaming import StreamingPipeline
+
+GB = 1e9
+MB = 1024 ** 2
+
+
+@pytest.fixture(scope="module")
+def schedule():
+    return StreamingPipeline().simulate(int(2 * GB), 128 * MB,
+                                        WorkloadStats.yelp_like)
+
+
+class TestAnalysis:
+    def test_bottleneck_identified(self, schedule):
+        assert schedule.bottleneck() in ("transfer", "parse", "return")
+        busiest = schedule.busy_time(schedule.bottleneck())
+        for stage in ("transfer", "parse", "return"):
+            assert schedule.busy_time(stage) <= busiest + 1e-12
+
+    def test_fill_drain_grows_with_partition(self):
+        pipeline = StreamingPipeline()
+        small = pipeline.simulate(int(2 * GB), 32 * MB,
+                                  WorkloadStats.yelp_like)
+        large = pipeline.simulate(int(2 * GB), 512 * MB,
+                                  WorkloadStats.yelp_like)
+        assert large.fill_drain_seconds() > 4 * small.fill_drain_seconds()
+
+    def test_fill_drain_below_makespan(self, schedule):
+        assert 0 < schedule.fill_drain_seconds() < schedule.makespan
+
+    def test_memory_guard(self):
+        """A partition whose double buffer exceeds device memory refuses
+        to schedule (the Figure 7 allocation must fit)."""
+        from repro.errors import StreamingError
+        pipeline = StreamingPipeline()
+        with pytest.raises(StreamingError, match="device memory"):
+            pipeline.simulate(int(20 * GB), int(4 * GB))
+
+
+class TestGantt:
+    def test_renders_rows(self, schedule):
+        art = schedule.render_gantt(width=60)
+        lines = art.splitlines()
+        assert lines[0].startswith("HtD ")
+        assert lines[1].startswith("GPU ")
+        assert lines[2].startswith("DtH ")
+        assert "T" in lines[0] and "P" in lines[1] and "R" in lines[2]
+
+    def test_double_buffer_visible(self, schedule):
+        """Alternating case encodes partition parity."""
+        art = schedule.render_gantt(width=72)
+        assert "T" in art and "t" in art
+
+    def test_empty_schedule(self):
+        from repro.streaming.pipeline import PipelineSchedule
+        assert "empty" in PipelineSchedule().render_gantt()
+
+    def test_max_partitions_limits_output(self, schedule):
+        full = schedule.render_gantt(width=60, max_partitions=None)
+        limited = schedule.render_gantt(width=60, max_partitions=2)
+        # The limited chart shows fewer busy cells.
+        assert sum(c != " " for c in limited) \
+            < sum(c != " " for c in full)

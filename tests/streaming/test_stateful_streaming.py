@@ -1,0 +1,58 @@
+"""Stateful property test: the streaming parser as a state machine.
+
+Hypothesis drives arbitrary interleavings of feeds (random partition
+contents and sizes, including empty feeds) and checks at teardown that the
+accumulated streamed output equals one batch parse of everything fed —
+the §4.4 carry-over invariant under adversarial schedules.
+"""
+
+import hypothesis.strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro import ParPaRawParser, ParseOptions, Schema, StreamingParser
+
+OPTIONS = ParseOptions(schema=Schema.all_strings(3))
+
+csv_fragment = st.text(alphabet=st.sampled_from(list('ab",\n')),
+                       max_size=40).map(lambda s: s.encode())
+
+
+class StreamingMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.stream = StreamingParser(OPTIONS)
+        self.fed = b""
+        self.finished = False
+
+    @rule(fragment=csv_fragment)
+    def feed(self, fragment):
+        if self.finished:
+            return
+        self.stream.feed(fragment)
+        self.fed += fragment
+
+    @rule()
+    def feed_empty(self):
+        if self.finished:
+            return
+        assert self.stream.feed(b"") == 0
+
+    @invariant()
+    def records_never_exceed_batch(self):
+        if self.finished:
+            return
+        batch = ParPaRawParser(OPTIONS).parse(self.fed)
+        # The stream may lag (carry-over holds the tail) but never leads.
+        assert self.stream.records_parsed <= batch.num_rows
+
+    def teardown(self):
+        if self.finished:
+            return
+        table = self.stream.finish()
+        batch = ParPaRawParser(OPTIONS).parse(self.fed).table
+        assert table.to_pylist() == batch.to_pylist()
+
+
+TestStreamingMachine = StreamingMachine.TestCase
+TestStreamingMachine.settings = __import__("hypothesis").settings(
+    max_examples=40, stateful_step_count=20, deadline=None)

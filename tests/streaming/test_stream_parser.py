@@ -1,0 +1,115 @@
+"""Tests for the working streaming parser: stream ≡ batch, always."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import ParPaRawParser, ParseOptions, Schema, StreamingParser
+from repro.columnar.schema import DataType, Field
+from repro.errors import StreamingError
+from repro.workloads.yelp import YELP_SCHEMA, generate_yelp_like
+
+csv_like = st.text(alphabet=st.sampled_from(list('ab",\n')),
+                   max_size=120).map(lambda s: s.encode())
+
+
+def stream_parse(data: bytes, partition: int, options: ParseOptions):
+    stream = StreamingParser(options)
+    for i in range(0, max(len(data), 1), partition):
+        stream.feed(data[i:i + partition])
+    return stream.finish()
+
+
+class TestEquivalence:
+    @given(csv_like, st.integers(1, 40))
+    @settings(max_examples=100, deadline=None)
+    def test_stream_equals_batch(self, data, partition):
+        options = ParseOptions(schema=Schema.all_strings(3))
+        batch = ParPaRawParser(options).parse(data).table
+        streamed = stream_parse(data, partition, options)
+        assert streamed.to_pylist() == batch.to_pylist()
+
+    @pytest.mark.parametrize("partition", [1, 3, 7, 100, 10_000])
+    def test_yelp_partitions(self, partition):
+        data = generate_yelp_like(5_000)
+        options = ParseOptions(schema=YELP_SCHEMA)
+        batch = ParPaRawParser(options).parse(data).table
+        streamed = stream_parse(data, partition, options)
+        assert streamed.to_pylist() == batch.to_pylist()
+
+    def test_partition_smaller_than_record(self):
+        # Carry-over must accumulate across multiple partitions when a
+        # record exceeds the partition size (§4.4 carry-over semantics).
+        data = b'id,"' + b"x" * 500 + b'"\n2,b\n'
+        options = ParseOptions(schema=Schema.all_strings(2))
+        streamed = stream_parse(data, 64, options)
+        batch = ParPaRawParser(options).parse(data).table
+        assert streamed.to_pylist() == batch.to_pylist()
+
+    def test_typed_streaming(self):
+        schema = Schema([Field("n", DataType.INT64),
+                         Field("s", DataType.STRING)])
+        options = ParseOptions(schema=schema)
+        data = b"1,a\n2,b\n3,c"
+        streamed = stream_parse(data, 4, options)
+        assert streamed.to_pylist() == [
+            {"n": 1, "s": "a"}, {"n": 2, "s": "b"}, {"n": 3, "s": "c"}]
+
+
+class TestCarryOver:
+    def test_carry_sizes_recorded(self):
+        options = ParseOptions(schema=Schema.all_strings(2))
+        stream = StreamingParser(options)
+        stream.feed(b"a,b\nc,")
+        assert stream.carry_sizes == [2]  # 'c,' held back
+        stream.feed(b"d\n")
+        assert stream.carry_sizes == [2, 0]
+        stream.finish()
+
+    def test_quoted_newline_not_a_boundary(self):
+        options = ParseOptions(schema=Schema.all_strings(2))
+        stream = StreamingParser(options)
+        stream.feed(b'a,"x\n')   # newline inside quotes: no boundary
+        assert stream.records_parsed == 0
+        stream.feed(b'y"\n')
+        assert stream.records_parsed == 1
+        table = stream.finish()
+        assert table.to_pylist() == [{"col0": "a", "col1": "x\ny"}]
+
+    def test_empty_feeds(self):
+        options = ParseOptions(schema=Schema.all_strings(1))
+        stream = StreamingParser(options)
+        assert stream.feed(b"") == 0
+        stream.feed(b"x\n")
+        assert stream.finish().num_rows == 1
+
+
+class TestApiGuards:
+    def test_requires_schema(self):
+        with pytest.raises(StreamingError):
+            StreamingParser(ParseOptions())
+
+    def test_rejects_skips(self):
+        options = ParseOptions(schema=Schema.all_strings(1),
+                               skip_rows=frozenset({0}))
+        with pytest.raises(StreamingError):
+            StreamingParser(options)
+
+    def test_finish_twice(self):
+        options = ParseOptions(schema=Schema.all_strings(1))
+        stream = StreamingParser(options)
+        stream.finish()
+        with pytest.raises(StreamingError):
+            stream.finish()
+
+    def test_feed_after_finish(self):
+        options = ParseOptions(schema=Schema.all_strings(1))
+        stream = StreamingParser(options)
+        stream.finish()
+        with pytest.raises(StreamingError):
+            stream.feed(b"x")
+
+    def test_empty_stream(self):
+        options = ParseOptions(schema=Schema.all_strings(2))
+        table = StreamingParser(options).finish()
+        assert table.num_rows == 0
+        assert table.num_columns == 2

@@ -1,0 +1,65 @@
+"""Tests for the exception hierarchy and error metadata."""
+
+import pytest
+
+from repro.errors import (
+    CapacityError,
+    ConversionError,
+    DfaError,
+    DialectError,
+    ParseError,
+    ReproError,
+    SchemaError,
+    SimulationError,
+    StreamingError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc", [
+        DialectError, DfaError, ParseError, ConversionError, SchemaError,
+        CapacityError, SimulationError, StreamingError,
+    ])
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        assert issubclass(exc, Exception)
+
+    def test_catch_all(self):
+        with pytest.raises(ReproError):
+            raise ParseError("boom")
+
+
+class TestMetadata:
+    def test_parse_error_location(self):
+        error = ParseError("bad", byte_offset=42, record=3)
+        assert error.byte_offset == 42
+        assert error.record == 3
+        assert "bad" in str(error)
+
+    def test_parse_error_defaults(self):
+        error = ParseError("bad")
+        assert error.byte_offset is None
+        assert error.record is None
+
+    def test_conversion_error_context(self):
+        error = ConversionError("nope", column=2, record=7, text="xyz")
+        assert (error.column, error.record, error.text) == (2, 7, "xyz")
+
+
+class TestErrorsSurfaceInApi:
+    def test_strict_parse_error_carries_offset(self):
+        from repro import parse_bytes
+        with pytest.raises(ParseError) as info:
+            parse_bytes(b'ok\nbad"x\n', strict=True)
+        assert info.value.byte_offset is not None
+        # The offending quote is at offset 6; the automaton sits in INV
+        # from the following byte.
+        assert 6 <= info.value.byte_offset <= 8
+
+    def test_strict_conversion_error_carries_text(self):
+        from repro import DataType, Field, Schema, parse_bytes
+        from repro.errors import ConversionError
+        schema = Schema([Field("n", DataType.INT64)])
+        with pytest.raises(ConversionError) as info:
+            parse_bytes(b"1\nnope\n", schema=schema, strict=True)
+        assert info.value.text == "nope"

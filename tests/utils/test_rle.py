@@ -1,0 +1,52 @@
+"""Tests for run-length encoding (the CSS index primitive)."""
+
+import numpy as np
+from hypothesis import given, strategies as st
+
+from repro.utils.rle import run_length_encode, run_starts
+
+
+class TestRunStarts:
+    def test_empty(self):
+        assert run_starts(np.array([], dtype=np.int64)).tolist() == []
+
+    def test_single(self):
+        assert run_starts(np.array([5])).tolist() == [0]
+
+    def test_alternating(self):
+        assert run_starts(np.array([1, 2, 1, 2])).tolist() == [0, 1, 2, 3]
+
+    def test_constant(self):
+        assert run_starts(np.array([7] * 10)).tolist() == [0]
+
+
+class TestRunLengthEncode:
+    def test_figure5_record_tags(self):
+        # Column 2 of Figure 5: record tags over the text column symbols.
+        tags = np.array([0] * 9 + [1] * 21)
+        values, lengths = run_length_encode(tags)
+        assert values.tolist() == [0, 1]
+        assert lengths.tolist() == [9, 21]
+
+    def test_empty(self):
+        values, lengths = run_length_encode(np.array([], dtype=np.int64))
+        assert values.size == 0 and lengths.size == 0
+
+    @given(st.lists(st.integers(min_value=0, max_value=5), max_size=200))
+    def test_roundtrip(self, data):
+        arr = np.array(data, dtype=np.int64)
+        values, lengths = run_length_encode(arr)
+        rebuilt = np.repeat(values, lengths)
+        assert rebuilt.tolist() == data
+
+    @given(st.lists(st.integers(min_value=0, max_value=5), min_size=1,
+                    max_size=200))
+    def test_no_adjacent_equal_runs(self, data):
+        values, _ = run_length_encode(np.array(data))
+        assert all(values[i] != values[i + 1]
+                   for i in range(len(values) - 1))
+
+    @given(st.lists(st.integers(min_value=0, max_value=5), max_size=200))
+    def test_lengths_sum_to_input(self, data):
+        _, lengths = run_length_encode(np.array(data, dtype=np.int64))
+        assert int(lengths.sum()) == len(data)

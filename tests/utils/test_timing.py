@@ -1,0 +1,51 @@
+"""Tests for the step timer."""
+
+import pytest
+
+from repro.utils.timing import StepTimer
+
+
+class TestStepTimer:
+    def test_accumulates(self):
+        timer = StepTimer()
+        with timer.step("parse"):
+            pass
+        with timer.step("parse"):
+            pass
+        assert timer.counts()["parse"] == 2
+        assert timer.totals()["parse"] >= 0.0
+
+    def test_add_manual(self):
+        timer = StepTimer()
+        timer.add("tag", 0.5)
+        timer.add("tag", 0.25)
+        assert timer.totals()["tag"] == pytest.approx(0.75)
+        assert timer.total() == pytest.approx(0.75)
+
+    def test_add_rejects_negative(self):
+        with pytest.raises(ValueError):
+            StepTimer().add("x", -1.0)
+
+    def test_merge(self):
+        a = StepTimer()
+        a.add("parse", 1.0)
+        b = StepTimer()
+        b.add("parse", 2.0)
+        b.add("scan", 0.5)
+        a.merge(b)
+        assert a.totals() == {"parse": 3.0, "scan": 0.5}
+        assert a.counts() == {"parse": 2, "scan": 1}
+
+    def test_reset(self):
+        timer = StepTimer()
+        timer.add("x", 1.0)
+        timer.reset()
+        assert timer.totals() == {}
+        assert timer.total() == 0.0
+
+    def test_exception_still_recorded(self):
+        timer = StepTimer()
+        with pytest.raises(RuntimeError):
+            with timer.step("boom"):
+                raise RuntimeError()
+        assert "boom" in timer.totals()
