@@ -13,12 +13,17 @@ serial fraction on yelp-like data.  Written to
 ``results/ablation_scaling.txt``.
 """
 
+import os
+
 import pytest
 
+from repro import ParPaRawParser, ParseOptions
 from repro.baselines import InstantLoadingParser
 from repro.dfa.dialects import Dialect
+from repro.exec import SerialExecutor, ShardedExecutor
 from repro.gpusim.cost_model import PipelineCostModel, WorkloadStats
 from repro.gpusim.device import TITAN_X_PASCAL, V100
+from repro.workloads import YELP_SCHEMA, generate_yelp_like
 
 from conftest import MB, write_report
 
@@ -55,6 +60,68 @@ def test_core_scaling(benchmark, results_dir):
     assert rows[0.25] > rows[0.5] > rows[1.0] > rows[2.0] > rows[4.0]
     assert base / rows[4.0] > 2.0           # substantial, sustained gain
     assert rows["V100"] < base              # the §1 5120-core part wins
+
+
+def test_worker_scaling(benchmark, results_dir):
+    """CPU analogue of the core-count sweep: the sharded executor.
+
+    The same hierarchy the paper builds for GPU chunks (per-chunk STVs
+    combined by a composition scan) is lifted one level to CPU shards,
+    so the STV and tagging steps run embarrassingly parallel across a
+    process pool.  Sweeps worker counts over a 64 MB yelp-like input and
+    records the per-step breakdown; written to
+    ``results/ablation_workers.txt``.
+    """
+    data = generate_yelp_like(64 * MB)
+    options = ParseOptions(schema=YELP_SCHEMA)
+    worker_counts = (1, 2, 4, 8)
+
+    def sweep():
+        rows = {}
+        for workers in worker_counts:
+            executor = SerialExecutor() if workers == 1 \
+                else ShardedExecutor(workers=workers)
+            try:
+                result = ParPaRawParser(options,
+                                        executor=executor).parse(data)
+            finally:
+                executor.close()
+            rows[workers] = (result.step_seconds(), result.num_rows)
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1,
+                              warmup_rounds=0)
+
+    cpus = len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") \
+        else (os.cpu_count() or 1)
+    base_steps, base_rows = rows[1]
+    sharded_steps = ("parse", "scan", "tag")
+    lines = [f"host CPUs available: {cpus}", ""]
+    lines.append(f"{'workers':>8} {'parse':>8} {'scan':>8} {'tag':>8} "
+                 f"{'total':>8} {'speedup':>8}")
+    for workers in worker_counts:
+        steps, num_rows = rows[workers]
+        assert num_rows == base_rows
+        total = sum(steps.values())
+        lines.append(
+            f"{workers:>8} "
+            + " ".join(f"{steps[s] * 1e3:>7.0f}m" for s in sharded_steps)
+            + f" {total * 1e3:>7.0f}m"
+            + f" {sum(base_steps.values()) / total:>8.2f}")
+    lines.append("")
+    lines.append("sharded steps: parse (per-shard STVs), scan (composite "
+                 "composition scan), tag (per-shard tagging + merge); "
+                 "validate/partition/convert stay single-process.")
+    write_report(results_dir / "ablation_workers.txt",
+                 "Worker-count ablation: sharded executor over 64 MB "
+                 "yelp-like data", lines)
+
+    # Scaling of the data-parallel steps can only show when the host
+    # actually has cores to run the shards on.
+    if cpus >= 2:
+        one = sum(rows[1][0][s] for s in sharded_steps)
+        two = sum(rows[2][0][s] for s in sharded_steps)
+        assert two < one
 
 
 def test_amdahl_ceiling_of_safe_mode(benchmark, results_dir, yelp_1mb):

@@ -1,0 +1,13 @@
+#!/bin/sh
+# Lightweight pre-merge gate: byte-compile the package, then run the
+# test suite.  Usage: scripts/check.sh [extra pytest args...]
+set -eu
+cd "$(dirname "$0")/.."
+
+# The example scripts run as subprocesses and need the package on the
+# path too (pytest's `pythonpath` setting only covers its own process).
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+export PYTHONPATH
+
+python -m compileall -q src
+python -m pytest "$@"

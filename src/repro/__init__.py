@@ -20,6 +20,8 @@ Main entry points:
   capabilities;
 * :class:`repro.StreamingParser` — incremental parsing with record
   carry-over;
+* :mod:`repro.exec` — pluggable execution backends
+  (:class:`repro.SerialExecutor`, :class:`repro.ShardedExecutor`);
 * :mod:`repro.dfa` — custom parsing rules as DFAs;
 * :mod:`repro.gpusim` — the GPU execution model and data structures
   (MFIRA, SWAR);
@@ -38,6 +40,7 @@ from repro.core import (
 )
 from repro.core.options import ColumnCountPolicy
 from repro.dfa import Dialect, DfaBuilder, dialect_dfa, rfc4180_dfa
+from repro.exec import Executor, SerialExecutor, ShardedExecutor
 from repro.errors import (
     ConversionError,
     DfaError,
@@ -59,6 +62,9 @@ __all__ = [
     "TaggingImpl",
     "ColumnCountPolicy",
     "StreamingParser",
+    "Executor",
+    "SerialExecutor",
+    "ShardedExecutor",
     "Dialect",
     "DfaBuilder",
     "dialect_dfa",

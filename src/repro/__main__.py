@@ -9,10 +9,15 @@ Subcommands:
 * ``simulate`` — print the simulated Titan X step breakdown and
   end-to-end streaming time for a given workload shape.
 
+``--workers N`` (parse/infer) runs the stage pipeline on the sharded
+multiprocess executor; ``--timings`` (parse) prints the per-stage
+wall-clock breakdown under the paper's step names.
+
 Examples::
 
     python -m repro parse data.csv --limit 5
     python -m repro parse data.csv --delimiter ';' --comment '#' --summary
+    python -m repro parse data.csv --workers 4 --timings --summary
     python -m repro infer data.csv
     python -m repro simulate --dataset yelp --size-mb 512 --chunk 31
 """
@@ -30,6 +35,7 @@ from repro import (
     TaggingMode,
 )
 from repro.columnar.serialize import serialize_table
+from repro.exec import SerialExecutor, ShardedExecutor
 from repro.gpusim.cost_model import PipelineCostModel, WorkloadStats
 from repro.streaming import StreamingPipeline
 
@@ -55,12 +61,42 @@ def _options_from_args(args: argparse.Namespace) -> ParseOptions:
     )
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be >= 1")
+    return value
+
+
+def _executor_from_args(args: argparse.Namespace):
+    workers = getattr(args, "workers", 1)
+    if workers > 1:
+        return ShardedExecutor(workers=workers)
+    return SerialExecutor()
+
+
+def _print_timings(result) -> None:
+    print("step timings:")
+    for step, seconds in sorted(result.step_seconds().items()):
+        print(f"  {step:<10} {seconds * 1e3:8.2f} ms")
+    rate = result.parsing_rate()
+    print(f"  {'total':<10} {result.timer.total() * 1e3:8.2f} ms"
+          + (f"  ({rate / 1e6:.1f} MB/s)" if rate else ""))
+
+
 def cmd_parse(args: argparse.Namespace) -> int:
     with open(args.file, "rb") as handle:
         data = handle.read()
-    result = ParPaRawParser(_options_from_args(args)).parse(data)
+    executor = _executor_from_args(args)
+    try:
+        result = ParPaRawParser(_options_from_args(args),
+                                executor=executor).parse(data)
+    finally:
+        executor.close()
     table = result.table
 
+    if args.timings:
+        _print_timings(result)
     if args.output:
         with open(args.output, "wb") as handle:
             handle.write(serialize_table(table))
@@ -91,7 +127,11 @@ def cmd_infer(args: argparse.Namespace) -> int:
     with open(args.file, "rb") as handle:
         data = handle.read()
     options = _options_from_args(args).with_(infer_types=True)
-    result = ParPaRawParser(options).parse(data)
+    executor = _executor_from_args(args)
+    try:
+        result = ParPaRawParser(options, executor=executor).parse(data)
+    finally:
+        executor.close()
     print(f"{result.num_rows} records, inferred schema:")
     for field in result.table.schema:
         print(f"  {field.name:<10} {field.dtype.value}")
@@ -153,6 +193,10 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=[m.value for m in TaggingMode])
         p.add_argument("--column-policy", default="lenient",
                        choices=[p.value for p in ColumnCountPolicy])
+        p.add_argument("--workers", type=_positive_int, default=1,
+                       metavar="N",
+                       help="worker processes for the sharded executor "
+                            "(1 = serial, the default)")
 
     p_parse = sub.add_parser("parse", help="parse a file")
     p_parse.add_argument("file")
@@ -164,6 +208,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_parse.add_argument("--infer-types", action="store_true")
     p_parse.add_argument("--output", metavar="OUT",
                          help="write serialised columnar output to OUT")
+    p_parse.add_argument("--timings", action="store_true",
+                         help="print the per-stage StepTimer breakdown")
     p_parse.set_defaults(func=cmd_parse)
 
     p_infer = sub.add_parser("infer", help="infer column types")

@@ -19,13 +19,17 @@ follows them:
 6. capabilities (§4.3): :mod:`~repro.core.validation`,
    :mod:`~repro.core.selection`, :mod:`~repro.core.typeinfer`.
 
-:class:`~repro.core.parser.ParPaRawParser` orchestrates the steps and is
-the library's main entry point.
+:mod:`~repro.core.stages` expresses the steps as an explicit stage
+pipeline (``prune -> chunk -> stv -> scan -> tag -> validate ->
+partition -> convert``), scheduled by a pluggable executor from
+:mod:`repro.exec`; :class:`~repro.core.parser.ParPaRawParser` is the
+one-call facade over it and the library's main entry point.
 """
 
 from repro.core.options import ParseOptions, TaggingMode, TaggingImpl
 from repro.core.parser import ParPaRawParser, parse_bytes
 from repro.core.result import ParseResult
+from repro.core.stages import StagePipeline, default_pipeline
 
 __all__ = [
     "ParseOptions",
@@ -34,4 +38,6 @@ __all__ = [
     "ParPaRawParser",
     "parse_bytes",
     "ParseResult",
+    "StagePipeline",
+    "default_pipeline",
 ]

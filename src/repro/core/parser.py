@@ -1,62 +1,63 @@
-"""The ParPaRaw parser: orchestration of all pipeline phases.
+"""The ParPaRaw parser: the stage pipeline behind a one-call facade.
 
-:class:`ParPaRawParser` wires the phases of paper §3-§4 together:
+:class:`ParPaRawParser` wires the phases of paper §3-§4 together as an
+explicit stage pipeline (:mod:`repro.core.stages`):
 
-``prune rows -> chunk -> parse (STVs) -> scan -> tag -> validate ->
-partition -> convert``
+``prune -> chunk -> stv -> scan -> tag -> validate -> partition -> convert``
 
-with wall-clock step timing under the paper's step names, so measured
-breakdowns line up with the Figure 9/11 benchmarks.  :func:`parse_bytes`
-is the one-call convenience entry point.
+scheduled by a pluggable executor (:mod:`repro.exec`) — the serial
+executor by default, or the sharded multiprocess executor — with
+wall-clock step timing under the paper's step names (``prune``/``parse``/
+``scan``/``tag``/``partition``/``convert``), so measured breakdowns line
+up with the Figure 9/11 benchmarks regardless of the backend.
+:func:`parse_bytes` is the one-call convenience entry point.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.columnar.schema import DataType, Field, Schema
-from repro.columnar.table import Table
-from repro.core.chunking import chunk_groups
-from repro.core.context import compute_transition_vectors, chunk_start_states
-from repro.core.conversion import CollaborationStats, convert_column
-from repro.core.css import ColumnIndex
-from repro.core.options import (
-    ColumnCountPolicy,
-    ParseOptions,
-    TaggingImpl,
-    TaggingMode,
-)
-from repro.core.partition import partition_by_column
+from repro.core.options import ParseOptions
 from repro.core.result import ParseResult
-from repro.core.selection import prune_rows, row_mapping, selected_column_mask
-from repro.core.tagging_modes import build_keep_mask, column_indexes, \
-    prepare_css
-from repro.core.tagging import TagResult, compute_emissions, tag_chunked, \
-    tag_global
-from repro.core.typeinfer import infer_column_type
-from repro.core.validation import apply_column_policy, validate_input
-from repro.errors import ParseError
+from repro.core.stages import (
+    ConvertedOutput,
+    PipelineContext,
+    RawInput,
+    as_input_array,
+)
 from repro.utils.timing import StepTimer
 
 __all__ = ["ParPaRawParser", "parse_bytes"]
 
 
 def parse_bytes(data: bytes, options: ParseOptions | None = None,
-                **option_kwargs) -> ParseResult:
+                executor=None, **option_kwargs) -> ParseResult:
     """Parse ``data`` in one call.
 
     ``option_kwargs`` are forwarded to :class:`ParseOptions` when no
     options object is given — e.g. ``parse_bytes(raw, chunk_size=16)``.
+    ``executor`` selects the execution backend (default: serial).
     """
     if options is None:
         options = ParseOptions(**option_kwargs)
     elif option_kwargs:
         options = options.with_(**option_kwargs)
-    return ParPaRawParser(options).parse(data)
+    return ParPaRawParser(options, executor=executor).parse(data)
 
 
 class ParPaRawParser:
     """Massively parallel parser for delimiter-separated data.
+
+    Parameters
+    ----------
+    options:
+        Parse configuration (defaults to :class:`ParseOptions`).
+    executor:
+        Execution backend from :mod:`repro.exec`; ``None`` selects the
+        :class:`~repro.exec.SerialExecutor`, which reproduces the
+        historical monolithic behaviour bit for bit.  Pass a
+        :class:`~repro.exec.ShardedExecutor` to spread the byte-bound
+        phases over a process pool.
 
     Example
     -------
@@ -68,228 +69,39 @@ class ParPaRawParser:
     ('x,y', '2')
     """
 
-    def __init__(self, options: ParseOptions | None = None):
+    def __init__(self, options: ParseOptions | None = None,
+                 executor=None):
         self.options = options if options is not None else ParseOptions()
         self._dfa = self.options.resolved_dfa()
+        if executor is None:
+            from repro.exec import SerialExecutor
+            executor = SerialExecutor()
+        self.executor = executor
 
     # -- public API ---------------------------------------------------------
 
     def parse(self, data: bytes | bytearray | np.ndarray) -> ParseResult:
         """Parse ``data`` and return the columnar result."""
-        options = self.options
         timer = StepTimer()
         raw = self._as_array(data)
-        input_bytes = int(raw.size)
-
-        if options.skip_rows:
-            with timer.step("prune"):
-                raw = prune_rows(raw, options.skip_rows,
-                                 options.dialect.record_delimiter_byte)
-
-        groups, chunking, padded_dfa = chunk_groups(
-            raw, self._dfa, options.chunk_size)
-
-        with timer.step("parse"):
-            vectors = compute_transition_vectors(groups, padded_dfa)
-        with timer.step("scan"):
-            start_states = chunk_start_states(vectors, padded_dfa)
-        with timer.step("tag"):
-            emissions, final_state, invalid_position = compute_emissions(
-                groups, start_states, padded_dfa, chunking)
-            if options.tagging_impl is TaggingImpl.CHUNKED:
-                tags = tag_chunked(emissions, final_state, chunking)
-            else:
-                tags = tag_global(emissions, final_state)
-
-        report = validate_input(tags, self._dfa, invalid_position,
-                                options.strict)
-
-        # Records that exist structurally: everything except skipped
-        # records and the invalid tail.  Column-count inference runs over
-        # these (the §4.3 max-reduction), *before* the count policy.
-        structural = self._structural_records(tags, report)
-        schema, num_columns = self._resolve_column_count(report, structural)
-        column_mask = selected_column_mask(num_columns,
-                                           options.select_columns)
-
-        valid_records = structural & self._policy_records(
-            tags, report, num_columns)
-        rows_of_record, num_rows = row_mapping(valid_records)
-        rejected = int(tags.num_records - num_rows)
-
-        extended = self._extend_trailing(raw, tags, report)
-        data_ext, col_ids, rec_ids, data_mask, delim_mask = extended
-
-        mode = options.tagging_mode
-        col_ok = (col_ids < num_columns) & (col_ids >= 0)
-        col_ok &= column_mask[np.clip(col_ids, 0, max(0, num_columns - 1))] \
-            if num_columns else False
-        if tags.num_records:
-            # Positions in a trailing comment (no content after the last
-            # record delimiter) carry a record id one past the end; they
-            # are never content, so clipping is safe.
-            rec_ok = valid_records[np.clip(rec_ids, 0,
-                                           tags.num_records - 1)]
-        else:
-            rec_ok = np.zeros(col_ids.shape, dtype=bool)
-        if mode is not TaggingMode.TAGGED:
-            self._require_consistent_columns(report, valid_records,
-                                             num_columns)
-        keep = build_keep_mask(mode, data_mask, delim_mask, col_ok, rec_ok)
-
-        with timer.step("partition"):
-            part = partition_by_column(data_ext, keep, col_ids, rec_ids,
-                                       num_columns)
-            css, aux_delims = prepare_css(mode, part, delim_mask, options)
-
-        with timer.step("convert"):
-            indexes = column_indexes(mode, part, css, aux_delims, options)
-            if schema is None:
-                schema = self._infer_schema(part, css, indexes, num_columns)
-            columns = []
-            out_fields = []
-            collaboration = CollaborationStats()
-            for column in range(num_columns):
-                if not column_mask[column]:
-                    continue
-                field = schema[column]
-                lo = int(part.column_offsets[column])
-                hi = int(part.column_offsets[column + 1])
-                column_css = css[lo:hi]
-                index = indexes[column]
-                if mode is TaggingMode.TAGGED:
-                    row_of = rows_of_record
-                else:
-                    row_of = np.arange(num_rows, dtype=np.int64)
-                    if index.num_fields != num_rows:
-                        raise ParseError(
-                            f"column {column} materialised "
-                            f"{index.num_fields} fields for {num_rows} "
-                            f"records; inline/delimited tagging requires a "
-                            f"consistent column count")
-                converted, stats = convert_column(
-                    field, column_css, index, row_of, num_rows, options)
-                columns.append(converted)
-                out_fields.append(field)
-                collaboration = collaboration + stats
-
-        table = Table(Schema(out_fields), columns)
+        ctx = PipelineContext(options=self.options, dfa=self._dfa,
+                              timer=timer)
+        payload = RawInput(raw=raw, input_bytes=int(raw.size))
+        out: ConvertedOutput = self.executor.execute(ctx, payload)
         return ParseResult(
-            table=table,
-            num_records=tags.num_records,
-            num_rows=num_rows,
-            rejected_records=rejected,
-            validation=report,
+            table=out.table,
+            num_records=out.num_records,
+            num_rows=out.num_rows,
+            rejected_records=out.rejected_records,
+            validation=out.report,
             timer=timer,
-            collaboration=collaboration,
-            options=options,
-            input_bytes=input_bytes,
+            collaboration=out.collaboration,
+            options=self.options,
+            input_bytes=out.input_bytes,
         )
 
     # -- helpers -------------------------------------------------------------
 
     @staticmethod
     def _as_array(data: bytes | bytearray | np.ndarray) -> np.ndarray:
-        if isinstance(data, np.ndarray):
-            if data.dtype != np.uint8:
-                raise ParseError("input array must be uint8")
-            return data
-        return np.frombuffer(bytes(data), dtype=np.uint8)
-
-    def _resolve_column_count(self, report,
-                              structural: np.ndarray
-                              ) -> tuple[Schema | None, int]:
-        """The output schema (None = infer later) and the column count.
-
-        Without a schema the count is inferred as the maximum field count
-        over structurally present records (paper §4.3) — rejected-by-policy
-        records still participate; invalid-tail/skipped records do not.
-        """
-        options = self.options
-        if options.schema is not None:
-            return options.schema, len(options.schema)
-        counts = report.field_counts[structural]
-        inferred = int(counts.max()) if counts.size else 0
-        return None, inferred
-
-    def _structural_records(self, tags: TagResult, report) -> np.ndarray:
-        """Records that exist at all: not skipped, not in the invalid tail."""
-        options = self.options
-        valid = np.ones(tags.num_records, dtype=bool)
-        if options.skip_records:
-            skip = np.array(sorted(r for r in options.skip_records
-                                   if 0 <= r < tags.num_records),
-                            dtype=np.int64)
-            valid[skip] = False
-        if report.invalid_position is not None and tags.num_records:
-            first_bad = int(tags.record_ids[report.invalid_position])
-            valid[first_bad:] = False
-        return valid
-
-    def _policy_records(self, tags: TagResult, report,
-                        num_columns: int) -> np.ndarray:
-        """Records surviving the column-count policy and tail checks."""
-        options = self.options
-        valid = apply_column_policy(report, num_columns,
-                                    options.column_count_policy,
-                                    options.strict)
-        if tags.has_trailing_record and not report.end_accepted \
-                and tags.num_records:
-            # Truncated trailing record (e.g. unclosed quote): reject it in
-            # REJECT/STRICT modes, keep best-effort data in LENIENT mode.
-            if options.column_count_policy is not ColumnCountPolicy.LENIENT:
-                valid[tags.num_records - 1] = False
-        return valid
-
-    def _extend_trailing(self, raw: np.ndarray, tags: TagResult, report
-                         ) -> tuple[np.ndarray, np.ndarray, np.ndarray,
-                                    np.ndarray, np.ndarray]:
-        """Append a virtual record delimiter for an unterminated record.
-
-        This gives the trailing record's last field a terminator, so the
-        inline/delimited CSS modes need no special-casing.  The virtual
-        position is never field data.
-        """
-        delim_mask = tags.record_delim | tags.field_delim
-        if not tags.has_trailing_record:
-            return (raw, tags.column_ids, tags.record_ids, tags.data_mask,
-                    delim_mask)
-        last_record = tags.num_records - 1
-        last_column = int(report.field_counts[last_record]) - 1
-        data_ext = np.concatenate([
-            raw, np.array([self.options.dialect.record_delimiter_byte],
-                          dtype=np.uint8)])
-        col_ids = np.concatenate([tags.column_ids,
-                                  np.array([last_column], dtype=np.int64)])
-        rec_ids = np.concatenate([tags.record_ids,
-                                  np.array([last_record], dtype=np.int64)])
-        data_mask = np.concatenate([tags.data_mask, [False]])
-        delim_ext = np.concatenate([delim_mask, [True]])
-        return data_ext, col_ids, rec_ids, data_mask, delim_ext
-
-    def _require_consistent_columns(self, report, valid_records: np.ndarray,
-                                    num_columns: int) -> None:
-        counts = report.field_counts[valid_records] \
-            if report.field_counts.size else report.field_counts
-        if counts.size and (int(counts.min()) != num_columns
-                            or int(counts.max()) != num_columns):
-            raise ParseError(
-                "inline/delimited tagging modes require a constant number "
-                f"of columns per record (expected {num_columns}, observed "
-                f"{int(counts.min())}..{int(counts.max())}); use "
-                "TaggingMode.TAGGED or ColumnCountPolicy.REJECT")
-
-    def _infer_schema(self, part, css: np.ndarray,
-                      indexes: list[ColumnIndex],
-                      num_columns: int) -> Schema:
-        """Schema when none was given: inferred types or all strings."""
-        fields = []
-        for column in range(num_columns):
-            if self.options.infer_types:
-                lo = int(part.column_offsets[column])
-                hi = int(part.column_offsets[column + 1])
-                dtype = infer_column_type(css[lo:hi], indexes[column])
-            else:
-                dtype = DataType.STRING
-            fields.append(Field(f"col{column}", dtype))
-        return Schema(fields)
+        return as_input_array(data)

@@ -31,7 +31,8 @@ from repro.dfa.automaton import Dfa, Emission
 from repro.errors import ParseError
 from repro.scan.numpy_scan import exclusive_sum
 
-__all__ = ["TagResult", "compute_emissions", "tag_global", "tag_chunked"]
+__all__ = ["TagResult", "compute_emissions", "tag_global", "tag_chunked",
+           "build_tag_result"]
 
 
 @dataclass
@@ -155,6 +156,18 @@ def _finalise(emissions: np.ndarray, record_ids: np.ndarray,
         has_trailing_record=trailing,
         num_records=num_records,
     )
+
+
+def build_tag_result(emissions: np.ndarray, record_ids: np.ndarray,
+                     column_ids: np.ndarray, final_state: int) -> TagResult:
+    """Assemble a :class:`TagResult` from externally computed tags.
+
+    Bitmap indexes, the trailing-record flag and the record count are
+    derived from the emission stream exactly as :func:`tag_global` does —
+    used by the sharded executor after merging per-shard record/column ids
+    with the rel/abs offset scan.
+    """
+    return _finalise(emissions, record_ids, column_ids, final_state)
 
 
 def tag_global(emissions: np.ndarray, final_state: int) -> TagResult:

@@ -1,0 +1,28 @@
+"""Pluggable execution backends for the stage pipeline.
+
+The stage decomposition (:mod:`repro.core.stages`) separates *what* the
+pipeline computes from *how* it is scheduled.  This package owns the how:
+
+* :class:`SerialExecutor` — runs every stage in order in the calling
+  process.  Bit-for-bit the behaviour of the historical monolithic
+  parser, and the default.
+* :class:`ShardedExecutor` — splits the input into byte shards, computes
+  each shard's state-transition vectors, emissions and local tags in a
+  ``concurrent.futures.ProcessPoolExecutor``, and combines shards with
+  the *same* operators the paper uses across chunks: the STV composition
+  scan (§3.1) resolves each shard's entering DFA state, and the rel/abs
+  column-offset scan (§3.2) resolves each shard's entering record/column
+  offsets.  Shard boundaries therefore need no record alignment — the
+  paper's context-resolution trick, lifted from GPU chunks to CPU
+  processes.
+
+Executors are passed to :class:`~repro.core.parser.ParPaRawParser`,
+:class:`~repro.streaming.StreamingParser`, or the CLI's ``--workers``
+flag.
+"""
+
+from repro.exec.base import Executor
+from repro.exec.serial import SerialExecutor
+from repro.exec.sharded import ShardedExecutor
+
+__all__ = ["Executor", "SerialExecutor", "ShardedExecutor"]

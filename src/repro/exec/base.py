@@ -1,0 +1,58 @@
+"""The executor contract.
+
+An executor schedules the stages of a :class:`~repro.core.stages.StagePipeline`
+over a :class:`~repro.core.stages.PipelineContext` and an input payload.
+It must be *observationally serial*: whatever parallelism it employs, the
+payload it returns is bit-for-bit the one the serial schedule produces.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.core.stages import (
+    PipelineContext,
+    RawInput,
+    StagePipeline,
+    default_pipeline,
+)
+
+__all__ = ["Executor"]
+
+
+class Executor(abc.ABC):
+    """Schedules pipeline stages; see :mod:`repro.exec`."""
+
+    def __init__(self, pipeline: StagePipeline | None = None):
+        #: The stage pipeline this executor drives.
+        self.pipeline = pipeline if pipeline is not None \
+            else default_pipeline()
+
+    @abc.abstractmethod
+    def execute(self, ctx: PipelineContext, payload: RawInput, *,
+                until: str | None = None):
+        """Run the pipeline on ``payload``.
+
+        Parameters
+        ----------
+        ctx:
+            Options, automaton and the timer receiving step durations.
+        payload:
+            The raw input payload.
+        until:
+            Stop after the named stage and return its output payload
+            (e.g. ``"tag"`` returns the
+            :class:`~repro.core.stages.TaggedInput` — used by the
+            streaming parser's record-boundary search).  ``None`` runs
+            to completion and returns the
+            :class:`~repro.core.stages.ConvertedOutput`.
+        """
+
+    def close(self) -> None:
+        """Release executor resources (worker pools); idempotent."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

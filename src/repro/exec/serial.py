@@ -1,0 +1,21 @@
+"""The serial executor: every stage, in order, in this process."""
+
+from __future__ import annotations
+
+from repro.core.stages import PipelineContext, RawInput
+from repro.exec.base import Executor
+
+__all__ = ["SerialExecutor"]
+
+
+class SerialExecutor(Executor):
+    """Run the stage pipeline sequentially (the default backend).
+
+    This is the reference schedule: one stage after another, each timed
+    under its paper step name — exactly the behaviour of the historical
+    monolithic ``ParPaRawParser.parse()``.
+    """
+
+    def execute(self, ctx: PipelineContext, payload: RawInput, *,
+                until: str | None = None):
+        return self.pipeline.run(ctx, payload, until=until)

@@ -1,0 +1,301 @@
+"""The sharded executor: multiprocess parsing with scan-based combination.
+
+The paper's context-resolution machinery is hierarchical by construction:
+a chunk's state-transition vector (STV) summarises the chunk independently
+of where the DFA enters it, and STVs combine under composition.  The same
+holds one level up — a *shard* (a contiguous run of bytes, independently
+chunked) is summarised by the composition of its chunks' STVs, and shards
+combine under the very same operator.  Likewise the rel/abs column-offset
+operator (§3.2) combines per-shard delimiter summaries into each shard's
+entering record/column offsets.
+
+:class:`ShardedExecutor` exploits this to parallelise the byte-bound
+phases across a ``ProcessPoolExecutor``:
+
+1. **contexts** (timer step ``parse``) — every worker chunks its shard,
+   computes per-chunk STVs, their shard-local exclusive composition scan,
+   and the shard's composite vector;
+2. **combine** (timer step ``scan``) — the main process scans the shard
+   composites (one tiny composition scan over ``num_shards`` vectors),
+   yielding every shard's entering DFA state, and resolves each chunk's
+   start state from the shard-local scans;
+3. **tags** (timer step ``tag``) — every worker re-simulates its shard
+   with the now-known start states (emissions + §3.1 bitmaps) and tags
+   records/columns *locally*; the main process shifts record ids by the
+   scanned record counts, resolves head-of-shard column ids with the
+   rel/abs offset scan, and concatenates.
+
+Because a shard entering mid-record or mid-quote is resolved exactly like
+a chunk entering mid-record or mid-quote, shard boundaries are arbitrary
+byte positions — no record alignment, no sequential pre-pass.  Stages
+downstream of tagging (validate/partition/convert) run on the merged
+result through the ordinary stage pipeline, so the output is bit-for-bit
+the serial executor's.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from itertools import repeat
+
+import numpy as np
+
+from repro.core.options import TaggingImpl
+from repro.core.chunking import chunk_groups
+from repro.core.context import compute_transition_vectors
+from repro.core.stages import PipelineContext, RawInput, TaggedInput
+from repro.core.tagging import build_tag_result, compute_emissions, \
+    tag_chunked, tag_global
+from repro.dfa.automaton import Dfa
+from repro.errors import ParseError
+from repro.exec.base import Executor
+from repro.scan.numpy_scan import exclusive_sum, scan_column_offsets, \
+    scan_transition_vectors
+
+__all__ = ["ShardedExecutor"]
+
+#: Stages whose intermediates exist only on the global chunk grid; a
+#: request to stop inside this prefix falls back to the serial schedule.
+_GRID_STAGES = ("prune", "chunk", "stv", "scan")
+
+
+# -- worker tasks (module-level: picklable under every start method) ---------
+
+def _shard_contexts(raw: np.ndarray, dfa: Dfa, chunk_size: int
+                    ) -> tuple[np.ndarray, np.ndarray]:
+    """Worker phase 1: shard-local STVs, their scan, and the composite.
+
+    Returns ``(local_scan, composite)`` where ``local_scan`` is the
+    exclusive composition scan of the shard's chunk STVs (row ``c`` maps a
+    shard-entry state to the state entering chunk ``c``) and ``composite``
+    maps a shard-entry state to the state after the shard's last byte
+    (tail padding uses the identity group, so it never perturbs the
+    composition).
+    """
+    groups, _, padded_dfa = chunk_groups(raw, dfa, chunk_size)
+    vectors = compute_transition_vectors(groups, padded_dfa)
+    inclusive = scan_transition_vectors(vectors, exclusive=False)
+    local_scan = np.empty_like(inclusive)
+    local_scan[0] = np.arange(inclusive.shape[1], dtype=inclusive.dtype)
+    local_scan[1:] = inclusive[:-1]
+    return local_scan, inclusive[-1]
+
+
+def _compact_ids(ids: np.ndarray) -> np.ndarray:
+    """Downcast int64 tag ids for the trip home when they fit in int32."""
+    if ids.size == 0 or int(ids.max()) < np.iinfo(np.int32).max:
+        return ids.astype(np.int32)
+    return ids
+
+
+def _shard_tags(raw: np.ndarray, dfa: Dfa, chunk_size: int,
+                start_states: np.ndarray, impl_value: str) -> tuple:
+    """Worker phase 2: emissions and shard-local record/column tags.
+
+    Returns ``(emissions, record_ids, column_ids, final_state,
+    invalid_position, record_delims, offset_kind, offset_value)`` where
+    the ids are *local* (relative to the shard start) and the last three
+    entries are the shard's §3.2 summary: its record-delimiter count and
+    its rel/abs column offset (absolute = field delimiters after the last
+    record delimiter; relative = all field delimiters).
+    """
+    groups, chunking, padded_dfa = chunk_groups(raw, dfa, chunk_size)
+    emissions, final_state, invalid_position = compute_emissions(
+        groups, start_states, padded_dfa, chunking)
+    if TaggingImpl(impl_value) is TaggingImpl.CHUNKED:
+        tags = tag_chunked(emissions, final_state, chunking)
+    else:
+        tags = tag_global(emissions, final_state)
+    delim_positions = np.flatnonzero(tags.record_delim)
+    if delim_positions.size:
+        offset_kind = True
+        offset_value = int(tags.field_delim[delim_positions[-1] + 1:].sum())
+    else:
+        offset_kind = False
+        offset_value = int(tags.field_delim.sum())
+    return (emissions, _compact_ids(tags.record_ids),
+            _compact_ids(tags.column_ids), final_state, invalid_position,
+            int(delim_positions.size), offset_kind, offset_value)
+
+
+class ShardedExecutor(Executor):
+    """Parse with per-shard workers in a process pool.
+
+    Parameters
+    ----------
+    workers:
+        Worker processes (default: ``os.cpu_count()``).  ``workers=1``
+        runs the sharded schedule without spawning a pool.
+    shard_bytes:
+        Force a shard size in bytes (default: the input is split evenly
+        across ``workers``).  Any positive value is legal — shards
+        smaller than a chunk, shards that split records, quotes or UTF-8
+        sequences are all resolved by the combination scans.
+    use_processes:
+        ``False`` executes the worker tasks inline in the calling
+        process (the full sharded data path, minus the pool) — useful
+        for tests and debugging.
+    pipeline:
+        Stage pipeline override (defaults to the canonical one).
+
+    The worker pool is created lazily on first use and reused across
+    parses; call :meth:`close` (or use the executor as a context
+    manager) to release it.
+    """
+
+    def __init__(self, workers: int | None = None,
+                 shard_bytes: int | None = None,
+                 use_processes: bool = True,
+                 pipeline=None):
+        super().__init__(pipeline)
+        if workers is None:
+            workers = os.cpu_count() or 1
+        if workers < 1:
+            raise ParseError("workers must be >= 1")
+        if shard_bytes is not None and shard_bytes <= 0:
+            raise ParseError("shard_bytes must be positive")
+        self.workers = int(workers)
+        self.shard_bytes = shard_bytes
+        self.use_processes = bool(use_processes)
+        self._pool: ProcessPoolExecutor | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __del__(self):  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- execution ---------------------------------------------------------
+
+    def execute(self, ctx: PipelineContext, payload: RawInput, *,
+                until: str | None = None):
+        if until in _GRID_STAGES:
+            # Chunk-grid intermediates requested: they only exist on the
+            # serial schedule's global grid.
+            return self.pipeline.run(ctx, payload, until=until)
+
+        payload = self.pipeline.run_stage(self.pipeline.stage("prune"),
+                                          ctx, payload)
+        tagged = self._tag_sharded(ctx, payload)
+        if until == "tag":
+            return tagged
+        return self.pipeline.run(ctx, tagged, start="validate", until=until)
+
+    # -- sharded phases 1+2 ------------------------------------------------
+
+    def _tag_sharded(self, ctx: PipelineContext,
+                     payload: RawInput) -> TaggedInput:
+        options = ctx.options
+        raw = payload.raw
+        bounds = self._shard_bounds(int(raw.size), options.chunk_size)
+        shards = [raw[lo:hi] for lo, hi in bounds]
+        mapper = self._mapper(len(shards))
+
+        with ctx.timer.step("parse"):
+            contexts = list(mapper(_shard_contexts, shards,
+                                   repeat(ctx.dfa),
+                                   repeat(options.chunk_size)))
+
+        with ctx.timer.step("scan"):
+            # One composition scan over the shard composites gives every
+            # shard its entering state; indexing each shard's local scan
+            # with it gives every chunk its start state (§3.1, twice).
+            composites = np.stack([composite for _, composite in contexts])
+            entering = scan_transition_vectors(composites, exclusive=True)
+            entering_states = entering[:, ctx.dfa.start_state]
+            start_states = [
+                local_scan[:, int(state)].astype(np.uint8)
+                for (local_scan, _), state in zip(contexts, entering_states)
+            ]
+
+        with ctx.timer.step("tag"):
+            shard_tags = list(mapper(_shard_tags, shards,
+                                     repeat(ctx.dfa),
+                                     repeat(options.chunk_size),
+                                     start_states,
+                                     repeat(options.tagging_impl.value)))
+            tags, invalid_position = self._merge_tags(bounds, shard_tags)
+
+        return TaggedInput(raw=raw, input_bytes=payload.input_bytes,
+                           tags=tags, invalid_position=invalid_position)
+
+    @staticmethod
+    def _merge_tags(bounds, shard_tags):
+        """Stitch per-shard tag results into one global TagResult.
+
+        Record ids shift by the exclusive sum of per-shard record counts;
+        column ids of each shard's *head* segment (positions before its
+        first record delimiter, whose record started in an earlier shard)
+        gain the shard's entering column offset from the rel/abs scan.
+        Everything after a shard's first record delimiter is already
+        globally correct — the §3.2 argument, verbatim.
+        """
+        record_counts = np.array([t[5] for t in shard_tags],
+                                 dtype=np.int64)
+        record_offsets = exclusive_sum(record_counts)
+        kinds = np.array([t[6] for t in shard_tags], dtype=bool)
+        values = np.array([t[7] for t in shard_tags], dtype=np.int64)
+        _, entering_columns = scan_column_offsets(kinds, values,
+                                                  exclusive=True)
+
+        emission_parts = []
+        record_parts = []
+        column_parts = []
+        invalid_position = None
+        for i, (lo, _hi) in enumerate(bounds):
+            (emissions, local_rec, local_col, _final, invalid,
+             _count, _kind, _value) = shard_tags[i]
+            emission_parts.append(emissions)
+            rec = local_rec.astype(np.int64)
+            rec += record_offsets[i]
+            col = local_col.astype(np.int64)
+            if entering_columns[i]:
+                col[local_rec == 0] += entering_columns[i]
+            record_parts.append(rec)
+            column_parts.append(col)
+            if invalid_position is None and invalid is not None:
+                invalid_position = lo + invalid
+
+        emissions = np.concatenate(emission_parts) if emission_parts \
+            else np.empty(0, dtype=np.uint8)
+        record_ids = np.concatenate(record_parts) if record_parts \
+            else np.empty(0, dtype=np.int64)
+        column_ids = np.concatenate(column_parts) if column_parts \
+            else np.empty(0, dtype=np.int64)
+        final_state = int(shard_tags[-1][3])
+        tags = build_tag_result(emissions, record_ids, column_ids,
+                                final_state)
+        return tags, invalid_position
+
+    # -- scheduling --------------------------------------------------------
+
+    def _shard_bounds(self, n: int,
+                      chunk_size: int) -> list[tuple[int, int]]:
+        """Contiguous byte ranges covering the input (≥ 1, even when empty)."""
+        if n == 0:
+            return [(0, 0)]
+        if self.shard_bytes is not None:
+            size = self.shard_bytes
+        else:
+            # Even split across workers, but never shards smaller than a
+            # chunk — sub-chunk shards only make sense when forced.
+            size = max(chunk_size, -(-n // self.workers))
+        num_shards = -(-n // size)
+        return [(i * size, min(n, (i + 1) * size))
+                for i in range(num_shards)]
+
+    def _mapper(self, num_shards: int):
+        """An ordered ``map`` over shards: the pool's, or the builtin."""
+        if not self.use_processes or self.workers == 1 or num_shards <= 1:
+            return lambda fn, *iters: list(map(fn, *iters))
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        return self._pool.map

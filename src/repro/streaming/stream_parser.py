@@ -8,9 +8,11 @@ result is bit-identical to parsing the whole input at once (tested for
 arbitrary partition sizes).
 
 The carry-over split point must be a *true* record boundary — locating it
-requires the parsing context, so the implementation reuses the pipeline's
-own phase 1+2 on the partition (exactly what the GPU implementation's
-tags provide at copy time).
+requires the parsing context, so the implementation runs the stage
+pipeline's phases 1+2 (``chunk``/``stv``/``scan``/``tag``) on the
+partition through the configured executor (exactly what the GPU
+implementation's tags provide at copy time).  Both the boundary search and
+the per-partition parses therefore honour a sharded executor.
 """
 
 from __future__ import annotations
@@ -18,12 +20,11 @@ from __future__ import annotations
 import numpy as np
 
 from repro.columnar.table import Table, concat_tables
-from repro.core.chunking import chunk_groups
-from repro.core.context import determine_contexts
 from repro.core.options import ParseOptions
 from repro.core.parser import ParPaRawParser
-from repro.core.tagging import compute_emissions, tag_global
+from repro.core.stages import PipelineContext, RawInput, TaggedInput
 from repro.errors import StreamingError
+from repro.utils.timing import StepTimer
 
 __all__ = ["StreamingParser"]
 
@@ -41,9 +42,13 @@ class StreamingParser:
     A schema is required (or a fixed column count via
     ``options.schema``/``Schema.all_strings``): the output schema must not
     depend on data that has not arrived yet.
+
+    ``executor`` selects the execution backend for both the record-boundary
+    search and the per-partition parses (default: serial).
     """
 
-    def __init__(self, options: ParseOptions | None = None):
+    def __init__(self, options: ParseOptions | None = None,
+                 executor=None):
         self.options = options if options is not None else ParseOptions()
         if self.options.schema is None:
             raise StreamingError(
@@ -53,7 +58,8 @@ class StreamingParser:
             raise StreamingError(
                 "row/record skipping is defined on whole inputs; apply it "
                 "before streaming")
-        self._parser = ParPaRawParser(self.options)
+        self._parser = ParPaRawParser(self.options, executor=executor)
+        self._executor = self._parser.executor
         self._dfa = self.options.resolved_dfa()
         self._carry = b""
         self._tables: list[Table] = []
@@ -84,7 +90,8 @@ class StreamingParser:
 
     @classmethod
     def parse_file(cls, path, options: ParseOptions,
-                   partition_bytes: int = 8 * 1024 * 1024) -> Table:
+                   partition_bytes: int = 8 * 1024 * 1024,
+                   executor=None) -> Table:
         """Parse a file from disk partition by partition.
 
         Reads ``partition_bytes`` at a time — the whole file is never
@@ -94,7 +101,7 @@ class StreamingParser:
         """
         if partition_bytes <= 0:
             raise StreamingError("partition_bytes must be positive")
-        stream = cls(options)
+        stream = cls(options, executor=executor)
         with open(path, "rb") as handle:
             while True:
                 partition = handle.read(partition_bytes)
@@ -123,18 +130,16 @@ class StreamingParser:
     def _last_record_boundary(self, data: bytes) -> int:
         """Offset just past the last *true* record delimiter.
 
-        Runs phases 1-2 (context determination + tagging) — the same
+        Runs the pipeline up to and including the ``tag`` stage — the same
         machinery the device uses — so a record delimiter inside an
         enclosed field is never mistaken for a boundary.
         """
         raw = np.frombuffer(data, dtype=np.uint8)
-        groups, chunking, padded_dfa = chunk_groups(
-            raw, self._dfa, self.options.chunk_size)
-        _, start_states = determine_contexts(groups, padded_dfa)
-        emissions, final_state, _ = compute_emissions(
-            groups, start_states, padded_dfa, chunking)
-        tags = tag_global(emissions, final_state)
-        boundaries = np.flatnonzero(tags.record_delim)
+        ctx = PipelineContext(options=self.options, dfa=self._dfa,
+                              timer=StepTimer())
+        tagged: TaggedInput = self._executor.execute(
+            ctx, RawInput(raw=raw, input_bytes=int(raw.size)), until="tag")
+        boundaries = np.flatnonzero(tagged.tags.record_delim)
         if boundaries.size == 0:
             return 0
         return int(boundaries[-1]) + 1

@@ -54,6 +54,26 @@ class TestParseCommand:
         main(["parse", str(path)])
         assert "a\tNULL\tc" in capsys.readouterr().out
 
+    def test_timings_flag(self, csv_file, capsys):
+        assert main(["parse", csv_file, "--timings", "--summary"]) == 0
+        out = capsys.readouterr().out
+        assert "step timings:" in out
+        for step in ("parse", "scan", "tag", "partition", "convert",
+                     "total"):
+            assert step in out
+
+    def test_workers_flag_same_rows(self, csv_file, capsys):
+        assert main(["parse", csv_file]) == 0
+        serial_out = capsys.readouterr().out
+        assert main(["parse", csv_file, "--workers", "2"]) == 0
+        assert capsys.readouterr().out == serial_out
+
+    def test_workers_with_summary(self, csv_file, capsys):
+        main(["parse", csv_file, "--workers", "3", "--summary"])
+        out = capsys.readouterr().out
+        assert "records:  3" in out
+        assert "end state: EOR (ok)" in out
+
 
 class TestInferCommand:
     def test_inferred_types(self, tmp_path, capsys):

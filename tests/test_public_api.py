@@ -16,18 +16,19 @@ class TestTopLevelApi:
         assert repro.__version__.count(".") == 2
 
     @pytest.mark.parametrize("module", [
-        "repro.core", "repro.dfa", "repro.scan", "repro.gpusim",
-        "repro.streaming", "repro.baselines", "repro.workloads",
-        "repro.columnar", "repro.utils", "repro.__main__",
+        "repro.core", "repro.dfa", "repro.exec", "repro.scan",
+        "repro.gpusim", "repro.streaming", "repro.baselines",
+        "repro.workloads", "repro.columnar", "repro.utils",
+        "repro.__main__",
     ])
     def test_subpackages_import(self, module):
         imported = importlib.import_module(module)
         assert imported is not None
 
     @pytest.mark.parametrize("module", [
-        "repro.core", "repro.dfa", "repro.scan", "repro.gpusim",
-        "repro.streaming", "repro.baselines", "repro.workloads",
-        "repro.columnar", "repro.utils",
+        "repro.core", "repro.dfa", "repro.exec", "repro.scan",
+        "repro.gpusim", "repro.streaming", "repro.baselines",
+        "repro.workloads", "repro.columnar", "repro.utils",
     ])
     def test_subpackage_all_resolves(self, module):
         imported = importlib.import_module(module)
