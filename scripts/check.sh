@@ -1,6 +1,7 @@
 #!/bin/sh
-# Lightweight pre-merge gate: byte-compile the package, then run the
-# test suite.  Usage: scripts/check.sh [extra pytest args...]
+# Lightweight pre-merge gate: byte-compile the package, run the parlint
+# static checkers, prove the scan-operator laws, then run the test
+# suite.  Usage: scripts/check.sh [extra pytest args...]
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -10,4 +11,8 @@ PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 export PYTHONPATH
 
 python -m compileall -q src
+python -m repro lint src
+# Law tier: exhaustive associativity+identity proofs for every
+# registered scan operator (licenses the parallel scans of paper §2).
+python -m pytest tests/analysis/test_operator_laws.py -q
 python -m pytest "$@"

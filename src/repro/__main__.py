@@ -7,7 +7,10 @@ Subcommands:
 * ``infer FILE`` — report inferred column types (paper §4.3);
 * ``sniff FILE`` — guess the dialect (delimiter, quoting, comments);
 * ``simulate`` — print the simulated Titan X step breakdown and
-  end-to-end streaming time for a given workload shape.
+  end-to-end streaming time for a given workload shape;
+* ``lint [PATHS...]`` — run the parlint static-analysis checkers
+  (stage contracts, scan-operator laws, multiprocess safety, hot-path
+  vectorisation, API hygiene; see ``docs/PARLINT.md``).
 
 ``--workers N`` (parse/infer) runs the stage pipeline on the sharded
 multiprocess executor; ``--timings`` (parse) prints the per-stage
@@ -20,6 +23,7 @@ Examples::
     python -m repro parse data.csv --workers 4 --timings --summary
     python -m repro infer data.csv
     python -m repro simulate --dataset yelp --size-mb 512 --chunk 31
+    python -m repro lint src --format json
 """
 
 from __future__ import annotations
@@ -174,6 +178,12 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import main as lint_main
+    return lint_main(args.paths, output_format=args.format,
+                     list_codes=args.list_codes)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -229,6 +239,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--chunk", type=int, default=31)
     p_sim.add_argument("--partition-mb", type=int, default=128)
     p_sim.set_defaults(func=cmd_simulate)
+
+    p_lint = sub.add_parser(
+        "lint", help="run the parlint static-analysis checkers")
+    p_lint.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+    p_lint.add_argument("--format", choices=("text", "json"),
+                        default="text")
+    p_lint.add_argument("--list-codes", action="store_true",
+                        help="list all checkers and diagnostic codes")
+    p_lint.set_defaults(func=cmd_lint)
     return parser
 
 

@@ -1,0 +1,40 @@
+"""parlint — AST-based static analysis for the ParPaRaw repro.
+
+The pipeline's correctness rests on invariants the type system cannot
+see: stages must honour their declared payload contracts, scan operators
+must be lawful monoids (paper §2), worker tasks must be pure and
+picklable, hot-path modules must stay vectorised, and the package layers
+must stay a DAG.  This package enforces all of them statically, with an
+exhaustive law-check tier for the operators.
+
+Entry points:
+
+* ``parparaw lint [paths...]`` — the CLI (see :mod:`repro.__main__`).
+* :func:`repro.analysis.lint_paths` — programmatic API.
+* :func:`repro.analysis.oplaws.verify_all_registered` — the operator
+  law proofs, also run by ``tests/analysis/test_operator_laws.py``.
+
+Waiver syntax (see ``docs/PARLINT.md``): ``# parlint: disable=CODE`` on
+the offending line, ``# parlint: disable-file=CODE`` or
+``# parlint: skip-file`` at module level, plus the markers
+``# parlint: hot-path``, ``# parlint: worker`` and
+``# parlint: module=dotted.name``.  A ``-- justification`` suffix is
+encouraged and ignored by the parser.
+"""
+
+from repro.analysis.diagnostics import Diagnostic, render_json, render_text
+from repro.analysis.driver import LintResult, lint_paths, main
+from repro.analysis.registry import Checker, all_checkers, all_codes, register
+
+__all__ = [
+    "Checker",
+    "Diagnostic",
+    "LintResult",
+    "all_checkers",
+    "all_codes",
+    "lint_paths",
+    "main",
+    "register",
+    "render_json",
+    "render_text",
+]

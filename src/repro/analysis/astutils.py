@@ -1,0 +1,132 @@
+"""Shared AST helpers for the parlint checkers."""
+
+from __future__ import annotations
+
+import ast
+
+__all__ = [
+    "base_names",
+    "decorator_names",
+    "dotted_name",
+    "stage_subclasses",
+    "dataclass_fields_by_name",
+    "class_methods",
+]
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def base_names(cls: ast.ClassDef) -> list[str]:
+    """Base-class names of a ClassDef (last attribute segment for dotted
+    bases, subscript values unwrapped: ``Protocol[T]`` -> ``Protocol``)."""
+    names: list[str] = []
+    for base in cls.bases:
+        if isinstance(base, ast.Subscript):
+            base = base.value
+        if isinstance(base, ast.Name):
+            names.append(base.id)
+        elif isinstance(base, ast.Attribute):
+            names.append(base.attr)
+    return names
+
+
+def decorator_names(node: ast.ClassDef | ast.FunctionDef
+                    | ast.AsyncFunctionDef) -> list[str]:
+    names: list[str] = []
+    for deco in node.decorator_list:
+        if isinstance(deco, ast.Call):
+            deco = deco.func
+        name = dotted_name(deco)
+        if name is not None:
+            names.append(name.rsplit(".", 1)[-1])
+    return names
+
+
+def class_methods(cls: ast.ClassDef) -> dict[str, ast.FunctionDef]:
+    """Directly defined (non-async) methods of a class, by name."""
+    return {stmt.name: stmt for stmt in cls.body
+            if isinstance(stmt, ast.FunctionDef)}
+
+
+def stage_subclasses(tree: ast.Module) -> list[ast.ClassDef]:
+    """Classes deriving (transitively, within the file) from ``Stage``.
+
+    The base may be defined in the file or imported; resolution is by
+    name, which is exactly right for both the real pipeline module and
+    the self-test corpus.  The class literally named ``Stage`` itself is
+    not a subclass.
+    """
+    classes = {node.name: node for node in tree.body
+               if isinstance(node, ast.ClassDef)}
+    cache: dict[str, bool] = {}
+
+    def derives(name: str, seen: frozenset[str]) -> bool:
+        if name == "Stage":
+            return True
+        if name in cache:
+            return cache[name]
+        node = classes.get(name)
+        result = False
+        if node is not None and name not in seen:
+            result = any(derives(base, seen | {name})
+                         for base in base_names(node))
+        cache[name] = result
+        return result
+
+    return [node for name, node in classes.items()
+            if name != "Stage" and any(derives(base, frozenset({name}))
+                                       for base in base_names(node))]
+
+
+def dataclass_fields_by_name(tree: ast.Module) -> dict[str, set[str]]:
+    """Field names of every dataclass defined in the module.
+
+    Inherited fields are resolved through bases defined in the same
+    file; bases defined elsewhere contribute nothing here (callers merge
+    in the canonical payload table for those).
+    """
+    classes = {node.name: node for node in tree.body
+               if isinstance(node, ast.ClassDef)}
+    result: dict[str, set[str]] = {}
+
+    def own_fields(node: ast.ClassDef) -> set[str]:
+        fields: set[str] = set()
+        for stmt in node.body:
+            if isinstance(stmt, ast.AnnAssign) \
+                    and isinstance(stmt.target, ast.Name):
+                annotation = dotted_name(stmt.annotation) \
+                    if not isinstance(stmt.annotation, ast.Subscript) \
+                    else dotted_name(stmt.annotation.value)
+                if annotation is not None \
+                        and annotation.rsplit(".", 1)[-1] == "ClassVar":
+                    continue
+                fields.add(stmt.target.id)
+            elif isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        fields.add(target.id)
+        return fields
+
+    def resolve(name: str, seen: frozenset[str]) -> set[str]:
+        node = classes.get(name)
+        if node is None or name in seen:
+            return set()
+        fields = own_fields(node)
+        for base in base_names(node):
+            fields |= resolve(base, seen | {name})
+        return fields
+
+    for name, node in classes.items():
+        if "dataclass" in decorator_names(node):
+            result[name] = resolve(name, frozenset())
+    return result

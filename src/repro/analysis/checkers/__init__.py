@@ -1,0 +1,22 @@
+"""Built-in parlint checkers.
+
+Importing this package registers every checker with
+:mod:`repro.analysis.registry` (import side effect by design — the
+registry's ``all_checkers()`` imports this module lazily).
+"""
+
+from repro.analysis.checkers import (  # noqa: F401  (registration imports)
+    api_hygiene,
+    hot_loops,
+    mp_safety,
+    operator_laws,
+    stage_contract,
+)
+
+__all__ = [
+    "api_hygiene",
+    "hot_loops",
+    "mp_safety",
+    "operator_laws",
+    "stage_contract",
+]

@@ -1,0 +1,56 @@
+"""Checker: no scalar Python loops in hot-path modules (PPR401).
+
+The repro's performance claim rests on every per-symbol step being a
+vectorised NumPy sweep (the stand-in for a CUDA kernel): one Python-level
+``for`` over the input's bytes turns a memory-bound kernel into an
+interpreter-bound crawl, and such regressions creep in silently through
+innocent-looking fixes.  Modules that implement the byte-bound pipeline
+phases carry a ``# parlint: hot-path`` marker; in them, **every**
+``for``/``while`` statement inside a function must either be vectorised
+away or carry an explicit ``# parlint: disable=PPR401 -- <why>`` waiver
+(legitimate reasons: a trip count bounded by a small constant such as
+``chunk_size`` or ``2**radix_bits`` with vectorised bodies, or a scalar
+fallback that is off the production path).
+
+Comprehensions and generator expressions are deliberately not flagged:
+they are overwhelmingly used here for small fixed-size sequences, and
+flagging them drowns the signal.  A per-symbol comprehension would be
+caught in review by the benchmark gate instead.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.registry import Checker, register
+
+__all__ = ["HotPathLoopChecker"]
+
+
+@register
+class HotPathLoopChecker(Checker):
+    name = "hot-loops"
+    codes = {
+        "PPR401": "explicit Python loop in a hot-path module "
+                  "(vectorise, or waive with a justification)",
+    }
+
+    def check(self, module):
+        if not module.pragmas.hot_path:
+            return
+        reported: set[int] = set()
+        for func in ast.walk(module.tree):
+            if not isinstance(func, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                continue
+            for node in ast.walk(func):
+                if isinstance(node, (ast.For, ast.While)):
+                    if id(node) in reported:
+                        continue
+                    reported.add(id(node))
+                    kind = "for" if isinstance(node, ast.For) else "while"
+                    yield self.diagnostic(
+                        module, node.lineno, "PPR401",
+                        f"`{kind}` loop in hot-path function "
+                        f"{func.name!r}: vectorise over the chunk/symbol "
+                        f"axis or waive with a justifying comment")

@@ -1,0 +1,228 @@
+"""Checker: multiprocess safety of stages and worker tasks (PPR3xx).
+
+The sharded executor ships work to a ``ProcessPoolExecutor``; the
+pipeline's correctness argument (bit-identical to the serial schedule)
+additionally requires stages to be *pure* — same payload in, same
+payload out, regardless of process, schedule or wall clock.  Three
+hazard families are enforced:
+
+* **PPR301** — a callable handed to a pool's ``submit``/``map`` is a
+  lambda or a nested function: unpicklable under the ``spawn`` start
+  method, so the parse dies (or silently degrades) depending on the
+  platform default.
+* **PPR302** — a stage/worker mutates module-level state (``global``
+  rebinding, or mutating calls / item writes on a module-level list,
+  dict or set): each worker process mutates *its own copy*, so results
+  depend on the shard schedule.
+* **PPR303** — a stage/worker reads a nondeterminism source
+  (``time.*``, ``random.*``, ``np.random.*``, ``os.urandom``,
+  ``uuid.*``, ``secrets.*``, ``datetime.now``): reruns stop being
+  reproducible, breaking the executor-equivalence property tests.
+* **PPR304** — a stage/worker iterates a ``set``/``frozenset``
+  expression: iteration order depends on ``PYTHONHASHSEED`` for str
+  keys, a classic source of run-to-run nondeterminism.
+
+Audited scopes: ``run``/``applies`` methods of ``Stage`` subclasses
+(detected structurally) and any function marked ``# parlint: worker``
+(the marker the :mod:`repro.exec.sharded` worker tasks carry).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.astutils import (
+    class_methods,
+    dotted_name,
+    stage_subclasses,
+)
+from repro.analysis.registry import Checker, register
+
+__all__ = ["MultiprocessSafetyChecker"]
+
+_POOL_METHODS = {"submit", "map", "imap", "imap_unordered", "apply_async",
+                 "starmap"}
+_POOL_HINTS = ("pool", "executor", "mapper")
+_MUTATORS = {"append", "extend", "add", "update", "insert", "remove",
+             "discard", "pop", "popitem", "clear", "setdefault",
+             "__setitem__"}
+_NONDET_PREFIXES = ("time.", "random.", "np.random.", "numpy.random.",
+                    "secrets.", "uuid.")
+_NONDET_EXACT = {"os.urandom", "datetime.now", "datetime.utcnow",
+                 "datetime.datetime.now", "datetime.datetime.utcnow"}
+
+
+def _module_mutables(tree: ast.Module) -> set[str]:
+    """Module-level names bound to mutable literals or constructors."""
+    mutables: set[str] = set()
+    for stmt in tree.body:
+        if not isinstance(stmt, ast.Assign):
+            continue
+        value = stmt.value
+        is_mutable = isinstance(value, (ast.List, ast.Dict, ast.Set))
+        if isinstance(value, ast.Call) and isinstance(value.func, ast.Name):
+            is_mutable |= value.func.id in {"list", "dict", "set",
+                                            "defaultdict", "OrderedDict",
+                                            "Counter", "deque"}
+        if is_mutable:
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    mutables.add(target.id)
+    return mutables
+
+
+def _audited_functions(module) -> list[tuple[str, ast.FunctionDef]]:
+    """(description, function) pairs whose bodies must be pure."""
+    audited: list[tuple[str, ast.FunctionDef]] = []
+    for cls in stage_subclasses(module.tree):
+        for name in ("run", "applies"):
+            method = class_methods(cls).get(name)
+            if method is not None:
+                audited.append((f"stage method {cls.name}.{name}", method))
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.FunctionDef) \
+                and module.pragmas.is_worker_def(node.lineno):
+            audited.append((f"worker function {node.name}", node))
+    return audited
+
+
+@register
+class MultiprocessSafetyChecker(Checker):
+    name = "mp-safety"
+    codes = {
+        "PPR301": "lambda or nested function submitted to a process "
+                  "pool (unpicklable under spawn)",
+        "PPR302": "stage/worker mutates module-level state (divergent "
+                  "per-process copies)",
+        "PPR303": "stage/worker reads a nondeterminism source "
+                  "(time/random/urandom/uuid)",
+        "PPR304": "stage/worker iterates a set (hash-seed dependent "
+                  "order)",
+    }
+
+    def check(self, module):
+        yield from self._check_pool_calls(module)
+        mutables = _module_mutables(module.tree)
+        for description, func in _audited_functions(module):
+            yield from self._check_purity(module, description, func,
+                                          mutables)
+
+    # -- PPR301 ------------------------------------------------------------
+
+    def _check_pool_calls(self, module):
+        nested = self._nested_function_names(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = self._pool_call_target(node)
+            if target is None:
+                continue
+            for arg in node.args:
+                if isinstance(arg, ast.Lambda):
+                    yield self.diagnostic(
+                        module, arg.lineno, "PPR301",
+                        f"lambda passed to {target}: lambdas are not "
+                        f"picklable and break process-pool execution")
+                elif isinstance(arg, ast.Name) and arg.id in nested:
+                    yield self.diagnostic(
+                        module, arg.lineno, "PPR301",
+                        f"nested function {arg.id!r} passed to {target}:"
+                        f" only module-level functions pickle under the "
+                        f"spawn start method")
+
+    @staticmethod
+    def _pool_call_target(call: ast.Call) -> str | None:
+        """``pool.map``-style call target, or a worker-mapper call."""
+        func = call.func
+        if isinstance(func, ast.Attribute) and func.attr in _POOL_METHODS:
+            owner = dotted_name(func.value) or ""
+            if any(hint in owner.lower() for hint in _POOL_HINTS):
+                return f"{owner}.{func.attr}"
+        if isinstance(func, ast.Name) \
+                and any(hint in func.id.lower() for hint in _POOL_HINTS):
+            return func.id
+        return None
+
+    @staticmethod
+    def _nested_function_names(tree: ast.Module) -> set[str]:
+        """Names of functions defined inside other functions."""
+        nested: set[str] = set()
+        for outer in ast.walk(tree):
+            if not isinstance(outer, (ast.FunctionDef,
+                                      ast.AsyncFunctionDef)):
+                continue
+            for inner in ast.walk(outer):
+                if inner is not outer and isinstance(
+                        inner, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    nested.add(inner.name)
+        return nested
+
+    # -- PPR302/303/304 ----------------------------------------------------
+
+    def _check_purity(self, module, description, func, mutables):
+        for node in ast.walk(func):
+            if isinstance(node, ast.Global):
+                yield self.diagnostic(
+                    module, node.lineno, "PPR302",
+                    f"{description} rebinds module global(s) "
+                    f"{', '.join(node.names)}; per-process copies "
+                    f"diverge under the sharded executor")
+            elif isinstance(node, ast.Call):
+                yield from self._check_mutating_call(module, description,
+                                                    node, mutables)
+                yield from self._check_nondeterminism(module, description,
+                                                     node)
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                yield from self._check_subscript_write(module, description,
+                                                      node, mutables)
+            elif isinstance(node, (ast.For, ast.comprehension)):
+                yield from self._check_set_iteration(module, description,
+                                                    node)
+
+    def _check_mutating_call(self, module, description, node, mutables):
+        func = node.func
+        if (isinstance(func, ast.Attribute)
+                and func.attr in _MUTATORS
+                and isinstance(func.value, ast.Name)
+                and func.value.id in mutables):
+            yield self.diagnostic(
+                module, node.lineno, "PPR302",
+                f"{description} mutates module-level "
+                f"{func.value.id!r} via .{func.attr}(); per-process "
+                f"copies diverge under the sharded executor")
+
+    def _check_subscript_write(self, module, description, node, mutables):
+        targets = node.targets if isinstance(node, ast.Assign) \
+            else [node.target]
+        for target in targets:
+            if (isinstance(target, ast.Subscript)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id in mutables):
+                yield self.diagnostic(
+                    module, target.lineno, "PPR302",
+                    f"{description} writes into module-level "
+                    f"{target.value.id!r}; per-process copies diverge "
+                    f"under the sharded executor")
+
+    def _check_nondeterminism(self, module, description, node):
+        name = dotted_name(node.func)
+        if name is None:
+            return
+        if name in _NONDET_EXACT or name.startswith(_NONDET_PREFIXES):
+            yield self.diagnostic(
+                module, node.lineno, "PPR303",
+                f"{description} calls {name}(); stages and worker "
+                f"tasks must be deterministic pure functions of their "
+                f"payload")
+
+    def _check_set_iteration(self, module, description, node):
+        iterable = node.iter
+        is_set = isinstance(iterable, ast.Set)
+        if isinstance(iterable, ast.Call) \
+                and isinstance(iterable.func, ast.Name):
+            is_set |= iterable.func.id in {"set", "frozenset"}
+        if is_set:
+            yield self.diagnostic(
+                module, iterable.lineno, "PPR304",
+                f"{description} iterates a set; iteration order is "
+                f"hash-seed dependent — sort or use a list/tuple")

@@ -1,0 +1,170 @@
+"""Checker: stages honour their declared payload contracts (PPR1xx).
+
+A :class:`~repro.core.stages.Stage` declares ``input_type`` and
+``output_type`` payload dataclasses.  The whole pipeline's partial-run /
+resume machinery — and the sharded executor's re-entry at ``validate``
+— is sound only if every stage (a) reads nothing off its payload beyond
+the declared input dataclass's fields and (b) constructs exactly its
+declared output payload type.  This checker enforces both statically.
+
+Payload field tables are resolved from dataclasses defined in the
+analysed file itself (which covers the real pipeline module and the
+self-test corpus); names that are imported instead are resolved against
+the canonical payload classes of :mod:`repro.core.stages` via runtime
+reflection.
+"""
+
+from __future__ import annotations
+
+import ast
+from functools import lru_cache
+
+from repro.analysis.astutils import (
+    class_methods,
+    dataclass_fields_by_name,
+    stage_subclasses,
+)
+from repro.analysis.registry import Checker, register
+
+__all__ = ["StageContractChecker"]
+
+#: Methods that receive the stage's input payload as their third argument.
+_PAYLOAD_METHODS = ("run", "applies")
+
+
+@lru_cache(maxsize=1)
+def _canonical_payloads() -> dict[str, set[str]]:
+    """Field tables of the payload dataclasses in ``repro.core.stages``."""
+    import dataclasses
+
+    import repro.core.stages as stages
+
+    table: dict[str, set[str]] = {}
+    for name in dir(stages):
+        obj = getattr(stages, name)
+        if (isinstance(obj, type) and dataclasses.is_dataclass(obj)
+                and obj.__module__ == "repro.core.stages"
+                and name != "PipelineContext"):
+            table[name] = {f.name for f in dataclasses.fields(obj)}
+    return table
+
+
+def _declared_type(cls: ast.ClassDef, attribute: str) -> str | None:
+    """The Name assigned to ``input_type``/``output_type``, if present."""
+    for stmt in cls.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == attribute:
+                if isinstance(value, ast.Name):
+                    return value.id
+    return None
+
+
+def _payload_param(method: ast.FunctionDef) -> str | None:
+    """Name of the payload parameter: ``(self, ctx, payload)``."""
+    args = method.args.args
+    return args[2].arg if len(args) >= 3 else None
+
+
+@register
+class StageContractChecker(Checker):
+    name = "stage-contract"
+    codes = {
+        "PPR101": "stage reads a payload attribute its declared input "
+                  "payload dataclass does not define",
+        "PPR102": "stage constructs a payload type other than its "
+                  "declared output_type",
+        "PPR103": "Stage subclass does not declare input_type and "
+                  "output_type payload dataclasses",
+    }
+
+    def check(self, module):
+        stages = stage_subclasses(module.tree)
+        if not stages:
+            return
+        local_payloads = dataclass_fields_by_name(module.tree)
+
+        def fields_of(type_name):
+            if type_name in local_payloads:
+                return local_payloads[type_name]
+            return _canonical_payloads().get(type_name)
+
+        # Every name that denotes *some* payload dataclass: constructing
+        # any of them other than the declared output is a PPR102.
+        known_payloads = set(local_payloads)
+        try:
+            known_payloads |= set(_canonical_payloads())
+        except Exception:  # canonical module unavailable: lint standalone
+            pass
+
+        stage_by_name = {cls.name: cls for cls in stages}
+        for cls in stages:
+            yield from self._check_stage(module, cls, stage_by_name,
+                                         fields_of, known_payloads)
+
+    def _check_stage(self, module, cls, stage_by_name, fields_of,
+                     known_payloads):
+        input_type = self._inherited(cls, "input_type", stage_by_name)
+        output_type = self._inherited(cls, "output_type", stage_by_name)
+        if input_type is None or output_type is None:
+            yield self.diagnostic(
+                module, cls.lineno, "PPR103",
+                f"stage {cls.name!r} declares no "
+                f"{'input_type' if input_type is None else 'output_type'}"
+                f" payload dataclass")
+            return
+        input_fields = fields_of(input_type)
+
+        for method_name in _PAYLOAD_METHODS:
+            method = class_methods(cls).get(method_name)
+            if method is None:
+                continue
+            payload = _payload_param(method)
+            if payload is None:
+                continue
+            for node in ast.walk(method):
+                if (isinstance(node, ast.Attribute)
+                        and isinstance(node.value, ast.Name)
+                        and node.value.id == payload
+                        and not node.attr.startswith("__")):
+                    if input_fields is not None \
+                            and node.attr not in input_fields:
+                        yield self.diagnostic(
+                            module, node.lineno, "PPR101",
+                            f"stage {cls.name!r} reads "
+                            f"payload.{node.attr}, which input payload "
+                            f"{input_type!r} does not declare")
+                if (isinstance(node, ast.Call)
+                        and isinstance(node.func, ast.Name)
+                        and node.func.id in known_payloads
+                        and node.func.id != output_type
+                        and method_name == "run"):
+                    yield self.diagnostic(
+                        module, node.lineno, "PPR102",
+                        f"stage {cls.name!r} constructs "
+                        f"{node.func.id}, but declares output payload "
+                        f"{output_type!r}")
+
+    @staticmethod
+    def _inherited(cls, attribute, stage_by_name):
+        """Resolve a declared type through in-file stage inheritance."""
+        seen = set()
+        current = cls
+        while current is not None and current.name not in seen:
+            seen.add(current.name)
+            declared = _declared_type(current, attribute)
+            if declared is not None:
+                return declared
+            parent = None
+            for base in current.bases:
+                if isinstance(base, ast.Name) \
+                        and base.id in stage_by_name:
+                    parent = stage_by_name[base.id]
+                    break
+            current = parent
+        return None

@@ -1,0 +1,54 @@
+"""Diagnostics: what parlint reports and how it is rendered.
+
+A :class:`Diagnostic` is one finding of one checker at one source
+location.  The human rendering is the conventional one-line form every
+editor understands::
+
+    src/repro/core/parser.py:77: PPR503 repro.core must not import repro.exec
+
+The JSON rendering (``parparaw lint --format json``) is a stable
+machine-readable envelope for CI annotation tooling.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Iterable
+
+__all__ = ["Diagnostic", "render_text", "render_json"]
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One finding: a checker code anchored to a file and line."""
+
+    #: Path of the offending file (as given to the driver).
+    path: str
+    #: 1-based source line the finding is anchored to.
+    line: int
+    #: Checker code, e.g. ``PPR401`` (see ``docs/PARLINT.md``).
+    code: str
+    #: Human-readable description of the violation.
+    message: str
+    #: Name of the checker that produced the finding.
+    checker: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}: {self.code} {self.message}"
+
+
+def render_text(diagnostics: Iterable[Diagnostic]) -> str:
+    """The human rendering: one sorted ``path:line: CODE message`` per line."""
+    return "\n".join(d.format() for d in sorted(diagnostics))
+
+
+def render_json(diagnostics: Iterable[Diagnostic], *,
+                files_checked: int) -> str:
+    """The machine rendering: a stable JSON envelope."""
+    items = [asdict(d) for d in sorted(diagnostics)]
+    return json.dumps({
+        "files_checked": files_checked,
+        "diagnostic_count": len(items),
+        "diagnostics": items,
+    }, indent=2)

@@ -1,0 +1,165 @@
+"""The parlint driver: file discovery, checker dispatch, output.
+
+``lint_paths`` is the library entry point; ``main`` is the CLI behind
+``parparaw lint`` (and ``python -m repro lint``).  Exit status: 0 when no
+diagnostics survive waivers, 1 when violations are reported, 2 on usage
+errors (unreadable path, syntax error in an analysed file).
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from repro.analysis.diagnostics import Diagnostic, render_json, render_text
+from repro.analysis.pragmas import FilePragmas, parse_pragmas
+from repro.analysis.registry import Checker, all_checkers, all_codes
+
+__all__ = ["ModuleInfo", "LintResult", "load_module", "lint_paths", "main"]
+
+
+@dataclass
+class ModuleInfo:
+    """Everything the checkers may inspect about one source file."""
+
+    #: Path as given (kept relative when the input was relative).
+    path: Path
+    #: Raw source text.
+    source: str
+    #: Parsed syntax tree.
+    tree: ast.Module
+    #: Dotted module name (``repro.core.stages``), or ``None`` when the
+    #: file lies outside a recognisable package root.
+    module: str | None
+    #: Parsed pragma state (waivers and markers).
+    pragmas: FilePragmas
+
+    @property
+    def package(self) -> str | None:
+        """The top-level subpackage, e.g. ``repro.core`` (or ``repro``)."""
+        if self.module is None:
+            return None
+        parts = self.module.split(".")
+        return ".".join(parts[:2]) if len(parts) >= 2 else parts[0]
+
+
+def _module_name_from_path(path: Path) -> str | None:
+    """Infer the dotted module name from the file's location.
+
+    Recognises ``.../src/<pkg>/...`` layouts and, failing that, any path
+    containing a ``repro`` directory component.
+    """
+    parts = list(path.resolve().parts)
+    anchor = None
+    if "src" in parts:
+        anchor = len(parts) - 1 - parts[::-1].index("src")
+        dotted = parts[anchor + 1:]
+    elif "repro" in parts:
+        anchor = parts.index("repro")
+        dotted = parts[anchor:]
+    else:
+        return None
+    if not dotted:
+        return None
+    dotted = list(dotted)
+    dotted[-1] = dotted[-1].removesuffix(".py")
+    if dotted[-1] == "__init__":
+        dotted.pop()
+    return ".".join(dotted) if dotted else None
+
+
+def load_module(path: Path) -> ModuleInfo:
+    """Read, parse and pragma-scan one file (raises on syntax errors)."""
+    source = path.read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=str(path))
+    pragmas = parse_pragmas(source)
+    module = pragmas.module_override or _module_name_from_path(path)
+    return ModuleInfo(path=path, source=source, tree=tree,
+                      module=module, pragmas=pragmas)
+
+
+def iter_python_files(paths: Sequence[Path | str]) -> Iterator[Path]:
+    """Expand files/directories into a sorted stream of ``.py`` files."""
+    for entry in paths:
+        entry = Path(entry)
+        if entry.is_dir():
+            yield from sorted(
+                p for p in entry.rglob("*.py")
+                if "__pycache__" not in p.parts)
+        elif entry.suffix == ".py":
+            yield entry
+        else:
+            raise FileNotFoundError(f"not a Python file or directory: "
+                                    f"{entry}")
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run."""
+
+    diagnostics: list[Diagnostic]
+    files_checked: int
+
+    @property
+    def ok(self) -> bool:
+        return not self.diagnostics
+
+
+def lint_file(module: ModuleInfo,
+              checkers: Sequence[Checker]) -> list[Diagnostic]:
+    """Run every checker over one module, applying waivers."""
+    if module.pragmas.skip_file:
+        return []
+    findings: list[Diagnostic] = []
+    for checker in checkers:
+        for diag in checker.check(module):
+            if not module.pragmas.is_waived(diag.code, diag.line):
+                findings.append(diag)
+    return findings
+
+
+def lint_paths(paths: Sequence[Path | str],
+               checkers: Sequence[Checker] | None = None) -> LintResult:
+    """Lint files/directories; returns all surviving diagnostics."""
+    if checkers is None:
+        checkers = all_checkers()
+    diagnostics: list[Diagnostic] = []
+    count = 0
+    for path in iter_python_files(paths):
+        count += 1
+        diagnostics.extend(lint_file(load_module(path), checkers))
+    diagnostics.sort()
+    return LintResult(diagnostics=diagnostics, files_checked=count)
+
+
+def _list_codes() -> str:
+    lines = ["parlint diagnostic codes:"]
+    for code, summary in all_codes().items():
+        lines.append(f"  {code}  {summary}")
+    return "\n".join(lines)
+
+
+def main(paths: Iterable[str], output_format: str = "text",
+         list_codes: bool = False, out=None) -> int:
+    """CLI body shared by ``parparaw lint`` (see ``repro.__main__``)."""
+    out = out if out is not None else sys.stdout
+    if list_codes:
+        print(_list_codes(), file=out)
+        return 0
+    try:
+        result = lint_paths(list(paths) or ["src"])
+    except (FileNotFoundError, SyntaxError) as exc:
+        print(f"parlint: error: {exc}", file=sys.stderr)
+        return 2
+    if output_format == "json":
+        print(render_json(result.diagnostics,
+                          files_checked=result.files_checked), file=out)
+    else:
+        if result.diagnostics:
+            print(render_text(result.diagnostics), file=out)
+        print(f"parlint: {len(result.diagnostics)} finding(s) in "
+              f"{result.files_checked} file(s)", file=out)
+    return 0 if result.ok else 1

@@ -1,0 +1,119 @@
+"""Parlint pragma comments: waivers and in-source markers.
+
+Pragmas are ordinary ``#`` comments beginning with ``parlint:``.  An
+optional justification follows `` -- `` and is encouraged for every
+waiver (the repo convention is that a waiver without a reason does not
+survive review).
+
+Waivers
+-------
+``# parlint: disable=PPR401``
+    Waive the listed codes (comma-separated) for diagnostics anchored to
+    this physical line.  ``disable`` with no codes waives everything on
+    the line.
+``# parlint: disable-file=PPR401,PPR303``
+    Waive the listed codes for the whole file.
+``# parlint: skip-file``
+    Exclude the file from analysis entirely.
+
+Markers
+-------
+``# parlint: hot-path``
+    Marks the module as performance-critical: the hot-path checker flags
+    every explicit Python loop in it (PPR401) unless waived.
+``# parlint: worker``
+    On (or directly above) a ``def``: the function is shipped to worker
+    processes, so the multiprocess-safety checker audits its body.
+``# parlint: module=repro.core.example``
+    Overrides the dotted module name inferred from the file path — used
+    by the self-test corpus to exercise package-layering rules on files
+    that live outside ``src/``.
+
+Pragmas are extracted with a line-based scan, not the tokenizer; a
+pragma-shaped string inside a string literal would be honoured.  This is
+the usual linter trade-off (flake8's ``noqa`` behaves the same way) and
+keeps the scanner trivially robust to files that do not tokenize.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+__all__ = ["FilePragmas", "parse_pragmas"]
+
+_PRAGMA = re.compile(r"#\s*parlint:\s*(?P<body>[^#]*)")
+
+
+@dataclass
+class FilePragmas:
+    """All pragma state of one source file."""
+
+    #: ``skip-file`` was present.
+    skip_file: bool = False
+    #: Codes waived for the whole file (``disable-file=``).
+    file_disabled: set[str] = field(default_factory=set)
+    #: Line -> codes waived on that line; an empty set waives all codes.
+    line_disabled: dict[int, set[str]] = field(default_factory=dict)
+    #: Module is marked ``hot-path``.
+    hot_path: bool = False
+    #: Lines carrying a ``worker`` marker.
+    worker_lines: set[int] = field(default_factory=set)
+    #: Explicit ``module=`` override, if any.
+    module_override: str | None = None
+
+    def is_waived(self, code: str, line: int) -> bool:
+        """Whether a diagnostic ``code`` anchored at ``line`` is waived."""
+        if self.skip_file or code in self.file_disabled:
+            return True
+        codes = self.line_disabled.get(line)
+        if codes is None:
+            return False
+        return not codes or code in codes
+
+    def is_worker_def(self, def_line: int) -> bool:
+        """Whether a ``def`` at ``def_line`` carries a worker marker.
+
+        The marker may trail the ``def`` line itself or sit on the line
+        directly above it (above any decorators is *not* recognised —
+        keep the marker adjacent to the ``def``).
+        """
+        return def_line in self.worker_lines \
+            or (def_line - 1) in self.worker_lines
+
+
+def _split_codes(text: str) -> set[str]:
+    return {code.strip() for code in text.split(",") if code.strip()}
+
+
+def parse_pragmas(source: str) -> FilePragmas:
+    """Scan ``source`` for parlint pragmas."""
+    pragmas = FilePragmas()
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _PRAGMA.search(line)
+        if match is None:
+            continue
+        body = match.group("body")
+        # Strip the justification: everything after ` -- `.
+        body = body.split(" -- ", 1)[0].strip()
+        for directive in body.split():
+            name, _, value = directive.partition("=")
+            if name == "skip-file":
+                pragmas.skip_file = True
+            elif name == "disable":
+                codes = _split_codes(value)
+                existing = pragmas.line_disabled.setdefault(lineno, codes)
+                if existing is not codes:
+                    if not codes or not existing:
+                        existing.clear()  # no codes = waive everything
+                    else:
+                        existing.update(codes)
+            elif name == "disable-file":
+                pragmas.file_disabled.update(_split_codes(value))
+            elif name == "hot-path":
+                pragmas.hot_path = True
+            elif name == "worker":
+                pragmas.worker_lines.add(lineno)
+            elif name == "module" and value:
+                pragmas.module_override = value
+    return pragmas

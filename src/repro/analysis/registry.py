@@ -1,0 +1,79 @@
+"""The checker registry.
+
+A checker is a class with a ``name``, a table of diagnostic ``codes`` it
+may emit, and a ``check(module)`` method returning diagnostics for one
+:class:`~repro.analysis.driver.ModuleInfo`.  Checkers register
+themselves with the :func:`register` decorator; the driver instantiates
+every registered checker once per run and applies each to every file.
+
+Checkers must be pure per file: no state may leak between ``check``
+calls (the driver is free to reorder files), and a checker must not
+modify the module it inspects.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from repro.analysis.diagnostics import Diagnostic
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.driver import ModuleInfo
+
+__all__ = ["Checker", "register", "all_checkers", "all_codes"]
+
+
+class Checker:
+    """Base class for parlint checkers."""
+
+    #: Short identifier, e.g. ``stage-contract``.
+    name: str = ""
+    #: Code -> one-line summary for every diagnostic the checker emits.
+    codes: dict[str, str] = {}
+
+    def check(self, module: "ModuleInfo") -> Iterable[Diagnostic]:
+        raise NotImplementedError
+
+    def diagnostic(self, module: "ModuleInfo", line: int, code: str,
+                   message: str) -> Diagnostic:
+        """Build a diagnostic anchored in ``module`` with this checker."""
+        if code not in self.codes:
+            raise ValueError(f"checker {self.name!r} emitted "
+                             f"undeclared code {code}")
+        return Diagnostic(path=str(module.path), line=line, code=code,
+                          message=message, checker=self.name)
+
+
+_REGISTRY: list[type[Checker]] = []
+
+
+def register(cls: type[Checker]) -> type[Checker]:
+    """Class decorator adding a checker to the global registry."""
+    if not cls.name:
+        raise ValueError(f"{cls.__name__} needs a non-empty name")
+    if not cls.codes:
+        raise ValueError(f"{cls.__name__} declares no codes")
+    for registered in _REGISTRY:
+        overlap = registered.codes.keys() & cls.codes.keys()
+        if overlap:
+            raise ValueError(f"codes {sorted(overlap)} already "
+                             f"registered by {registered.name!r}")
+    _REGISTRY.append(cls)
+    return cls
+
+
+def all_checkers() -> list[Checker]:
+    """Fresh instances of every registered checker, in registration order."""
+    # Importing the package that defines the built-in checkers populates
+    # the registry on first use.
+    import repro.analysis.checkers  # noqa: F401  (import for side effect)
+    return [cls() for cls in _REGISTRY]
+
+
+def all_codes() -> dict[str, str]:
+    """Code -> summary over all registered checkers (sorted by code)."""
+    import repro.analysis.checkers  # noqa: F401  (import for side effect)
+    merged: dict[str, str] = {}
+    for cls in _REGISTRY:
+        merged.update(cls.codes)
+    return dict(sorted(merged.items()))

@@ -22,6 +22,8 @@ symbol-level reader (:class:`SymbolReader`) and its tests.
 
 from __future__ import annotations
 
+# parlint: hot-path -- byte-bound pipeline phase; loops need waivers
+
 from dataclasses import dataclass
 from typing import Iterator
 
@@ -100,7 +102,7 @@ def utf8_leading_skip(chunk: bytes | np.ndarray) -> int:
     buf = np.frombuffer(bytes(chunk), dtype=np.uint8) \
         if not isinstance(chunk, np.ndarray) else chunk
     skip = 0
-    for byte in buf[:3]:  # a code point has at most 3 continuation bytes
+    for byte in buf[:3]:  # a code point has at most 3 continuation bytes  # parlint: disable=PPR401 -- at most 3 continuation bytes per code point
         if (int(byte) & 0xC0) == 0x80:
             skip += 1
         else:
@@ -149,7 +151,7 @@ class SymbolReader:
         end = min(self._start + self._size, len(data))
         if self._encoding == "utf-8":
             pos = self._start + utf8_leading_skip(data[self._start:end])
-            while pos < end:
+            while pos < end:  # parlint: disable=PPR401 -- scalar decoder for the symbol-iterator debug API, not the vectorised parse path
                 lead = data[pos]
                 if lead < 0x80:
                     length = 1
@@ -169,7 +171,7 @@ class SymbolReader:
                 pos += length
         else:
             pos = self._start + utf16_leading_skip(data[self._start:end])
-            while pos < end:
+            while pos < end:  # parlint: disable=PPR401 -- scalar decoder for the symbol-iterator debug API, not the vectorised parse path
                 if pos + 2 > len(data):
                     raise ParseError("truncated UTF-16 code unit")
                 unit = data[pos] | (data[pos + 1] << 8)

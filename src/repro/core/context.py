@@ -16,6 +16,8 @@ the NumPy translation of "every thread reads its chunk in lock step".
 
 from __future__ import annotations
 
+# parlint: hot-path -- byte-bound pipeline phase; loops need waivers
+
 import numpy as np
 
 from repro.dfa.automaton import Dfa
@@ -42,7 +44,7 @@ def compute_transition_vectors(groups: np.ndarray, dfa: Dfa) -> np.ndarray:
     vectors = np.broadcast_to(
         np.arange(dfa.num_states, dtype=np.uint8),
         (num_chunks, dfa.num_states)).copy()
-    for j in range(chunk_size):
+    for j in range(chunk_size):  # parlint: disable=PPR401 -- per-thread serial depth of paper alg. 1; vectorised over the num_chunks axis
         # All threads advance their |S| DFA instances by one symbol.
         vectors = transitions[groups[:, j, None], vectors]
     return vectors

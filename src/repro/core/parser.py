@@ -27,7 +27,35 @@ from repro.core.stages import (
 )
 from repro.utils.timing import StepTimer
 
-__all__ = ["ParPaRawParser", "parse_bytes"]
+__all__ = ["ParPaRawParser", "parse_bytes", "set_default_executor_factory"]
+
+#: Factory invoked when a parser is built without an explicit executor.
+#: ``repro.exec`` registers the :class:`~repro.exec.SerialExecutor` here at
+#: import time (dependency inversion: the executor layer depends on the
+#: pipeline, never the reverse, so ``repro.core`` stays import-clean).
+_default_executor_factory = None
+
+
+def set_default_executor_factory(factory) -> None:
+    """Register the zero-argument factory for the default executor."""
+    global _default_executor_factory
+    _default_executor_factory = factory
+
+
+class _InlineSchedule:
+    """Fallback scheduler when no executor layer has been registered.
+
+    Runs the default pipeline inline; only reachable when ``repro.core``
+    is imported standalone, without the ``repro`` package root (which
+    imports ``repro.exec`` and registers the real default).
+    """
+
+    def execute(self, ctx, payload, *, until=None):
+        from repro.core.stages import default_pipeline
+        return default_pipeline().run(ctx, payload, until=until)
+
+    def close(self) -> None:
+        pass
 
 
 def parse_bytes(data: bytes, options: ParseOptions | None = None,
@@ -74,8 +102,10 @@ class ParPaRawParser:
         self.options = options if options is not None else ParseOptions()
         self._dfa = self.options.resolved_dfa()
         if executor is None:
-            from repro.exec import SerialExecutor
-            executor = SerialExecutor()
+            if _default_executor_factory is not None:
+                executor = _default_executor_factory()
+            else:
+                executor = _InlineSchedule()
         self.executor = executor
 
     # -- public API ---------------------------------------------------------

@@ -23,6 +23,8 @@ boundaries (paper §3.3).
 
 from __future__ import annotations
 
+# parlint: hot-path -- byte-bound pipeline phase; loops need waivers
+
 from dataclasses import dataclass
 
 import numpy as np
@@ -74,7 +76,7 @@ def stable_radix_sort(keys: np.ndarray, radix_bits: int = 2,
     current_keys = keys.astype(np.int64)
 
     shift = 0
-    while shift < key_bits:
+    while shift < key_bits:  # parlint: disable=PPR401 -- one pass per radix digit, <= key_bits/radix_bits iterations
         digits = (current_keys >> shift) & (radix - 1)
         # (1) histogram, (2) partition offsets via exclusive prefix sum.
         histogram = np.bincount(digits, minlength=radix)
@@ -82,7 +84,7 @@ def stable_radix_sort(keys: np.ndarray, radix_bits: int = 2,
         # (3) stable scatter: rank within digit via a per-digit-value
         # cumulative sum (the segmented prefix sum a GPU pass performs).
         destinations = np.empty(n, dtype=np.int64)
-        for value in range(radix):
+        for value in range(radix):  # parlint: disable=PPR401 -- 2**radix_bits iterations with vectorised bodies (per-digit segmented rank)
             if histogram[value] == 0:
                 continue
             mask = digits == value

@@ -21,6 +21,8 @@ Both produce bit-identical :class:`TagResult` values (property tested).
 
 from __future__ import annotations
 
+# parlint: hot-path -- byte-bound pipeline phase; loops need waivers
+
 from dataclasses import dataclass
 
 import numpy as np
@@ -94,7 +96,7 @@ def compute_emissions(groups: np.ndarray, start_states: np.ndarray,
     emission_table = dfa.emissions
     invalid = dfa.invalid_state
     first_invalid = np.full(num_chunks, -1, dtype=np.int64)
-    for j in range(chunk_size):
+    for j in range(chunk_size):  # parlint: disable=PPR401 -- per-thread serial depth of the tagging sweep; vectorised over num_chunks
         g = groups[:, j]
         emissions[:, j] = emission_table[states, g]
         if invalid is not None:
@@ -228,7 +230,7 @@ def tag_chunked(emissions: np.ndarray, final_state: int,
     column_counter = offsets.entering_column_offsets.copy()
     record_ids = np.empty((num_chunks, chunk_size), dtype=np.int64)
     column_ids = np.empty((num_chunks, chunk_size), dtype=np.int64)
-    for j in range(chunk_size):
+    for j in range(chunk_size):  # parlint: disable=PPR401 -- per-thread serial depth of the tagging sweep; vectorised over num_chunks
         record_ids[:, j] = record_counter
         column_ids[:, j] = column_counter
         is_record = record_delim[:, j]

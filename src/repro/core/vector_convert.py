@@ -20,6 +20,8 @@ block-per-field reductions.
 
 from __future__ import annotations
 
+# parlint: hot-path -- byte-bound pipeline phase; loops need waivers
+
 import numpy as np
 
 from repro.columnar.schema import DataType
@@ -81,12 +83,12 @@ def match_literals(buf: np.ndarray, offsets: np.ndarray,
     """
     n = len(lengths)
     matched = np.zeros(n, dtype=bool)
-    for literal in literals:
+    for literal in literals:  # parlint: disable=PPR401 -- one pass per NULL literal, a small config constant
         candidates = lengths == len(literal)
         if not np.any(candidates) or not literal:
             continue
         this = candidates.copy()
-        for i, ch in enumerate(literal):
+        for i, ch in enumerate(literal):  # parlint: disable=PPR401 -- bounded by the literal's length with vectorised per-byte compares
             idx = np.where(candidates, offsets + i, 0)
             this &= buf[idx] == ch
         matched |= this
@@ -275,7 +277,7 @@ def parse_bool_vector(buf: np.ndarray, offsets: np.ndarray,
     values = np.zeros(n, dtype=bool)
     ok = np.zeros(n, dtype=bool)
     fallback = np.zeros(n, dtype=bool)
-    for literal, value in ((b"1", True), (b"0", False),
+    for literal, value in ((b"1", True), (b"0", False),  # parlint: disable=PPR401 -- 12 fixed boolean literals
                            (b"t", True), (b"f", False),
                            (b"T", True), (b"F", False),
                            (b"true", True), (b"false", False),
@@ -285,7 +287,7 @@ def parse_bool_vector(buf: np.ndarray, offsets: np.ndarray,
         if not np.any(candidates):
             continue
         match = candidates.copy()
-        for i, ch in enumerate(literal):
+        for i, ch in enumerate(literal):  # parlint: disable=PPR401 -- bounded by the literal's length with vectorised per-byte compares
             idx = offsets + i
             # Guard the gather for non-candidate fields.
             safe = np.where(candidates, idx, 0)

@@ -43,7 +43,7 @@ def _score(data: bytes, dialect: Dialect) -> tuple[float, int, int]:
     """(score, columns, records) for one candidate dialect."""
     # Imported lazily: baselines import core.options which imports this
     # package — a module-level import would be circular.
-    from repro.baselines.sequential import sequential_rows
+    from repro.baselines.sequential import sequential_rows  # parlint: disable=PPR503 -- sniffer scores candidates with the cheap sequential parser; lazy to avoid a baselines<->dfa cycle
     try:
         dfa = dialect_dfa(dialect)
     except DialectError:

@@ -7,6 +7,19 @@ being able to discriminate specific failure modes.
 
 from __future__ import annotations
 
+__all__ = [
+    "CapacityError",
+    "ConversionError",
+    "DfaError",
+    "DialectError",
+    "ExecutorError",
+    "ParseError",
+    "ReproError",
+    "SchemaError",
+    "SimulationError",
+    "StreamingError",
+]
+
 
 class ReproError(Exception):
     """Base class for all errors raised by this library."""
@@ -74,3 +87,7 @@ class SimulationError(ReproError):
 
 class StreamingError(ReproError):
     """The streaming pipeline was misconfigured or violated a dependency."""
+
+
+class ExecutorError(ReproError):
+    """An execution backend was used after being closed, or misconfigured."""

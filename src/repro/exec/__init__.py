@@ -21,8 +21,13 @@ Executors are passed to :class:`~repro.core.parser.ParPaRawParser`,
 flag.
 """
 
+from repro.core.parser import set_default_executor_factory
 from repro.exec.base import Executor
 from repro.exec.serial import SerialExecutor
 from repro.exec.sharded import ShardedExecutor
 
 __all__ = ["Executor", "SerialExecutor", "ShardedExecutor"]
+
+# Dependency inversion: repro.core never imports this package; instead we
+# register the serial backend as the parser's default at import time.
+set_default_executor_factory(SerialExecutor)

@@ -16,6 +16,7 @@ from repro.core.stages import (
     StagePipeline,
     default_pipeline,
 )
+from repro.errors import ExecutorError
 
 __all__ = ["Executor"]
 
@@ -27,6 +28,19 @@ class Executor(abc.ABC):
         #: The stage pipeline this executor drives.
         self.pipeline = pipeline if pipeline is not None \
             else default_pipeline()
+        self._closed = False
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
+
+    def _ensure_open(self) -> None:
+        """Raise :class:`~repro.errors.ExecutorError` if closed."""
+        if self._closed:
+            raise ExecutorError(
+                f"{type(self).__name__} has been closed; "
+                f"create a new executor to parse again")
 
     @abc.abstractmethod
     def execute(self, ctx: PipelineContext, payload: RawInput, *,
@@ -50,6 +64,7 @@ class Executor(abc.ABC):
 
     def close(self) -> None:
         """Release executor resources (worker pools); idempotent."""
+        self._closed = True
 
     def __enter__(self) -> "Executor":
         return self

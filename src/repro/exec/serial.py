@@ -18,4 +18,5 @@ class SerialExecutor(Executor):
 
     def execute(self, ctx: PipelineContext, payload: RawInput, *,
                 until: str | None = None):
+        self._ensure_open()
         return self.pipeline.run(ctx, payload, until=until)

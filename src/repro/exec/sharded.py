@@ -62,6 +62,7 @@ _GRID_STAGES = ("prune", "chunk", "stv", "scan")
 
 # -- worker tasks (module-level: picklable under every start method) ---------
 
+# parlint: worker -- runs in pool processes; must stay pure and picklable
 def _shard_contexts(raw: np.ndarray, dfa: Dfa, chunk_size: int
                     ) -> tuple[np.ndarray, np.ndarray]:
     """Worker phase 1: shard-local STVs, their scan, and the composite.
@@ -82,6 +83,7 @@ def _shard_contexts(raw: np.ndarray, dfa: Dfa, chunk_size: int
     return local_scan, inclusive[-1]
 
 
+# parlint: worker -- runs in pool processes; must stay pure and picklable
 def _compact_ids(ids: np.ndarray) -> np.ndarray:
     """Downcast int64 tag ids for the trip home when they fit in int32."""
     if ids.size == 0 or int(ids.max()) < np.iinfo(np.int32).max:
@@ -89,6 +91,7 @@ def _compact_ids(ids: np.ndarray) -> np.ndarray:
     return ids
 
 
+# parlint: worker -- runs in pool processes; must stay pure and picklable
 def _shard_tags(raw: np.ndarray, dfa: Dfa, chunk_size: int,
                 start_states: np.ndarray, impl_value: str) -> tuple:
     """Worker phase 2: emissions and shard-local record/column tags.
@@ -163,6 +166,7 @@ class ShardedExecutor(Executor):
     # -- lifecycle ---------------------------------------------------------
 
     def close(self) -> None:
+        super().close()
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
@@ -177,6 +181,7 @@ class ShardedExecutor(Executor):
 
     def execute(self, ctx: PipelineContext, payload: RawInput, *,
                 until: str | None = None):
+        self._ensure_open()
         if until in _GRID_STAGES:
             # Chunk-grid intermediates requested: they only exist on the
             # serial schedule's global grid.

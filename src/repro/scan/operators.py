@@ -25,6 +25,17 @@ from typing import Generic, Protocol, Sequence, TypeVar
 
 T = TypeVar("T")
 
+__all__ = [
+    "ColumnOffset",
+    "ColumnOffsetMonoid",
+    "MaxMonoid",
+    "MinMonoid",
+    "Monoid",
+    "OffsetKind",
+    "SumMonoid",
+    "TransitionComposeMonoid",
+]
+
 
 class Monoid(Protocol, Generic[T]):
     """An associative binary operator with an identity element."""

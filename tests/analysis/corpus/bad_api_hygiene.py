@@ -1,0 +1,17 @@
+"""Corpus: ``__all__`` inconsistencies and a layering violation.
+
+Expected diagnostics:
+
+* PPR501 — ``__all__`` names ``ghost``, which is never defined.
+* PPR502 — ``present`` appears twice in ``__all__``.
+* PPR503 — the ``module=`` pragma plants this file in ``repro.core``,
+  which must not import ``repro.exec``.
+"""
+
+# parlint: module=repro.core.badmod
+
+import repro.exec                                         # PPR503
+
+__all__ = ["ghost", "present", "present"]                 # PPR501, PPR502
+
+present = repro.exec

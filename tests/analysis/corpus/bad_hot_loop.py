@@ -1,0 +1,34 @@
+"""Corpus: a scalar loop in a hot-path module.
+
+Expected diagnostics:
+
+* PPR401 — the per-symbol ``for`` loop in ``slow_count`` (and the
+  ``while`` in ``slow_scan``).
+* The waived loop in ``bounded_ok`` must stay silent.
+"""
+
+# parlint: hot-path
+
+__all__ = ["slow_count", "slow_scan", "bounded_ok"]
+
+
+def slow_count(buf, needle):
+    count = 0
+    for byte in buf:                                      # PPR401
+        if byte == needle:
+            count += 1
+    return count
+
+
+def slow_scan(buf):
+    pos = 0
+    while pos < len(buf):                                 # PPR401
+        pos += 1
+    return pos
+
+
+def bounded_ok(buf):
+    total = 0
+    for shift in range(4):  # parlint: disable=PPR401 -- 4 fixed radix passes
+        total += int(buf[0]) >> shift
+    return total

@@ -1,0 +1,20 @@
+"""Corpus: a monoid-shaped operator missing from the law registry.
+
+Expected diagnostics:
+
+* PPR201 — ``RogueMonoid`` defines ``combine``/``identity`` but has no
+  :data:`repro.analysis.oplaws.LAW_SPECS` entry, so nothing proves its
+  associativity before it gets used in a scan.
+"""
+
+__all__ = ["RogueMonoid"]
+
+
+class RogueMonoid:                                        # PPR201
+    """Subtraction: not associative — exactly why registration matters."""
+
+    def identity(self):
+        return 0
+
+    def combine(self, a, b):
+        return a - b

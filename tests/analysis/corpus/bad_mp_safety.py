@@ -1,0 +1,48 @@
+"""Corpus: multiprocess-safety hazards in worker tasks.
+
+Expected diagnostics:
+
+* PPR301 — a lambda and a nested function handed to ``pool.submit``.
+* PPR302 — a worker rebinding a global and mutating a module-level dict.
+* PPR303 — a worker reading the wall clock.
+* PPR304 — a worker iterating a set literal.
+"""
+
+import time
+
+__all__ = ["dispatch", "racy_worker", "clocky_worker", "set_worker"]
+
+_CACHE = {}
+_TOTAL = 0
+
+
+# parlint: worker
+def racy_worker(shard):
+    global _TOTAL                                         # PPR302
+    _CACHE[shard.id] = shard                              # PPR302
+    _CACHE.update({shard.id: shard})                      # PPR302
+    return shard
+
+
+# parlint: worker
+def clocky_worker(shard):
+    started = time.time()                                 # PPR303
+    return shard, started
+
+
+# parlint: worker
+def set_worker(shard):
+    acc = []
+    for item in {1, 2, 3}:                                # PPR304
+        acc.append(item)
+    return acc
+
+
+def dispatch(pool, shards):
+    def local_task(shard):
+        return shard
+
+    futures = [pool.submit(lambda s: s, shard)            # PPR301
+               for shard in shards]
+    futures.append(pool.submit(local_task, shards[0]))    # PPR301
+    return futures

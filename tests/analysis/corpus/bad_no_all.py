@@ -1,0 +1,10 @@
+"""Corpus: a public module with no ``__all__``.
+
+Expected diagnostics:
+
+* PPR504 — no ``__all__`` declared.
+"""
+
+
+def helper():                                             # pragma: no cover
+    return 1

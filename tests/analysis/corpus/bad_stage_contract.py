@@ -1,0 +1,52 @@
+"""Corpus: stage-contract violations.
+
+Expected diagnostics:
+
+* PPR101 — ``BrokenReader.run`` reads ``payload.tags``, undeclared on
+  ``In``.
+* PPR102 — ``BrokenReader.run`` constructs ``Other`` instead of ``Out``.
+* PPR103 — ``Undeclared`` declares no payload types.
+"""
+
+from dataclasses import dataclass
+
+__all__ = ["BrokenReader", "Undeclared"]
+
+
+class Stage:
+    name = "base"
+
+
+@dataclass
+class In:
+    raw: bytes
+    input_bytes: int
+
+
+@dataclass
+class Out(In):
+    total: int
+
+
+@dataclass
+class Other(In):
+    unrelated: int
+
+
+class BrokenReader(Stage):
+    name = "broken"
+    input_type = In
+    output_type = Out
+
+    def run(self, ctx, payload):
+        total = payload.input_bytes + len(payload.tags)  # PPR101
+        return Other(raw=payload.raw,                    # PPR102
+                     input_bytes=payload.input_bytes,
+                     unrelated=total)
+
+
+class Undeclared(Stage):                                  # PPR103
+    name = "undeclared"
+
+    def run(self, ctx, payload):
+        return payload

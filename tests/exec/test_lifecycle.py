@@ -1,0 +1,83 @@
+"""Executor lifecycle: close is idempotent, closed executors refuse work."""
+
+import pytest
+
+from repro.core.parser import ParPaRawParser
+from repro.errors import ExecutorError
+from repro.exec import SerialExecutor, ShardedExecutor
+
+DATA = b"a,b\n1,2\n3,4\n"
+
+
+@pytest.fixture(params=["serial", "sharded"])
+def executor(request):
+    if request.param == "serial":
+        ex = SerialExecutor()
+    else:
+        ex = ShardedExecutor(workers=2, shard_bytes=5, use_processes=False)
+    yield ex
+    ex.close()
+
+
+class TestClose:
+    def test_close_is_idempotent(self, executor):
+        executor.close()
+        executor.close()
+        executor.close()
+        assert executor.closed
+
+    def test_fresh_executor_is_open(self, executor):
+        assert not executor.closed
+
+    def test_closed_executor_raises_on_reuse(self, executor):
+        parser = ParPaRawParser(executor=executor)
+        assert parser.parse(DATA).num_rows == 3
+        executor.close()
+        with pytest.raises(ExecutorError, match="closed"):
+            parser.parse(DATA)
+
+    def test_closed_error_names_the_executor_class(self, executor):
+        executor.close()
+        with pytest.raises(ExecutorError,
+                           match=type(executor).__name__):
+            ParPaRawParser(executor=executor).parse(DATA)
+
+
+class TestContextManager:
+    def test_context_manager_closes(self):
+        with SerialExecutor() as ex:
+            assert ParPaRawParser(executor=ex).parse(DATA).num_rows == 3
+        assert ex.closed
+        with pytest.raises(ExecutorError):
+            ParPaRawParser(executor=ex).parse(DATA)
+
+    def test_context_manager_releases_process_pool(self):
+        with ShardedExecutor(workers=2, shard_bytes=4,
+                             use_processes=True) as ex:
+            result = ParPaRawParser(executor=ex).parse(DATA)
+            assert result.num_rows == 3
+            assert ex._pool is not None, "pool should be live mid-context"
+        assert ex._pool is None, "pool must be released on exit"
+        assert ex.closed
+
+    def test_context_manager_closes_on_error(self):
+        with pytest.raises(RuntimeError, match="boom"):
+            with ShardedExecutor(workers=2, use_processes=False) as ex:
+                raise RuntimeError("boom")
+        assert ex.closed
+
+
+class TestReuse:
+    def test_executor_survives_multiple_parses(self, executor):
+        parser = ParPaRawParser(executor=executor)
+        for _ in range(3):
+            assert parser.parse(DATA).num_rows == 3
+
+    def test_sharded_pool_reused_across_parses(self):
+        with ShardedExecutor(workers=2, shard_bytes=4,
+                             use_processes=True) as ex:
+            parser = ParPaRawParser(executor=ex)
+            parser.parse(DATA)
+            pool = ex._pool
+            parser.parse(DATA)
+            assert ex._pool is pool, "pool must be reused, not rebuilt"

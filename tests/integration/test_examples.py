@@ -1,13 +1,29 @@
 """Every example script must run cleanly end to end."""
 
+import os
 import pathlib
 import subprocess
 import sys
 
 import pytest
 
-EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+EXAMPLES_DIR = REPO_ROOT / "examples"
 EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def _example_env() -> dict:
+    """Subprocess environment with the package importable.
+
+    pytest's ``pythonpath`` ini setting only extends ``sys.path`` of the
+    test process itself; example scripts run as fresh interpreters and
+    need ``src`` on PYTHONPATH explicitly.
+    """
+    env = os.environ.copy()
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+    return env
 
 
 @pytest.mark.parametrize("script", EXAMPLES,
@@ -15,7 +31,7 @@ EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
 def test_example_runs(script):
     completed = subprocess.run(
         [sys.executable, str(script)],
-        capture_output=True, text=True, timeout=300)
+        capture_output=True, text=True, timeout=300, env=_example_env())
     assert completed.returncode == 0, completed.stderr[-2000:]
     assert completed.stdout.strip(), "example produced no output"
 
