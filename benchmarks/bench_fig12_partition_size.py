@@ -13,6 +13,7 @@ import pytest
 
 from repro import ParseOptions, StreamingParser
 from repro.gpusim.cost_model import WorkloadStats
+from repro.obs import MetricsRegistry, validate_chrome_trace, write_chrome_trace
 from repro.streaming import StreamingPipeline
 from repro.workloads import generate_yelp_like
 
@@ -25,14 +26,22 @@ def test_wallclock_streaming(benchmark, yelp_schema, partition_kb):
     options = ParseOptions(schema=yelp_schema)
     partition = partition_kb * 1024
 
+    metrics = MetricsRegistry()
+
     def run():
-        stream = StreamingParser(options)
+        metrics.clear()
+        stream = StreamingParser(options, metrics=metrics)
         for start in range(0, len(data), partition):
             stream.feed(data[start:start + partition])
         return stream.finish()
 
     table = run_benchmark(benchmark, run)
     assert table.num_rows > 0
+    # Embed the merged pipeline metrics in the benchmark record so the
+    # saved .json results carry the per-partition-size accounting.
+    benchmark.extra_info["metrics"] = metrics.to_dict()
+    assert metrics.counters["stream.partitions"] == \
+        -(-len(data) // partition)
 
 
 def test_figure12_simulated(benchmark, results_dir):
@@ -70,3 +79,13 @@ def test_figure12_simulated(benchmark, results_dir):
         assert series[-1] > series[best]
     assert 0.40 < min(curves["yelp"]) < 0.60
     assert 0.75 < min(curves["taxi"]) < 1.40
+
+    # Export the optimal yelp schedule as a Chrome trace so the overlap
+    # structure behind the U-curve minimum can be inspected in Perfetto.
+    best_mb = partitions_mb[min(range(len(partitions_mb)),
+                                key=curves["yelp"].__getitem__)]
+    schedule = pipeline.simulate(int(4.823 * GB), best_mb * MB,
+                                 WorkloadStats.yelp_like)
+    trace_path = results_dir / "fig12_best_schedule_trace.json"
+    write_chrome_trace(trace_path, schedule.spans())
+    assert validate_chrome_trace(schedule.to_chrome_trace()) == []

@@ -15,4 +15,29 @@ python -m repro lint src
 # Law tier: exhaustive associativity+identity proofs for every
 # registered scan operator (licenses the parallel scans of paper §2).
 python -m pytest tests/analysis/test_operator_laws.py -q
+
+# Observability smoke: a sharded CLI parse must emit a Chrome trace that
+# the repo's own validator accepts, with worker spans and merged metrics.
+OBS_TMP="$(mktemp -d)"
+trap 'rm -rf "$OBS_TMP"' EXIT
+python - "$OBS_TMP" <<'EOF'
+import sys, pathlib
+rows = b"".join(
+    b"%d,%d.25,item-%d\n" % (i, i, i) for i in range(200))
+pathlib.Path(sys.argv[1], "smoke.csv").write_bytes(rows)
+EOF
+python -m repro parse "$OBS_TMP/smoke.csv" --workers 4 \
+    --trace "$OBS_TMP/trace.json" --metrics > /dev/null
+python - "$OBS_TMP/trace.json" <<'EOF'
+import json, sys
+from repro.obs import validate_chrome_trace
+doc = json.load(open(sys.argv[1]))
+problems = validate_chrome_trace(doc)
+assert not problems, problems
+names = {e.get("name") for e in doc["traceEvents"]}
+assert "parse" in names and "sharded:contexts" in names, sorted(names)
+assert doc["metrics"]["counters"]["records"] == 200, doc["metrics"]
+print("obs smoke: trace valid,", len(doc["traceEvents"]), "events")
+EOF
+
 python -m pytest "$@"

@@ -14,15 +14,21 @@ Subcommands:
 
 ``--workers N`` (parse/infer) runs the stage pipeline on the sharded
 multiprocess executor; ``--timings`` (parse) prints the per-stage
-wall-clock breakdown under the paper's step names.
+wall-clock breakdown under the paper's step names.  ``--trace OUT.json``
+(parse/simulate) writes a Chrome ``trace_event`` timeline — open it in
+Perfetto (https://ui.perfetto.dev) or ``chrome://tracing`` — and
+``--metrics`` prints the :mod:`repro.obs` counter/gauge/histogram report
+(see ``docs/OBSERVABILITY.md``).
 
 Examples::
 
     python -m repro parse data.csv --limit 5
     python -m repro parse data.csv --delimiter ';' --comment '#' --summary
     python -m repro parse data.csv --workers 4 --timings --summary
+    python -m repro parse data.csv --workers 4 --trace out.json --metrics
     python -m repro infer data.csv
     python -m repro simulate --dataset yelp --size-mb 512 --chunk 31
+    python -m repro simulate --trace schedule.json
     python -m repro lint src --format json
 """
 
@@ -41,6 +47,14 @@ from repro import (
 from repro.columnar.serialize import serialize_table
 from repro.exec import SerialExecutor, ShardedExecutor
 from repro.gpusim.cost_model import PipelineCostModel, WorkloadStats
+from repro.obs import (
+    NULL_METRICS,
+    NULL_TRACER,
+    MetricsRegistry,
+    Tracer,
+    render_text_report,
+    write_chrome_trace,
+)
 from repro.streaming import StreamingPipeline
 
 MB = 1024 ** 2
@@ -88,17 +102,39 @@ def _print_timings(result) -> None:
           + (f"  ({rate / 1e6:.1f} MB/s)" if rate else ""))
 
 
+def _obs_from_args(args: argparse.Namespace):
+    """(tracer, metrics) — real sinks only when the flags ask for them."""
+    observe = bool(getattr(args, "trace", None)) \
+        or bool(getattr(args, "metrics", False))
+    if not observe:
+        return NULL_TRACER, NULL_METRICS
+    return Tracer(), MetricsRegistry()
+
+
+def _emit_obs(args: argparse.Namespace, tracer, metrics) -> None:
+    """Write ``--trace`` / print ``--metrics`` output, if requested."""
+    if getattr(args, "trace", None):
+        write_chrome_trace(args.trace, tracer.spans, metrics)
+        print(f"wrote {len(tracer.spans)} trace spans to {args.trace} "
+              f"(open in https://ui.perfetto.dev)")
+    if getattr(args, "metrics", False):
+        print(render_text_report(tracer, metrics))
+
+
 def cmd_parse(args: argparse.Namespace) -> int:
     with open(args.file, "rb") as handle:
         data = handle.read()
     executor = _executor_from_args(args)
+    tracer, metrics = _obs_from_args(args)
     try:
         result = ParPaRawParser(_options_from_args(args),
-                                executor=executor).parse(data)
+                                executor=executor, tracer=tracer,
+                                metrics=metrics).parse(data)
     finally:
         executor.close()
     table = result.table
 
+    _emit_obs(args, tracer, metrics)
     if args.timings:
         _print_timings(result)
     if args.output:
@@ -171,10 +207,29 @@ def cmd_simulate(args: argparse.Namespace) -> int:
           f"({stats.input_bytes / costs.total / 1e9:.2f} GB/s)")
 
     pipeline = StreamingPipeline()
-    end_to_end = pipeline.end_to_end_seconds(
-        stats.input_bytes, args.partition_mb * MB, factory)
+    schedule = pipeline.simulate(stats.input_bytes,
+                                 args.partition_mb * MB, factory)
     print(f"streamed end-to-end ({args.partition_mb} MB partitions): "
-          f"{end_to_end:.3f} s")
+          f"{schedule.makespan:.3f} s")
+
+    if args.trace or args.metrics:
+        from repro.streaming.pipeline import RESOURCES
+        metrics = MetricsRegistry()
+        metrics.gauge("sim.makespan_seconds", schedule.makespan)
+        metrics.gauge("sim.overlap_efficiency",
+                      schedule.overlap_efficiency())
+        metrics.gauge("sim.fill_drain_seconds",
+                      schedule.fill_drain_seconds())
+        for resource in RESOURCES:
+            metrics.gauge(f"sim.busy.{resource}",
+                          schedule.resource_busy_time(resource))
+        print(f"bottleneck resource: {schedule.bottleneck()}")
+        if args.trace:
+            write_chrome_trace(args.trace, schedule.spans(), metrics)
+            print(f"wrote {len(schedule.records)} schedule spans to "
+                  f"{args.trace} (open in https://ui.perfetto.dev)")
+        if args.metrics:
+            print(render_text_report(metrics=metrics))
     return 0
 
 
@@ -220,6 +275,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write serialised columnar output to OUT")
     p_parse.add_argument("--timings", action="store_true",
                          help="print the per-stage StepTimer breakdown")
+    p_parse.add_argument("--trace", metavar="OUT.json",
+                         help="write a Chrome trace_event timeline "
+                              "(Perfetto / chrome://tracing)")
+    p_parse.add_argument("--metrics", action="store_true",
+                         help="print the counter/gauge/histogram report")
     p_parse.set_defaults(func=cmd_parse)
 
     p_infer = sub.add_parser("infer", help="infer column types")
@@ -238,6 +298,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--size-mb", type=int, default=512)
     p_sim.add_argument("--chunk", type=int, default=31)
     p_sim.add_argument("--partition-mb", type=int, default=128)
+    p_sim.add_argument("--trace", metavar="OUT.json",
+                       help="write the simulated schedule as a Chrome "
+                            "trace_event timeline (one track per "
+                            "resource)")
+    p_sim.add_argument("--metrics", action="store_true",
+                       help="print schedule busy-time/overlap gauges")
     p_sim.set_defaults(func=cmd_simulate)
 
     p_lint = sub.add_parser(

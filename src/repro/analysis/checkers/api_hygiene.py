@@ -33,17 +33,19 @@ _KERNEL = frozenset({"repro.errors", "repro.utils"})
 ALLOWED_LAYER_IMPORTS: dict[str, frozenset[str]] = {
     "repro.errors": frozenset(),
     "repro.utils": frozenset(),
+    "repro.obs": frozenset(),
     "repro.scan": frozenset(),
     "repro.columnar": frozenset(),
     "repro.dfa": frozenset(),
     "repro.gpusim": frozenset({"repro.dfa"}),
     "repro.core": frozenset({"repro.scan", "repro.columnar", "repro.dfa",
-                             "repro.gpusim"}),
+                             "repro.gpusim", "repro.obs"}),
     "repro.exec": frozenset({"repro.scan", "repro.columnar", "repro.dfa",
-                             "repro.gpusim", "repro.core"}),
+                             "repro.gpusim", "repro.core", "repro.obs"}),
     "repro.streaming": frozenset({"repro.scan", "repro.columnar",
                                   "repro.dfa", "repro.gpusim",
-                                  "repro.core", "repro.exec"}),
+                                  "repro.core", "repro.exec",
+                                  "repro.obs"}),
     "repro.baselines": frozenset({"repro.scan", "repro.columnar",
                                   "repro.dfa", "repro.gpusim",
                                   "repro.core"}),

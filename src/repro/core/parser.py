@@ -25,6 +25,8 @@ from repro.core.stages import (
     RawInput,
     as_input_array,
 )
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.utils.timing import StepTimer
 
 __all__ = ["ParPaRawParser", "parse_bytes", "set_default_executor_factory"]
@@ -59,18 +61,22 @@ class _InlineSchedule:
 
 
 def parse_bytes(data: bytes, options: ParseOptions | None = None,
-                executor=None, **option_kwargs) -> ParseResult:
+                executor=None, tracer: Tracer = NULL_TRACER,
+                metrics: MetricsRegistry = NULL_METRICS,
+                **option_kwargs) -> ParseResult:
     """Parse ``data`` in one call.
 
     ``option_kwargs`` are forwarded to :class:`ParseOptions` when no
     options object is given — e.g. ``parse_bytes(raw, chunk_size=16)``.
-    ``executor`` selects the execution backend (default: serial).
+    ``executor`` selects the execution backend (default: serial);
+    ``tracer``/``metrics`` attach :mod:`repro.obs` sinks.
     """
     if options is None:
         options = ParseOptions(**option_kwargs)
     elif option_kwargs:
         options = options.with_(**option_kwargs)
-    return ParPaRawParser(options, executor=executor).parse(data)
+    return ParPaRawParser(options, executor=executor, tracer=tracer,
+                          metrics=metrics).parse(data)
 
 
 class ParPaRawParser:
@@ -86,6 +92,10 @@ class ParPaRawParser:
         historical monolithic behaviour bit for bit.  Pass a
         :class:`~repro.exec.ShardedExecutor` to spread the byte-bound
         phases over a process pool.
+    tracer / metrics:
+        Observability sinks from :mod:`repro.obs`.  The defaults are the
+        shared no-op singletons; pass real instances to record spans and
+        counters (see ``docs/OBSERVABILITY.md``).
 
     Example
     -------
@@ -98,7 +108,8 @@ class ParPaRawParser:
     """
 
     def __init__(self, options: ParseOptions | None = None,
-                 executor=None):
+                 executor=None, tracer: Tracer = NULL_TRACER,
+                 metrics: MetricsRegistry = NULL_METRICS):
         self.options = options if options is not None else ParseOptions()
         self._dfa = self.options.resolved_dfa()
         if executor is None:
@@ -107,6 +118,8 @@ class ParPaRawParser:
             else:
                 executor = _InlineSchedule()
         self.executor = executor
+        self.tracer = tracer
+        self.metrics = metrics
 
     # -- public API ---------------------------------------------------------
 
@@ -114,10 +127,17 @@ class ParPaRawParser:
         """Parse ``data`` and return the columnar result."""
         timer = StepTimer()
         raw = self._as_array(data)
+        tracer, metrics = self.tracer, self.metrics
         ctx = PipelineContext(options=self.options, dfa=self._dfa,
-                              timer=timer)
+                              timer=timer, tracer=tracer, metrics=metrics)
         payload = RawInput(raw=raw, input_bytes=int(raw.size))
-        out: ConvertedOutput = self.executor.execute(ctx, payload)
+        if metrics.enabled:
+            metrics.count("bytes.in", int(raw.size))
+        if tracer.enabled:
+            with tracer.span("parse", input_bytes=int(raw.size)):
+                out: ConvertedOutput = self.executor.execute(ctx, payload)
+        else:
+            out = self.executor.execute(ctx, payload)
         return ParseResult(
             table=out.table,
             num_records=out.num_records,

@@ -109,15 +109,16 @@ def parse_float_scalar(text: bytes) -> tuple[float | None, bool]:
     """Parse a decimal floating-point literal.
 
     Accepts ``[+-]digits[.digits][eE[+-]digits]`` plus the special
-    literals ``nan``/``inf``/``infinity`` (any case).  Rejects everything
-    Python's ``float`` would accept beyond that (underscores, hex floats,
-    leading/trailing whitespace).
+    literal ``nan`` (any case).  Rejects everything Python's ``float``
+    would accept beyond that — underscores, hex floats, leading/trailing
+    whitespace, and the spelled-out infinities ``inf``/``infinity``,
+    which are Python-isms no CSV numeric grammar admits.
     """
     if not text:
         return None, False
     lowered = text.lower()
     body = lowered[1:] if lowered[:1] in (b"-", b"+") else lowered
-    if body in (b"nan", b"inf", b"infinity"):
+    if body == b"nan":
         return float(lowered), True
     allowed = set(b"0123456789.e+-")
     if not body or any(c not in allowed for c in lowered):

@@ -30,6 +30,8 @@ sharded across a process pool with scan-based shard combination.
 
 from __future__ import annotations
 
+import math
+import time
 from dataclasses import dataclass
 from typing import ClassVar
 
@@ -57,6 +59,8 @@ from repro.core.validation import ValidationReport, apply_column_policy, \
     validate_input
 from repro.dfa.automaton import Dfa
 from repro.errors import ParseError
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.utils.timing import StepTimer
 
 __all__ = [
@@ -96,6 +100,10 @@ class PipelineContext:
     dfa: Dfa
     #: Accumulates the per-step wall-clock breakdown.
     timer: StepTimer
+    #: Span tracer; the shared no-op unless observability is requested.
+    tracer: Tracer = NULL_TRACER
+    #: Metrics registry; the shared no-op unless requested.
+    metrics: MetricsRegistry = NULL_METRICS
 
 
 # -- stage payloads ----------------------------------------------------------
@@ -246,6 +254,13 @@ class Stage:
     def run(self, ctx: PipelineContext, payload):
         raise NotImplementedError
 
+    def record_metrics(self, metrics: MetricsRegistry, payload) -> None:
+        """Credit this stage's output to the metrics registry.
+
+        Called by :meth:`StagePipeline.run_stage` with the stage's output
+        payload, only when metrics are enabled.  Default: nothing.
+        """
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} {self.name!r}>"
 
@@ -282,6 +297,10 @@ class ChunkStage(Stage):
                             groups=groups, chunking=chunking,
                             padded_dfa=padded_dfa)
 
+    def record_metrics(self, metrics, payload: ChunkedInput) -> None:
+        metrics.count("chunks", payload.chunking.num_chunks)
+        metrics.gauge("chunk.size", payload.chunking.chunk_size)
+
 
 class StvStage(Stage):
     """Phase 1a: per-chunk state-transition vectors (§3.1).
@@ -312,6 +331,13 @@ class ScanStage(Stage):
         start_states = chunk_start_states(payload.vectors,
                                           payload.padded_dfa)
         return ChunkContexts(**payload.__dict__, start_states=start_states)
+
+    def record_metrics(self, metrics, payload: ChunkContexts) -> None:
+        # Depth of the composition scan tree over the chunk STVs.
+        num_chunks = payload.chunking.num_chunks
+        metrics.gauge("scan.depth",
+                      math.ceil(math.log2(num_chunks)) if num_chunks > 1
+                      else 0)
 
 
 class TagStage(Stage):
@@ -404,6 +430,11 @@ class ValidateStage(Stage):
             delim_mask=delim_mask,
             keep=keep,
         )
+
+    def record_metrics(self, metrics, payload: ValidatedInput) -> None:
+        metrics.count("records", payload.tags.num_records)
+        metrics.count("records.rejected", payload.rejected_records)
+        metrics.gauge("columns", payload.num_columns)
 
     # -- helpers (the monolith's private methods, verbatim semantics) -------
 
@@ -572,6 +603,16 @@ class ConvertStage(Stage):
             input_bytes=payload.input_bytes,
         )
 
+    def record_metrics(self, metrics, payload: ConvertedOutput) -> None:
+        metrics.count("rows", payload.num_rows)
+        metrics.count("fields",
+                      payload.num_rows * payload.table.num_columns)
+        metrics.count("bytes.out",
+                      sum(col.data.nbytes
+                          + (col.offsets.nbytes if col.offsets is not None
+                             else 0)
+                          for col in payload.table.columns))
+
     @staticmethod
     def _infer_schema(options: ParseOptions, part, css: np.ndarray,
                       indexes, num_columns: int) -> Schema:
@@ -623,13 +664,33 @@ class StagePipeline:
         return self._index[name]
 
     def run_stage(self, stage: Stage, ctx: PipelineContext, payload):
-        """Run one stage, timing it under its paper step name."""
+        """Run one stage, timing it under its paper step name.
+
+        With observability off (the default ``NULL_TRACER``/``NULL_METRICS``
+        context) this takes the exact pre-observability path after two
+        attribute reads, so the disabled overhead is negligible.
+        """
         if not stage.applies(ctx, payload):
             return payload
-        if stage.timer_step is None:
-            return stage.run(ctx, payload)
-        with ctx.timer.step(stage.timer_step):
-            return stage.run(ctx, payload)
+        tracer, metrics = ctx.tracer, ctx.metrics
+        if not tracer.enabled and not metrics.enabled:
+            if stage.timer_step is None:
+                return stage.run(ctx, payload)
+            with ctx.timer.step(stage.timer_step):
+                return stage.run(ctx, payload)
+        start = time.perf_counter()
+        with tracer.span(f"stage:{stage.name}",
+                         step=stage.timer_step or ""):
+            if stage.timer_step is None:
+                payload = stage.run(ctx, payload)
+            else:
+                with ctx.timer.step(stage.timer_step):
+                    payload = stage.run(ctx, payload)
+        if metrics.enabled:
+            metrics.observe(f"stage.{stage.name}.seconds",
+                            time.perf_counter() - start)
+            stage.record_metrics(metrics, payload)
+        return payload
 
     def run(self, ctx: PipelineContext, payload, *,
             start: str | None = None, until: str | None = None):

@@ -86,9 +86,10 @@ def infer_column_type(css: np.ndarray, index: ColumnIndex) -> DataType:
 
     float_values, float_ok, float_fb = parse_float_vector(
         buf, offsets, lengths, DataType.FLOAT64)
-    # Fallback-flagged fields (exponents, nan/inf, >18 digits) still count
+    # Fallback-flagged fields (exponents, nan, >18 digits) still count
     # as floats for inference purposes when they are float-shaped; resolve
-    # the few of them scalar-ly.
+    # the few of them scalar-ly (which also rejects inf/infinity, keeping
+    # inference aligned with the strict conversion grammar).
     if np.any(float_fb):
         from repro.core.scalar_convert import parse_float_scalar
         for i in np.flatnonzero(float_fb):

@@ -214,9 +214,11 @@ def parse_float_vector(buf: np.ndarray, offsets: np.ndarray,
                        ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Vectorised float parsing for ``[+-]digits[.digits]`` literals.
 
-    Fields containing an exponent marker (``e``/``E``) or special literals
-    (``nan``/``inf``) are flagged for scalar fallback rather than parsed
-    here; so are >18-digit mantissas (precision).
+    Fields containing an exponent marker (``e``/``E``) or the ``nan``
+    literal are flagged for scalar fallback rather than parsed here; so
+    are >18-digit mantissas (precision).  The fallback enforces the same
+    strict CSV grammar, so Python-isms (``inf``/``infinity``, underscore
+    separators) are rejected on both paths.
     """
     n = len(lengths)
     if n == 0:

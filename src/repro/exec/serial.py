@@ -19,4 +19,7 @@ class SerialExecutor(Executor):
     def execute(self, ctx: PipelineContext, payload: RawInput, *,
                 until: str | None = None):
         self._ensure_open()
-        return self.pipeline.run(ctx, payload, until=until)
+        if not ctx.tracer.enabled:
+            return self.pipeline.run(ctx, payload, until=until)
+        with ctx.tracer.span("executor:serial", until=until or ""):
+            return self.pipeline.run(ctx, payload, until=until)

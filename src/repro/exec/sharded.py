@@ -36,7 +36,9 @@ the serial executor's.
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
+from contextlib import nullcontext
 from itertools import repeat
 
 import numpy as np
@@ -50,6 +52,8 @@ from repro.core.tagging import build_tag_result, compute_emissions, \
 from repro.dfa.automaton import Dfa
 from repro.errors import ParseError
 from repro.exec.base import Executor
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer, snapshot_spans
 from repro.scan.numpy_scan import exclusive_sum, scan_column_offsets, \
     scan_transition_vectors
 
@@ -59,28 +63,59 @@ __all__ = ["ShardedExecutor"]
 #: request to stop inside this prefix falls back to the serial schedule.
 _GRID_STAGES = ("prune", "chunk", "stv", "scan")
 
+#: Reusable no-op context for the unobserved worker path.
+_NO_SPAN = nullcontext()
+
 
 # -- worker tasks (module-level: picklable under every start method) ---------
 
 # parlint: worker -- runs in pool processes; must stay pure and picklable
-def _shard_contexts(raw: np.ndarray, dfa: Dfa, chunk_size: int
-                    ) -> tuple[np.ndarray, np.ndarray]:
+def _worker_obs(observe: bool) -> tuple[Tracer | None,
+                                        MetricsRegistry | None]:
+    """Worker-local observability sinks (``(None, None)`` when disabled)."""
+    if not observe:
+        return None, None
+    return Tracer(), MetricsRegistry()
+
+
+# parlint: worker -- runs in pool processes; must stay pure and picklable
+def _pack_obs(tracer: Tracer | None, metrics: MetricsRegistry | None,
+              step: str, start: float, nbytes: int):
+    """Finish worker-side accounting and pack it for the trip home."""
+    if tracer is None or metrics is None:
+        return None
+    elapsed = time.perf_counter() - start  # parlint: disable=PPR303 -- obs
+    metrics.observe(f"worker.{step}.seconds", elapsed)
+    metrics.count("worker.bytes", nbytes)
+    return os.getpid(), snapshot_spans(tracer), metrics.to_dict()
+
+
+# parlint: worker -- runs in pool processes; must stay pure and picklable
+def _shard_contexts(raw: np.ndarray, dfa: Dfa, chunk_size: int,
+                    shard_index: int = 0, observe: bool = False
+                    ) -> tuple[np.ndarray, np.ndarray, tuple | None]:
     """Worker phase 1: shard-local STVs, their scan, and the composite.
 
-    Returns ``(local_scan, composite)`` where ``local_scan`` is the
+    Returns ``(local_scan, composite, obs)`` where ``local_scan`` is the
     exclusive composition scan of the shard's chunk STVs (row ``c`` maps a
     shard-entry state to the state entering chunk ``c``) and ``composite``
     maps a shard-entry state to the state after the shard's last byte
     (tail padding uses the identity group, so it never perturbs the
-    composition).
+    composition).  ``obs`` carries the worker's spans/metrics when
+    observing (``None`` otherwise).
     """
-    groups, _, padded_dfa = chunk_groups(raw, dfa, chunk_size)
-    vectors = compute_transition_vectors(groups, padded_dfa)
-    inclusive = scan_transition_vectors(vectors, exclusive=False)
-    local_scan = np.empty_like(inclusive)
-    local_scan[0] = np.arange(inclusive.shape[1], dtype=inclusive.dtype)
-    local_scan[1:] = inclusive[:-1]
-    return local_scan, inclusive[-1]
+    tracer, metrics = _worker_obs(observe)
+    start = time.perf_counter()  # parlint: disable=PPR303 -- obs timing
+    with tracer.span("worker:contexts", shard=shard_index,
+                     bytes=int(raw.size)) if tracer else _NO_SPAN:
+        groups, _, padded_dfa = chunk_groups(raw, dfa, chunk_size)
+        vectors = compute_transition_vectors(groups, padded_dfa)
+        inclusive = scan_transition_vectors(vectors, exclusive=False)
+        local_scan = np.empty_like(inclusive)
+        local_scan[0] = np.arange(inclusive.shape[1], dtype=inclusive.dtype)
+        local_scan[1:] = inclusive[:-1]
+    obs = _pack_obs(tracer, metrics, "contexts", start, int(raw.size))
+    return local_scan, inclusive[-1], obs
 
 
 # parlint: worker -- runs in pool processes; must stay pure and picklable
@@ -93,33 +128,41 @@ def _compact_ids(ids: np.ndarray) -> np.ndarray:
 
 # parlint: worker -- runs in pool processes; must stay pure and picklable
 def _shard_tags(raw: np.ndarray, dfa: Dfa, chunk_size: int,
-                start_states: np.ndarray, impl_value: str) -> tuple:
+                start_states: np.ndarray, impl_value: str,
+                shard_index: int = 0, observe: bool = False) -> tuple:
     """Worker phase 2: emissions and shard-local record/column tags.
 
     Returns ``(emissions, record_ids, column_ids, final_state,
-    invalid_position, record_delims, offset_kind, offset_value)`` where
-    the ids are *local* (relative to the shard start) and the last three
-    entries are the shard's §3.2 summary: its record-delimiter count and
-    its rel/abs column offset (absolute = field delimiters after the last
-    record delimiter; relative = all field delimiters).
+    invalid_position, record_delims, offset_kind, offset_value, obs)``
+    where the ids are *local* (relative to the shard start), the §3.2
+    summary entries are the shard's record-delimiter count and its
+    rel/abs column offset (absolute = field delimiters after the last
+    record delimiter; relative = all field delimiters), and ``obs``
+    carries the worker's spans/metrics when observing.
     """
-    groups, chunking, padded_dfa = chunk_groups(raw, dfa, chunk_size)
-    emissions, final_state, invalid_position = compute_emissions(
-        groups, start_states, padded_dfa, chunking)
-    if TaggingImpl(impl_value) is TaggingImpl.CHUNKED:
-        tags = tag_chunked(emissions, final_state, chunking)
-    else:
-        tags = tag_global(emissions, final_state)
-    delim_positions = np.flatnonzero(tags.record_delim)
-    if delim_positions.size:
-        offset_kind = True
-        offset_value = int(tags.field_delim[delim_positions[-1] + 1:].sum())
-    else:
-        offset_kind = False
-        offset_value = int(tags.field_delim.sum())
+    tracer, metrics = _worker_obs(observe)
+    start = time.perf_counter()  # parlint: disable=PPR303 -- obs timing
+    with tracer.span("worker:tags", shard=shard_index,
+                     bytes=int(raw.size)) if tracer else _NO_SPAN:
+        groups, chunking, padded_dfa = chunk_groups(raw, dfa, chunk_size)
+        emissions, final_state, invalid_position = compute_emissions(
+            groups, start_states, padded_dfa, chunking)
+        if TaggingImpl(impl_value) is TaggingImpl.CHUNKED:
+            tags = tag_chunked(emissions, final_state, chunking)
+        else:
+            tags = tag_global(emissions, final_state)
+        delim_positions = np.flatnonzero(tags.record_delim)
+        if delim_positions.size:
+            offset_kind = True
+            offset_value = int(
+                tags.field_delim[delim_positions[-1] + 1:].sum())
+        else:
+            offset_kind = False
+            offset_value = int(tags.field_delim.sum())
+    obs = _pack_obs(tracer, metrics, "tags", start, int(raw.size))
     return (emissions, _compact_ids(tags.record_ids),
             _compact_ids(tags.column_ids), final_state, invalid_position,
-            int(delim_positions.size), offset_kind, offset_value)
+            int(delim_positions.size), offset_kind, offset_value, obs)
 
 
 class ShardedExecutor(Executor):
@@ -200,37 +243,68 @@ class ShardedExecutor(Executor):
                      payload: RawInput) -> TaggedInput:
         options = ctx.options
         raw = payload.raw
+        tracer, metrics = ctx.tracer, ctx.metrics
+        observe = tracer.enabled or metrics.enabled
         bounds = self._shard_bounds(int(raw.size), options.chunk_size)
         shards = [raw[lo:hi] for lo, hi in bounds]
         mapper = self._mapper(len(shards))
+        if metrics.enabled:
+            metrics.gauge("shards", len(shards))
+            metrics.gauge("workers", self.workers)
 
-        with ctx.timer.step("parse"):
-            contexts = list(mapper(_shard_contexts, shards,
-                                   repeat(ctx.dfa),
-                                   repeat(options.chunk_size)))
+        with tracer.span("sharded:contexts", shards=len(shards)):
+            with ctx.timer.step("parse"):
+                contexts = list(mapper(_shard_contexts, shards,
+                                       repeat(ctx.dfa),
+                                       repeat(options.chunk_size),
+                                       range(len(shards)),
+                                       repeat(observe)))
+        for _, _, obs in contexts:
+            self._ingest_obs(tracer, metrics, obs)
 
-        with ctx.timer.step("scan"):
-            # One composition scan over the shard composites gives every
-            # shard its entering state; indexing each shard's local scan
-            # with it gives every chunk its start state (§3.1, twice).
-            composites = np.stack([composite for _, composite in contexts])
-            entering = scan_transition_vectors(composites, exclusive=True)
-            entering_states = entering[:, ctx.dfa.start_state]
-            start_states = [
-                local_scan[:, int(state)].astype(np.uint8)
-                for (local_scan, _), state in zip(contexts, entering_states)
-            ]
+        with tracer.span("sharded:combine", shards=len(shards)):
+            with ctx.timer.step("scan"):
+                # One composition scan over the shard composites gives
+                # every shard its entering state; indexing each shard's
+                # local scan with it gives every chunk its start state
+                # (§3.1, twice).
+                composites = np.stack([composite
+                                       for _, composite, _ in contexts])
+                entering = scan_transition_vectors(composites,
+                                                   exclusive=True)
+                entering_states = entering[:, ctx.dfa.start_state]
+                start_states = [
+                    local_scan[:, int(state)].astype(np.uint8)
+                    for (local_scan, _, _), state
+                    in zip(contexts, entering_states)
+                ]
 
-        with ctx.timer.step("tag"):
-            shard_tags = list(mapper(_shard_tags, shards,
-                                     repeat(ctx.dfa),
-                                     repeat(options.chunk_size),
-                                     start_states,
-                                     repeat(options.tagging_impl.value)))
-            tags, invalid_position = self._merge_tags(bounds, shard_tags)
+        with tracer.span("sharded:tags", shards=len(shards)):
+            with ctx.timer.step("tag"):
+                shard_tags = list(mapper(
+                    _shard_tags, shards,
+                    repeat(ctx.dfa),
+                    repeat(options.chunk_size),
+                    start_states,
+                    repeat(options.tagging_impl.value),
+                    range(len(shards)),
+                    repeat(observe)))
+                tags, invalid_position = self._merge_tags(bounds,
+                                                          shard_tags)
+        for entry in shard_tags:
+            self._ingest_obs(tracer, metrics, entry[8])
 
         return TaggedInput(raw=raw, input_bytes=payload.input_bytes,
                            tags=tags, invalid_position=invalid_position)
+
+    @staticmethod
+    def _ingest_obs(tracer, metrics, obs) -> None:
+        """Fold one worker's packed spans/metrics into the parent sinks."""
+        if obs is None:
+            return
+        pid, spans, metric_snapshot = obs
+        tracer.ingest(spans, pid)
+        metrics.merge_dict(metric_snapshot)
 
     @staticmethod
     def _merge_tags(bounds, shard_tags):
@@ -257,7 +331,7 @@ class ShardedExecutor(Executor):
         invalid_position = None
         for i, (lo, _hi) in enumerate(bounds):
             (emissions, local_rec, local_col, _final, invalid,
-             _count, _kind, _value) = shard_tags[i]
+             _count, _kind, _value) = shard_tags[i][:8]
             emission_parts.append(emissions)
             rec = local_rec.astype(np.int64)
             rec += record_offsets[i]

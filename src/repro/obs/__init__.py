@@ -1,0 +1,47 @@
+"""Observability: tracing and metrics for the parsing pipeline.
+
+The paper tells its performance story per stage — Figure 13's end-to-end
+breakdown, Figure 12's fill/drain analysis, the §4.4 full-duplex PCIe
+claim — so the reproduction needs per-stage attribution that survives
+every execution layer: the stage pipeline, the serial and sharded
+executors (including worker *processes*), and the streaming simulator.
+
+Three pieces, all zero-dependency (this package sits at the kernel layer
+of the layering DAG — anything may import it, it imports nothing):
+
+* :class:`Tracer` — nested monotonic-clock spans with attributes.  The
+  shared :data:`NULL_TRACER` is a disabled no-op, so the hot path pays a
+  single attribute check when observability is off.
+* :class:`MetricsRegistry` — counters, gauges and histogram summaries.
+  Registries made in ``ShardedExecutor`` worker processes travel home as
+  plain dicts (:meth:`MetricsRegistry.to_dict`) and fold into the parent
+  with :meth:`MetricsRegistry.merge_dict` — the cross-process merge.
+* exporters (:mod:`repro.obs.export`) — Chrome ``trace_event`` JSON
+  (open in ``chrome://tracing`` or https://ui.perfetto.dev), a
+  human-readable text report, and plain dicts for embedding in benchmark
+  results.
+
+See ``docs/OBSERVABILITY.md`` for the span model and metric names.
+"""
+
+from repro.obs.export import (
+    chrome_trace,
+    render_text_report,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
+from repro.obs.trace import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "chrome_trace",
+    "write_chrome_trace",
+    "render_text_report",
+    "validate_chrome_trace",
+]

@@ -1,0 +1,150 @@
+"""Exporters: Chrome ``trace_event`` JSON, text report, benchmark dicts.
+
+The Chrome trace format (the JSON array flavour under a ``traceEvents``
+key) is the least-common-denominator timeline format: ``chrome://tracing``
+and Perfetto (https://ui.perfetto.dev) both open it directly.  Each span
+becomes one complete event (``"ph": "X"``) with microsecond timestamps
+rebased to the earliest span, plus ``"M"`` metadata events naming the
+process/thread tracks.
+
+:func:`validate_chrome_trace` checks the shape (used by the CI smoke
+test); :func:`render_text_report` prints spans + metrics for terminals.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Span, Tracer
+
+__all__ = [
+    "chrome_trace",
+    "write_chrome_trace",
+    "render_text_report",
+    "validate_chrome_trace",
+]
+
+
+def _track_ids(spans: list[Span]) -> dict[tuple, tuple[int, int]]:
+    """Assign numeric (pid, tid) per distinct span track.
+
+    Spans carry free-form ``pid``/``tid`` labels (a worker pid, or a
+    resource name like ``"GPU"`` from the streaming simulator); the trace
+    format wants numbers, so label tracks via metadata events instead.
+    """
+    tracks: dict[tuple, tuple[int, int]] = {}
+    for span in spans:
+        key = (span.pid, span.tid)
+        if key not in tracks:
+            pid = span.pid if isinstance(span.pid, int) else 1
+            tracks[key] = (pid, len(tracks) + 1)
+    return tracks
+
+
+def chrome_trace(spans: Iterable[Span],
+                 metrics: MetricsRegistry | None = None) -> dict[str, Any]:
+    """Spans (+ optional metrics) as a Chrome ``trace_event`` document."""
+    spans = list(spans)
+    base = min((s.start for s in spans), default=0.0)
+    tracks = _track_ids(spans)
+    events: list[dict[str, Any]] = []
+    for (pid_label, tid_label), (pid, tid) in tracks.items():
+        events.append({"ph": "M", "pid": pid, "tid": tid,
+                       "name": "thread_name",
+                       "args": {"name": str(tid_label)}})
+        events.append({"ph": "M", "pid": pid, "tid": tid,
+                       "name": "process_name",
+                       "args": {"name": f"pid {pid_label}"}})
+    for span in spans:
+        pid, tid = tracks[(span.pid, span.tid)]
+        events.append({
+            "ph": "X",
+            "name": span.name,
+            "cat": span.name.split(":", 1)[0],
+            "ts": (span.start - base) * 1e6,
+            "dur": span.duration * 1e6,
+            "pid": pid,
+            "tid": tid,
+            "args": {str(k): v for k, v in span.attrs.items()},
+        })
+    doc: dict[str, Any] = {"traceEvents": events,
+                           "displayTimeUnit": "ms"}
+    if metrics is not None:
+        doc["metrics"] = metrics.to_dict()
+    return doc
+
+
+def write_chrome_trace(path, spans: Iterable[Span],
+                       metrics: MetricsRegistry | None = None) -> None:
+    """Serialise :func:`chrome_trace` to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(chrome_trace(spans, metrics), handle, indent=1)
+
+
+def validate_chrome_trace(doc: Any) -> list[str]:
+    """Shape-check a trace document; returns problems (empty = valid).
+
+    Checks the ``trace_event`` contract the viewers rely on: a
+    ``traceEvents`` list whose ``"X"`` events carry ``name``/``ts``/
+    ``dur``/``pid``/``tid`` with non-negative times.
+    """
+    problems: list[str] = []
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        return ["document is not an object with a 'traceEvents' key"]
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        return ["'traceEvents' is not a list"]
+    for i, event in enumerate(events):
+        if not isinstance(event, dict) or "ph" not in event:
+            problems.append(f"event {i}: not an object with 'ph'")
+            continue
+        if event["ph"] == "X":
+            for key in ("name", "ts", "dur", "pid", "tid"):
+                if key not in event:
+                    problems.append(f"event {i}: missing {key!r}")
+            if not isinstance(event.get("ts"), (int, float)) \
+                    or event.get("ts", 0) < 0:
+                problems.append(f"event {i}: bad ts")
+            if not isinstance(event.get("dur"), (int, float)) \
+                    or event.get("dur", 0) < 0:
+                problems.append(f"event {i}: bad dur")
+    return problems
+
+
+def render_text_report(tracer: Tracer | None = None,
+                       metrics: MetricsRegistry | None = None,
+                       width: int = 72) -> str:
+    """Human-readable spans + metrics summary."""
+    lines: list[str] = []
+    spans = tracer.spans if tracer is not None else []
+    if spans:
+        base = min(s.start for s in spans)
+        total = max(s.end for s in spans) - base
+        lines.append("spans:")
+        for span in sorted(spans, key=lambda s: (s.start, -s.duration)):
+            indent = "  " * (span.depth + 1)
+            track = f" [{span.tid}]" if span.tid != span.pid else ""
+            share = f" {span.duration / total:5.1%}" if total > 0 else ""
+            lines.append(f"{indent}{span.name:<{max(1, 30 - len(indent))}}"
+                         f" {span.duration * 1e3:9.3f} ms{share}{track}")
+    if metrics is not None:
+        snapshot = metrics.to_dict()
+        if snapshot["counters"]:
+            lines.append("counters:")
+            for name, value in sorted(snapshot["counters"].items()):
+                lines.append(f"  {name:<32} {value:>14,}")
+        if snapshot["gauges"]:
+            lines.append("gauges:")
+            for name, value in sorted(snapshot["gauges"].items()):
+                lines.append(f"  {name:<32} {value:>14g}")
+        if snapshot["histograms"]:
+            lines.append("histograms:"
+                         f"{'':<24}{'count':>8}{'total':>12}{'mean':>12}")
+            for name, summary in sorted(snapshot["histograms"].items()):
+                lines.append(
+                    f"  {name:<32} {summary['count']:>7}"
+                    f" {summary['total'] * 1e3:>10.3f}ms"
+                    f" {summary['mean'] * 1e3:>10.3f}ms")
+    return "\n".join(lines) if lines else "(no observability data)"

@@ -1,0 +1,132 @@
+"""Monotonic-clock span tracing.
+
+A :class:`Span` is one named interval with attributes; a :class:`Tracer`
+collects spans as work runs.  Timestamps come from ``time.perf_counter()``
+(``CLOCK_MONOTONIC`` on Linux, which is system-wide), so spans recorded in
+``ShardedExecutor`` worker processes land on the same timeline as the
+parent's and the exported trace shows the true overlap.
+
+Nesting is implicit: spans opened while another span is open on the same
+tracer record their depth, and the Chrome ``trace_event`` viewer nests
+complete events on one thread track by time containment.
+
+The hot path is guarded by :attr:`Tracer.enabled`: callers check the flag
+before building span names or attribute dicts, and the shared
+:data:`NULL_TRACER` keeps the disabled cost to one attribute read.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+__all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER",
+           "snapshot_spans"]
+
+
+@dataclass
+class Span:
+    """One completed interval on the trace timeline."""
+
+    #: Span name, e.g. ``"stage:convert"`` or ``"worker:tags"``.
+    name: str
+    #: ``time.perf_counter()`` seconds (or simulated seconds).
+    start: float
+    end: float
+    #: Process that recorded the span.
+    pid: int = 0
+    #: Track the span renders on (a process id, or a resource name for
+    #: simulated schedules — ``"HtD"``/``"GPU"``/``"DtH"``).
+    tid: int | str = 0
+    #: Nesting depth at record time (0 = top level).
+    depth: int = 0
+    #: Free-form attributes (numbers/strings), exported as trace args.
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class Tracer:
+    """Collects spans; cheap enough to thread through the pipeline.
+
+    Example
+    -------
+    >>> tracer = Tracer()
+    >>> with tracer.span("stage:tag", records=3):
+    ...     pass
+    >>> [s.name for s in tracer.spans]
+    ['stage:tag']
+    """
+
+    #: Callers gate span construction on this flag.
+    enabled: bool = True
+
+    def __init__(self) -> None:
+        self.spans: list[Span] = []
+        self._depth = 0
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[Span]:
+        """Record a span around the ``with`` body (monotonic clock)."""
+        record = Span(name=name, start=time.perf_counter(), end=0.0,
+                      pid=os.getpid(), tid=os.getpid(),
+                      depth=self._depth, attrs=attrs)
+        self._depth += 1
+        try:
+            yield record
+        finally:
+            self._depth -= 1
+            record.end = time.perf_counter()
+            self.spans.append(record)
+
+    def add(self, span: Span) -> None:
+        """Append an externally built span (simulators, merges)."""
+        self.spans.append(span)
+
+    def ingest(self, spans: list[tuple], pid: int) -> None:
+        """Fold spans serialised by :func:`snapshot_spans` back in.
+
+        Worker processes return their spans as plain tuples (cheap to
+        pickle); the parent re-labels them with the worker's ``pid`` so
+        each worker renders as its own process track.
+        """
+        for name, start, end, depth, attrs in spans:
+            self.spans.append(Span(name=name, start=start, end=end,
+                                   pid=pid, tid=pid, depth=depth,
+                                   attrs=dict(attrs)))
+
+    def clear(self) -> None:
+        self.spans.clear()
+
+
+class NullTracer(Tracer):
+    """Disabled tracer: records nothing, costs one attribute check."""
+
+    enabled = False
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[Span]:
+        yield _NULL_SPAN
+
+    def add(self, span: Span) -> None:
+        pass
+
+    def ingest(self, spans: list[tuple], pid: int) -> None:
+        pass
+
+
+_NULL_SPAN = Span(name="", start=0.0, end=0.0)
+
+#: Shared disabled tracer — the default everywhere.
+NULL_TRACER = NullTracer()
+
+
+def snapshot_spans(tracer: Tracer) -> list[tuple]:
+    """Spans as plain tuples for the trip across a process boundary."""
+    return [(s.name, s.start, s.end, s.depth, tuple(s.attrs.items()))
+            for s in tracer.spans]

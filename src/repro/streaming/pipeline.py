@@ -29,10 +29,22 @@ from dataclasses import dataclass, field
 from repro.errors import StreamingError
 from repro.gpusim.cost_model import PipelineCostModel, WorkloadStats
 from repro.gpusim.device import DeviceSpec, TITAN_X_PASCAL
+from repro.obs.export import chrome_trace
+from repro.obs.trace import Span
 from repro.streaming.buffers import DoubleBuffer
 from repro.streaming.pcie import PcieLink
 
-__all__ = ["StageRecord", "PipelineSchedule", "StreamingPipeline"]
+__all__ = ["StageRecord", "PipelineSchedule", "StreamingPipeline",
+           "RESOURCES", "RESOURCE_OF"]
+
+#: The three hardware resources of Figure 7.
+RESOURCES = ("HtD", "GPU", "DtH")
+
+#: Which resource each pipeline step occupies.  ``copy`` shares the GPU
+#: with ``parse`` — both are serial on the device, so GPU busy time is the
+#: sum of the two.
+RESOURCE_OF = {"transfer": "HtD", "parse": "GPU", "copy": "GPU",
+               "return": "DtH"}
 
 
 @dataclass(frozen=True)
@@ -65,23 +77,33 @@ class PipelineSchedule:
     def busy_time(self, stage: str) -> float:
         return sum(r.duration for r in self.stage_records(stage))
 
+    def resource_busy_time(self, resource: str) -> float:
+        """Total busy time of one resource (``HtD``/``GPU``/``DtH``).
+
+        Aggregates every step occupying the resource: the GPU runs both
+        ``parse`` and the carry-over ``copy``, so its busy time is their
+        sum — counting ``parse`` alone undercounts the GPU whenever the
+        schedule is copy-heavy.
+        """
+        return sum(r.duration for r in self.records
+                   if RESOURCE_OF[r.stage] == resource)
+
     def overlap_efficiency(self) -> float:
         """Busy time of the bottleneck resource / makespan (1.0 = hidden).
 
-        Close to 1.0 means the pipeline fully hides the other stages
+        Close to 1.0 means the pipeline fully hides the other resources
         behind the bottleneck — the paper's "maxes out the full-duplex
         capabilities of the PCIe bus while simultaneously parsing" claim.
         """
         makespan = self.makespan
         if makespan <= 0:
             return 1.0
-        busiest = max(self.busy_time(s)
-                      for s in ("transfer", "parse", "return"))
+        busiest = max(self.resource_busy_time(r) for r in RESOURCES)
         return busiest / makespan
 
     def bottleneck(self) -> str:
-        """The resource with the highest busy time."""
-        return max(("transfer", "parse", "return"), key=self.busy_time)
+        """The resource (``HtD``/``GPU``/``DtH``) with the most busy time."""
+        return max(RESOURCES, key=self.resource_busy_time)
 
     def fill_drain_seconds(self) -> float:
         """Un-overlapped pipeline head + tail.
@@ -110,30 +132,55 @@ class PipelineSchedule:
 
         Stage letters: ``T`` transfer (HtD), ``P`` parse, ``c`` carry-over
         copy, ``R`` return (DtH); alternating case marks partition parity
-        so the double buffering is visible.
+        so the double buffering is visible.  Any ``width`` ≥ 1 renders;
+        tiny widths just collapse the bars.
         """
         makespan = self.makespan
         if makespan <= 0:
             return "(empty schedule)"
-        rows = {"HtD ": [" "] * width, "GPU ": [" "] * width,
-                "DtH ": [" "] * width}
-        resource_of = {"transfer": "HtD ", "parse": "GPU ",
-                       "copy": "GPU ", "return": "DtH "}
+        width = max(1, width)
+        rows = {resource: [" "] * width for resource in RESOURCES}
         letters = {"transfer": "Tt", "parse": "Pp", "copy": "cc",
                    "return": "Rr"}
         for record in self.records:
             if max_partitions is not None \
                     and record.partition >= max_partitions:
                 continue
-            row = rows[resource_of[record.stage]]
+            row = rows[RESOURCE_OF[record.stage]]
             lo = int(record.start / makespan * (width - 1))
+            lo = min(width - 1, max(0, lo))
             hi = max(lo + 1, int(record.end / makespan * (width - 1)))
             letter = letters[record.stage][record.partition % 2]
             for i in range(lo, min(hi, width)):
                 row[i] = letter
-        lines = [name + "".join(cells) for name, cells in rows.items()]
-        lines.append(f"      0s {'.' * (width - 14)} {makespan:.3f}s")
+        lines = [f"{name:<4}" + "".join(cells)
+                 for name, cells in rows.items()]
+        lines.append(f"      0s {'.' * max(0, width - 14)} "
+                     f"{makespan:.3f}s")
         return "\n".join(lines)
+
+    # -- trace export --------------------------------------------------------
+
+    def spans(self) -> list[Span]:
+        """The schedule as trace spans, one timeline track per resource.
+
+        Simulated timestamps are already seconds from zero, so they drop
+        straight into the span model; the resource name rides in ``tid``
+        and becomes the track label in the exported trace.
+        """
+        return [Span(name=f"{r.stage}:{r.partition}",
+                     start=r.start, end=r.end,
+                     pid=0, tid=RESOURCE_OF[r.stage],
+                     attrs={"stage": r.stage, "partition": r.partition})
+                for r in self.records]
+
+    def to_chrome_trace(self) -> dict:
+        """Chrome ``trace_event`` document of the simulated schedule.
+
+        The same format measured parses export, so a simulated Figure 13
+        schedule and a real run open side by side in Perfetto.
+        """
+        return chrome_trace(self.spans())
 
 
 class StreamingPipeline:

@@ -24,6 +24,8 @@ from repro.core.options import ParseOptions
 from repro.core.parser import ParPaRawParser
 from repro.core.stages import PipelineContext, RawInput, TaggedInput
 from repro.errors import StreamingError
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.utils.timing import StepTimer
 
 __all__ = ["StreamingParser"]
@@ -44,11 +46,15 @@ class StreamingParser:
     depend on data that has not arrived yet.
 
     ``executor`` selects the execution backend for both the record-boundary
-    search and the per-partition parses (default: serial).
+    search and the per-partition parses (default: serial);
+    ``tracer``/``metrics`` attach :mod:`repro.obs` sinks — every partition
+    adds one ``partition:<i>`` span enclosing its boundary search and
+    parse, on the same timeline as the per-stage spans underneath.
     """
 
     def __init__(self, options: ParseOptions | None = None,
-                 executor=None):
+                 executor=None, tracer: Tracer = NULL_TRACER,
+                 metrics: MetricsRegistry = NULL_METRICS):
         self.options = options if options is not None else ParseOptions()
         if self.options.schema is None:
             raise StreamingError(
@@ -58,9 +64,12 @@ class StreamingParser:
             raise StreamingError(
                 "row/record skipping is defined on whole inputs; apply it "
                 "before streaming")
-        self._parser = ParPaRawParser(self.options, executor=executor)
+        self._parser = ParPaRawParser(self.options, executor=executor,
+                                      tracer=tracer, metrics=metrics)
         self._executor = self._parser.executor
         self._dfa = self.options.resolved_dfa()
+        self.tracer = tracer
+        self.metrics = metrics
         self._carry = b""
         self._tables: list[Table] = []
         self._finished = False
@@ -68,6 +77,7 @@ class StreamingParser:
         self.carry_sizes: list[int] = []
         #: Records parsed so far.
         self.records_parsed = 0
+        self._partitions_fed = 0
 
     # -- streaming ---------------------------------------------------------
 
@@ -75,12 +85,24 @@ class StreamingParser:
         """Consume one partition; returns records completed by it."""
         if self._finished:
             raise StreamingError("cannot feed after finish()")
+        index = self._partitions_fed
+        self._partitions_fed += 1
+        if not self.tracer.enabled:
+            return self._feed(partition)
+        with self.tracer.span(f"partition:{index}",
+                              partition_bytes=len(partition)):
+            return self._feed(partition)
+
+    def _feed(self, partition: bytes) -> int:
         data = self._carry + bytes(partition)
         if not data:
             return 0
         split = self._last_record_boundary(data)
         complete, self._carry = data[:split], data[split:]
         self.carry_sizes.append(len(self._carry))
+        if self.metrics.enabled:
+            self.metrics.count("stream.partitions")
+            self.metrics.observe("stream.carry.bytes", len(self._carry))
         if not complete:
             return 0
         result = self._parser.parse(complete)
@@ -136,9 +158,15 @@ class StreamingParser:
         """
         raw = np.frombuffer(data, dtype=np.uint8)
         ctx = PipelineContext(options=self.options, dfa=self._dfa,
-                              timer=StepTimer())
-        tagged: TaggedInput = self._executor.execute(
-            ctx, RawInput(raw=raw, input_bytes=int(raw.size)), until="tag")
+                              timer=StepTimer(), tracer=self.tracer,
+                              metrics=self.metrics)
+        payload = RawInput(raw=raw, input_bytes=int(raw.size))
+        if self.tracer.enabled:
+            with self.tracer.span("boundary", bytes=int(raw.size)):
+                tagged: TaggedInput = self._executor.execute(ctx, payload,
+                                                             until="tag")
+        else:
+            tagged = self._executor.execute(ctx, payload, until="tag")
         boundaries = np.flatnonzero(tagged.tags.record_delim)
         if boundaries.size == 0:
             return 0

@@ -46,7 +46,7 @@ class TestParseInt:
 class TestParseFloat:
     @pytest.mark.parametrize("text", [
         b"0", b"1.5", b"-2.25", b"+0.125", b".5", b"1.", b"1e3",
-        b"2.5E-2", b"-1e+10", b"nan", b"inf", b"-infinity", b"NaN",
+        b"2.5E-2", b"-1e+10", b"nan", b"NaN",
     ])
     def test_accepts(self, text):
         value, ok = parse_float_scalar(text)
@@ -57,6 +57,9 @@ class TestParseFloat:
     @pytest.mark.parametrize("text", [
         b"", b".", b"-", b"1.2.3", b"e5", b"1e", b"abc", b"1_000",
         b"0x1p3", b" 1", b"1 ",
+        # Python float() accepts these; strict CSV numerics must not.
+        b"inf", b"-inf", b"infinity", b"-Infinity", b"INF",
+        b"1_0", b"1_0.5", b"1_0e2", b"1e1_0",
     ])
     def test_rejects(self, text):
         assert parse_float_scalar(text) == (None, False)

@@ -46,7 +46,10 @@ numeric_text = st.one_of(
       .map(lambda v: f"{v:.4f}".encode()),
     st.binary(min_size=1, max_size=8),   # garbage
     st.sampled_from([b"-", b"+", b".", b"1.", b".5", b"007", b"-0",
-                     b"1e5", b"nan", b"inf", b"1.2.3", b"--3"]),
+                     b"1e5", b"nan", b"inf", b"1.2.3", b"--3",
+                     # Python-isms both converters must reject in parity:
+                     b"infinity", b"Infinity", b"-INF",
+                     b"1_0", b"1_000", b"1_0.5", b"1_0e2"]),
 )
 
 

@@ -107,3 +107,64 @@ class TestSimulateCommand:
             raise AssertionError("no total line")
 
         assert total_ms(taxi_out) > total_ms(yelp_out)
+
+
+class TestObservabilityFlags:
+    def test_parse_trace_writes_valid_chrome_trace(self, csv_file,
+                                                   tmp_path, capsys):
+        import json
+
+        from repro.obs import validate_chrome_trace
+
+        trace_path = tmp_path / "trace.json"
+        assert main(["parse", csv_file, "--summary",
+                     "--trace", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "trace spans" in out
+        doc = json.loads(trace_path.read_text())
+        assert validate_chrome_trace(doc) == []
+        names = {e["name"] for e in doc["traceEvents"]
+                 if e["ph"] == "X"}
+        assert "parse" in names
+        assert any(n.startswith("stage:") for n in names)
+        assert doc["metrics"]["counters"]["records"] == 3
+
+    def test_parse_trace_with_workers_has_worker_spans(self, tmp_path,
+                                                       capsys):
+        import json
+
+        path = tmp_path / "wide.csv"
+        path.write_bytes(b"a,b,c\n1,2,3\n" * 200)
+        trace_path = tmp_path / "trace.json"
+        assert main(["parse", str(path), "--summary", "--workers", "4",
+                     "--trace", str(trace_path)]) == 0
+        capsys.readouterr()
+        doc = json.loads(trace_path.read_text())
+        names = {e["name"] for e in doc["traceEvents"]
+                 if e["ph"] == "X"}
+        assert {"sharded:contexts", "sharded:tags"} <= names
+
+    def test_parse_metrics_report(self, csv_file, capsys):
+        assert main(["parse", csv_file, "--summary", "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "counters:" in out
+        assert "records" in out
+        assert "bytes.in" in out
+
+    def test_simulate_trace_and_metrics(self, tmp_path, capsys):
+        import json
+
+        from repro.obs import validate_chrome_trace
+
+        trace_path = tmp_path / "sim.json"
+        assert main(["simulate", "--size-mb", "64", "--partition-mb",
+                     "16", "--trace", str(trace_path),
+                     "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "bottleneck resource:" in out
+        assert "sim.overlap_efficiency" in out
+        doc = json.loads(trace_path.read_text())
+        assert validate_chrome_trace(doc) == []
+        labels = {e["args"]["name"] for e in doc["traceEvents"]
+                  if e["ph"] == "M" and e["name"] == "thread_name"}
+        assert labels == {"HtD", "GPU", "DtH"}

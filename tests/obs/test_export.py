@@ -1,0 +1,121 @@
+"""Tests for the Chrome trace / text exporters and the shape validator."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    Span,
+    Tracer,
+    chrome_trace,
+    render_text_report,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+
+
+def spans_fixture():
+    return [
+        Span(name="parse", start=10.0, end=10.5, pid=100, tid=100),
+        Span(name="stage:tag", start=10.1, end=10.3, pid=100, tid=100,
+             depth=1, attrs={"records": 3}),
+        Span(name="worker:tags", start=10.1, end=10.25, pid=101, tid=101),
+    ]
+
+
+class TestChromeTrace:
+    def test_events_rebased_to_microseconds(self):
+        doc = chrome_trace(spans_fixture())
+        events = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        by_name = {e["name"]: e for e in events}
+        assert by_name["parse"]["ts"] == pytest.approx(0.0)
+        assert by_name["parse"]["dur"] == pytest.approx(0.5e6)
+        assert by_name["stage:tag"]["ts"] == pytest.approx(0.1e6)
+        assert by_name["stage:tag"]["args"] == {"records": 3}
+        assert by_name["stage:tag"]["cat"] == "stage"
+
+    def test_distinct_pids_get_distinct_tracks(self):
+        doc = chrome_trace(spans_fixture())
+        events = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        tracks = {(e["pid"], e["tid"]) for e in events}
+        assert len(tracks) == 2
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert {m["name"] for m in meta} == {"thread_name",
+                                             "process_name"}
+
+    def test_string_tids_become_labelled_tracks(self):
+        spans = [Span(name="parse:0", start=0.0, end=1.0, pid=0,
+                      tid="GPU"),
+                 Span(name="transfer:0", start=0.0, end=0.5, pid=0,
+                      tid="HtD")]
+        doc = chrome_trace(spans)
+        labels = {e["args"]["name"] for e in doc["traceEvents"]
+                  if e["ph"] == "M" and e["name"] == "thread_name"}
+        assert labels == {"GPU", "HtD"}
+        for event in doc["traceEvents"]:
+            assert isinstance(event["pid"], int)
+            assert isinstance(event["tid"], int)
+
+    def test_metrics_embedded(self):
+        metrics = MetricsRegistry()
+        metrics.count("records", 3)
+        doc = chrome_trace(spans_fixture(), metrics)
+        assert doc["metrics"]["counters"] == {"records": 3}
+
+    def test_empty_spans(self):
+        doc = chrome_trace([])
+        assert doc["traceEvents"] == []
+        assert validate_chrome_trace(doc) == []
+
+    def test_document_is_json_serialisable(self, tmp_path):
+        metrics = MetricsRegistry()
+        metrics.observe("s", 0.5)
+        path = tmp_path / "trace.json"
+        write_chrome_trace(path, spans_fixture(), metrics)
+        doc = json.loads(path.read_text())
+        assert validate_chrome_trace(doc) == []
+        assert doc["displayTimeUnit"] == "ms"
+
+
+class TestValidate:
+    def test_accepts_valid(self):
+        assert validate_chrome_trace(chrome_trace(spans_fixture())) == []
+
+    @pytest.mark.parametrize("doc,fragment", [
+        ([], "traceEvents"),
+        ({"foo": 1}, "traceEvents"),
+        ({"traceEvents": "nope"}, "not a list"),
+        ({"traceEvents": [{"name": "x"}]}, "ph"),
+        ({"traceEvents": [{"ph": "X", "name": "x", "ts": -1.0,
+                           "dur": 1.0, "pid": 1, "tid": 1}]}, "bad ts"),
+        ({"traceEvents": [{"ph": "X", "name": "x", "ts": 0.0,
+                           "dur": -2.0, "pid": 1, "tid": 1}]}, "bad dur"),
+        ({"traceEvents": [{"ph": "X", "ts": 0.0, "dur": 1.0,
+                           "pid": 1, "tid": 1}]}, "name"),
+    ])
+    def test_rejects_malformed(self, doc, fragment):
+        problems = validate_chrome_trace(doc)
+        assert problems
+        assert any(fragment in p for p in problems)
+
+
+class TestTextReport:
+    def test_lists_spans_and_metrics(self):
+        tracer = Tracer()
+        with tracer.span("parse"):
+            with tracer.span("stage:tag"):
+                pass
+        metrics = MetricsRegistry()
+        metrics.count("records", 42)
+        metrics.gauge("columns", 3)
+        metrics.observe("stage.tag.seconds", 0.001)
+        report = render_text_report(tracer, metrics)
+        assert "parse" in report
+        assert "stage:tag" in report
+        assert "42" in report
+        assert "columns" in report
+        assert "stage.tag.seconds" in report
+
+    def test_empty_report(self):
+        assert "no observability data" in render_text_report()

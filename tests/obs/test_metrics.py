@@ -1,0 +1,143 @@
+"""Tests for the metrics registry, including the cross-process merge."""
+
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import NULL_METRICS, MetricsRegistry
+
+
+class TestRecording:
+    def test_counters_accumulate(self):
+        metrics = MetricsRegistry()
+        metrics.count("records")
+        metrics.count("records", 4)
+        assert metrics.counters == {"records": 5}
+
+    def test_gauges_last_write_wins(self):
+        metrics = MetricsRegistry()
+        metrics.gauge("columns", 3)
+        metrics.gauge("columns", 7)
+        assert metrics.gauges == {"columns": 7.0}
+
+    def test_histogram_summary(self):
+        metrics = MetricsRegistry()
+        for v in (0.5, 1.5, 1.0):
+            metrics.observe("stage.tag.seconds", v)
+        summary = metrics.to_dict()["histograms"]["stage.tag.seconds"]
+        assert summary == {"count": 3, "total": 3.0, "min": 0.5,
+                           "max": 1.5, "mean": 1.0}
+
+    def test_clear(self):
+        metrics = MetricsRegistry()
+        metrics.count("a")
+        metrics.gauge("b", 1)
+        metrics.observe("c", 1)
+        metrics.clear()
+        assert metrics.to_dict() == {"counters": {}, "gauges": {},
+                                     "histograms": {}}
+
+
+class TestNullMetrics:
+    def test_disabled_and_silent(self):
+        assert NULL_METRICS.enabled is False
+        NULL_METRICS.count("x")
+        NULL_METRICS.gauge("y", 1)
+        NULL_METRICS.observe("z", 1)
+        NULL_METRICS.merge_dict({"counters": {"x": 1}, "gauges": {},
+                                 "histograms": {}})
+        assert NULL_METRICS.to_dict() == {"counters": {}, "gauges": {},
+                                          "histograms": {}}
+
+    def test_is_a_registry(self):
+        assert isinstance(NULL_METRICS, MetricsRegistry)
+
+
+class TestMerge:
+    def test_counters_sum(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.count("records", 10)
+        b.count("records", 20)
+        b.count("rows", 5)
+        a.merge(b)
+        assert a.counters == {"records": 30, "rows": 5}
+
+    def test_histograms_combine_summaries(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.observe("d", 1.0)
+        a.observe("d", 3.0)
+        b.observe("d", 2.0)
+        b.observe("d", 10.0)
+        a.merge(b)
+        summary = a.to_dict()["histograms"]["d"]
+        assert summary["count"] == 4
+        assert summary["total"] == pytest.approx(16.0)
+        assert summary["min"] == 1.0 and summary["max"] == 10.0
+
+    def test_merge_dict_snapshot_survives_pickle(self):
+        """The exact cross-process path: to_dict -> pickle -> merge_dict."""
+        worker = MetricsRegistry()
+        worker.count("records", 7)
+        worker.gauge("shard", 3)
+        worker.observe("worker.tags.seconds", 0.25)
+        blob = pickle.dumps(worker.to_dict())
+
+        parent = MetricsRegistry()
+        parent.count("records", 3)
+        parent.merge_dict(pickle.loads(blob))
+        assert parent.counters["records"] == 10
+        assert parent.gauges["shard"] == 3.0
+        hist = parent.to_dict()["histograms"]["worker.tags.seconds"]
+        assert hist["count"] == 1 and hist["total"] == 0.25
+
+    @given(st.lists(st.lists(
+        st.tuples(st.sampled_from(["a", "b", "c"]),
+                  st.integers(0, 100)),
+        max_size=8), min_size=1, max_size=5))
+    @settings(max_examples=60, deadline=None)
+    def test_merge_order_independent_for_counters(self, shards):
+        """Counters merge associatively and commutatively: any shard
+        order gives the totals of a single flat registry."""
+        flat = MetricsRegistry()
+        merged_fwd, merged_rev = MetricsRegistry(), MetricsRegistry()
+        snapshots = []
+        for shard in shards:
+            local = MetricsRegistry()
+            for name, value in shard:
+                local.count(name, value)
+                flat.count(name, value)
+            snapshots.append(local.to_dict())
+        for snap in snapshots:
+            merged_fwd.merge_dict(snap)
+        for snap in reversed(snapshots):
+            merged_rev.merge_dict(snap)
+        assert merged_fwd.counters == flat.counters == merged_rev.counters
+
+
+def _worker_registry(shard: int) -> dict:
+    """Module-level so it pickles under the spawn start method."""
+    metrics = MetricsRegistry()
+    metrics.count("records", 10 * (shard + 1))
+    metrics.observe("worker.seconds", 0.1 * (shard + 1))
+    metrics.gauge(f"shard.{shard}", shard)
+    return metrics.to_dict()
+
+
+class TestCrossProcessMerge:
+    def test_real_process_pool_roundtrip(self):
+        """Registries built in genuine worker processes merge correctly."""
+        parent = MetricsRegistry()
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            for snapshot in pool.map(_worker_registry, range(3)):
+                parent.merge_dict(snapshot)
+        assert parent.counters["records"] == 10 + 20 + 30
+        hist = parent.to_dict()["histograms"]["worker.seconds"]
+        assert hist["count"] == 3
+        assert hist["total"] == pytest.approx(0.6)
+        assert hist["min"] == pytest.approx(0.1)
+        assert hist["max"] == pytest.approx(0.3)
+        assert parent.gauges == {"shard.0": 0.0, "shard.1": 1.0,
+                                 "shard.2": 2.0}

@@ -16,7 +16,7 @@ class TestTopLevelApi:
         assert repro.__version__.count(".") == 2
 
     @pytest.mark.parametrize("module", [
-        "repro.core", "repro.dfa", "repro.exec", "repro.scan",
+        "repro.core", "repro.dfa", "repro.exec", "repro.obs", "repro.scan",
         "repro.gpusim", "repro.streaming", "repro.baselines",
         "repro.workloads", "repro.columnar", "repro.utils",
         "repro.__main__",
@@ -26,7 +26,7 @@ class TestTopLevelApi:
         assert imported is not None
 
     @pytest.mark.parametrize("module", [
-        "repro.core", "repro.dfa", "repro.exec", "repro.scan",
+        "repro.core", "repro.dfa", "repro.exec", "repro.obs", "repro.scan",
         "repro.gpusim", "repro.streaming", "repro.baselines",
         "repro.workloads", "repro.columnar", "repro.utils",
     ])
