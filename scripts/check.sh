@@ -15,6 +15,9 @@ python -m repro lint src
 # Law tier: exhaustive associativity+identity proofs for every
 # registered scan operator (licenses the parallel scans of paper §2).
 python -m pytest tests/analysis/test_operator_laws.py -q
+# Kernel tier: strided sweeps must be bit-identical to unit stride
+# (STVs, emissions, final state, invalid position; both executors).
+python -m pytest tests/kernels/test_parity.py -q
 
 # Observability smoke: a sharded CLI parse must emit a Chrome trace that
 # the repo's own validator accepts, with worker spans and merged metrics.
@@ -38,6 +41,36 @@ names = {e.get("name") for e in doc["traceEvents"]}
 assert "parse" in names and "sharded:contexts" in names, sorted(names)
 assert doc["metrics"]["counters"]["records"] == 200, doc["metrics"]
 print("obs smoke: trace valid,", len(doc["traceEvents"]), "events")
+EOF
+
+# Strided-kernel smoke: an explicitly strided sharded parse must still
+# produce a valid trace and report the stride it ran with.
+python -m repro parse "$OBS_TMP/smoke.csv" --stride 2 --workers 2 \
+    --trace "$OBS_TMP/trace_strided.json" --metrics > /dev/null
+python - "$OBS_TMP/trace_strided.json" <<'EOF'
+import json, sys
+from repro.obs import validate_chrome_trace
+doc = json.load(open(sys.argv[1]))
+problems = validate_chrome_trace(doc)
+assert not problems, problems
+assert doc["metrics"]["gauges"]["stage.stv.stride"] == 2.0, doc["metrics"]
+assert doc["metrics"]["counters"]["records"] == 200, doc["metrics"]
+print("kernels smoke: strided trace valid")
+EOF
+
+# Bench smoke: the stride sweep must run end to end and emit the
+# machine-readable rows (tiny input; the committed BENCH_kernels.json
+# is produced by the full benchmark run).
+python benchmarks/bench_kernels.py --bytes 65536 --repeats 1 \
+    --out "$OBS_TMP/bench_kernels.json" > /dev/null
+python - "$OBS_TMP/bench_kernels.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+strides = {r["stride"] for r in doc["rows"]}
+assert {"1", "2", "4", "auto"} <= strides, strides
+assert all({"workload", "seconds", "mb_per_s"} <= r.keys()
+           for r in doc["rows"])
+print("bench smoke:", len(doc["rows"]), "sweep rows")
 EOF
 
 python -m pytest "$@"

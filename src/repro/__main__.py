@@ -73,6 +73,7 @@ def _options_from_args(args: argparse.Namespace) -> ParseOptions:
     return ParseOptions(
         dialect=_dialect_from_args(args),
         chunk_size=args.chunk,
+        kernel_stride=args.stride,
         tagging_mode=TaggingMode(args.tagging_mode),
         infer_types=getattr(args, "infer_types", False),
         column_count_policy=ColumnCountPolicy(args.column_policy),
@@ -254,6 +255,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="disable CRLF normalisation")
         p.add_argument("--chunk", type=int, default=31,
                        help="chunk size in bytes (paper default: 31)")
+        p.add_argument("--stride", type=_positive_int, default=None,
+                       metavar="K",
+                       help="symbols per kernel step for the byte-bound "
+                            "sweeps (default: auto; 1 = unit-stride)")
         p.add_argument("--tagging-mode", default="tagged",
                        choices=[m.value for m in TaggingMode])
         p.add_argument("--column-policy", default="lenient",

@@ -38,12 +38,16 @@ ALLOWED_LAYER_IMPORTS: dict[str, frozenset[str]] = {
     "repro.columnar": frozenset(),
     "repro.dfa": frozenset(),
     "repro.gpusim": frozenset({"repro.dfa"}),
+    "repro.kernels": frozenset({"repro.dfa", "repro.obs"}),
     "repro.core": frozenset({"repro.scan", "repro.columnar", "repro.dfa",
-                             "repro.gpusim", "repro.obs"}),
+                             "repro.gpusim", "repro.kernels",
+                             "repro.obs"}),
     "repro.exec": frozenset({"repro.scan", "repro.columnar", "repro.dfa",
-                             "repro.gpusim", "repro.core", "repro.obs"}),
+                             "repro.gpusim", "repro.kernels",
+                             "repro.core", "repro.obs"}),
     "repro.streaming": frozenset({"repro.scan", "repro.columnar",
                                   "repro.dfa", "repro.gpusim",
+                                  "repro.kernels",
                                   "repro.core", "repro.exec",
                                   "repro.obs"}),
     "repro.baselines": frozenset({"repro.scan", "repro.columnar",

@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import math
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import ClassVar
 
 import numpy as np
@@ -59,6 +59,13 @@ from repro.core.validation import ValidationReport, apply_column_policy, \
     validate_input
 from repro.dfa.automaton import Dfa
 from repro.errors import ParseError
+from repro.kernels import (
+    compute_emissions_strided,
+    compute_transition_vectors_strided,
+    get_tables,
+    pack_kgrams,
+    resolve_stride,
+)
 from repro.obs.metrics import NULL_METRICS, MetricsRegistry
 from repro.obs.trace import NULL_TRACER, Tracer
 from repro.utils.timing import StepTimer
@@ -136,6 +143,10 @@ class ChunkVectors(ChunkedInput):
 
     #: ``(num_chunks, num_states)`` uint8 STVs.
     vectors: np.ndarray
+    #: ``(num_chunks, chunk_size // k)`` packed k-gram indexes, cached by
+    #: :class:`StvStage` so :class:`TagStage` reuses the packing pass of
+    #: the strided kernels; ``None`` on the unit-stride path.
+    packed_kgrams: np.ndarray | None = field(default=None, kw_only=True)
 
 
 @dataclass
@@ -306,6 +317,9 @@ class StvStage(Stage):
     """Phase 1a: per-chunk state-transition vectors (§3.1).
 
     Timed as ``parse`` — the paper's name for the STV simulation step.
+    With a kernel stride > 1 (the default when the dialect's k-gram
+    tables fit the budget) the sweep runs on the precomposed strided
+    tables from :mod:`repro.kernels`, advancing k symbols per step.
     """
 
     name = "stv"
@@ -314,9 +328,22 @@ class StvStage(Stage):
     output_type = ChunkVectors
 
     def run(self, ctx, payload: ChunkedInput) -> ChunkVectors:
-        vectors = compute_transition_vectors(payload.groups,
-                                             payload.padded_dfa)
-        return ChunkVectors(**payload.__dict__, vectors=vectors)
+        stride = resolve_stride(ctx.options.kernel_stride,
+                                payload.padded_dfa)
+        packed = None
+        if stride > 1:
+            tables = get_tables(payload.padded_dfa, stride, ctx.metrics)
+            packed = pack_kgrams(payload.groups, stride,
+                                 payload.padded_dfa.num_groups)
+            vectors = compute_transition_vectors_strided(payload.groups,
+                                                         tables, packed)
+        else:
+            vectors = compute_transition_vectors(payload.groups,
+                                                 payload.padded_dfa)
+        if ctx.metrics.enabled:
+            ctx.metrics.gauge("stage.stv.stride", stride)
+        return ChunkVectors(**payload.__dict__, vectors=vectors,
+                            packed_kgrams=packed)
 
 
 class ScanStage(Stage):
@@ -349,9 +376,21 @@ class TagStage(Stage):
     output_type = TaggedInput
 
     def run(self, ctx, payload: ChunkContexts) -> TaggedInput:
-        emissions, final_state, invalid_position = compute_emissions(
-            payload.groups, payload.start_states, payload.padded_dfa,
-            payload.chunking)
+        stride = resolve_stride(ctx.options.kernel_stride,
+                                payload.padded_dfa)
+        if stride > 1:
+            tables = get_tables(payload.padded_dfa, stride, ctx.metrics)
+            emissions, final_state, invalid_position = \
+                compute_emissions_strided(payload.groups,
+                                          payload.start_states, tables,
+                                          payload.chunking,
+                                          payload.packed_kgrams)
+        else:
+            emissions, final_state, invalid_position = compute_emissions(
+                payload.groups, payload.start_states, payload.padded_dfa,
+                payload.chunking)
+        if ctx.metrics.enabled:
+            ctx.metrics.gauge("stage.tag.stride", stride)
         if ctx.options.tagging_impl is TaggingImpl.CHUNKED:
             tags = tag_chunked(emissions, final_state, payload.chunking)
         else:

@@ -67,7 +67,7 @@ class TagResult:
 
 def compute_emissions(groups: np.ndarray, start_states: np.ndarray,
                       dfa: Dfa, chunking: Chunking
-                      ) -> tuple[np.ndarray, int]:
+                      ) -> tuple[np.ndarray, int, int | None]:
     """Re-simulate one DFA instance per chunk, emitting classifications.
 
     Parameters
@@ -126,27 +126,56 @@ def _bitmaps(emissions: np.ndarray) -> tuple[np.ndarray, np.ndarray,
     return record_delim, field_delim, data_mask
 
 
-def _trailing_record(emissions: np.ndarray, record_delim: np.ndarray) -> bool:
+def _exclusive_count(mask: np.ndarray, positions: np.ndarray) -> np.ndarray:
+    """``out[i]`` = number of set bits strictly before ``i``.
+
+    Semantically ``exclusive_sum(mask)``, but exploiting that the result
+    is a step function: between consecutive set positions the count is
+    constant, so it can be materialised by run-length ``np.repeat`` over
+    the (small) position array instead of a full-width prefix sum —
+    several times cheaper at realistic delimiter densities.  Dense masks
+    fall back to the scan.
+    """
+    n = mask.size
+    if n == 0 or positions.size * 2 > n:
+        return exclusive_sum(mask)
+    edges = np.empty(positions.size + 2, dtype=np.int64)
+    edges[0] = -1
+    edges[1:-1] = positions
+    edges[-1] = n - 1
+    return np.repeat(np.arange(positions.size + 1, dtype=np.int64),
+                     np.diff(edges))
+
+
+def _trailing_record(emissions: np.ndarray,
+                     record_positions: np.ndarray) -> bool:
     """Whether record content follows the last record delimiter.
 
     Content = DATA, FIELD_DELIMITER or CONTROL emissions (a lone ``\"\"``
     is a record with one empty field); COMMENT emissions are not content.
+    Only the slice after the last record delimiter is classified — for a
+    delimiter-terminated input that is a handful of bytes, not the whole
+    stream.
     """
-    content = ((emissions == int(Emission.DATA))
-               | (emissions == int(Emission.FIELD_DELIMITER))
-               | (emissions == int(Emission.CONTROL)))
-    delim_positions = np.flatnonzero(record_delim)
-    if delim_positions.size == 0:
-        return bool(content.any())
-    last = delim_positions[-1]
-    return bool(content[last + 1:].any())
+    tail = emissions if record_positions.size == 0 \
+        else emissions[int(record_positions[-1]) + 1:]
+    content = ((tail == int(Emission.DATA))
+               | (tail == int(Emission.FIELD_DELIMITER))
+               | (tail == int(Emission.CONTROL)))
+    return bool(content.any())
 
 
 def _finalise(emissions: np.ndarray, record_ids: np.ndarray,
-              column_ids: np.ndarray, final_state: int) -> TagResult:
-    record_delim, field_delim, data_mask = _bitmaps(emissions)
-    trailing = _trailing_record(emissions, record_delim)
-    num_records = int(record_delim.sum()) + (1 if trailing else 0)
+              column_ids: np.ndarray, final_state: int,
+              bitmaps: tuple[np.ndarray, np.ndarray, np.ndarray]
+              | None = None,
+              record_positions: np.ndarray | None = None) -> TagResult:
+    record_delim, field_delim, data_mask = bitmaps if bitmaps is not None \
+        else _bitmaps(emissions)
+    if record_positions is None:
+        record_positions = np.flatnonzero(record_delim)
+    trailing = _trailing_record(emissions, record_positions)
+    num_records = record_positions.size + (1 if trailing else 0)
     return TagResult(
         emissions=emissions,
         record_delim=record_delim,
@@ -173,32 +202,62 @@ def build_tag_result(emissions: np.ndarray, record_ids: np.ndarray,
 
 
 def tag_global(emissions: np.ndarray, final_state: int) -> TagResult:
-    """Record/column ids via whole-input cumulative sums.
+    """Record/column ids via whole-input delimiter bookkeeping.
 
     * ``record_ids[i]`` = record delimiters strictly before ``i``;
     * ``column_ids[i]`` = delimiters (field or record) between the start of
       ``i``'s record and ``i`` — inside a record every such delimiter is a
       field delimiter, so this is the running column index, resetting at
       record boundaries.
+
+    Both id streams are piecewise constant between delimiters, so at
+    realistic delimiter densities they are materialised by run-length
+    ``np.repeat`` over per-delimiter arrays — every full-width
+    intermediate (prefix sums, per-position gathers) disappears, leaving
+    one sequential write per output array.  Delimiter-dense inputs fall
+    back to the prefix-sum formulation.
     """
-    record_delim, field_delim, _ = _bitmaps(emissions)
+    record_delim, field_delim, data_mask = _bitmaps(emissions)
     n = emissions.size
-    record_ids = exclusive_sum(record_delim.astype(np.int64))
+    record_positions = np.flatnonzero(record_delim)
+    record_ids = _exclusive_count(record_delim, record_positions)
 
     delim_any = record_delim | field_delim
-    delims_before = exclusive_sum(delim_any.astype(np.int64))
-    # Index of the last record delimiter strictly before each position.
-    indexes = np.arange(n, dtype=np.int64)
-    marker = np.where(record_delim, indexes, np.int64(-1))
-    last_delim_incl = np.maximum.accumulate(marker) if n else marker
-    last_delim_excl = np.empty(n, dtype=np.int64)
-    if n:
-        last_delim_excl[0] = -1
-        last_delim_excl[1:] = last_delim_incl[:-1]
-    record_starts = last_delim_excl + 1
-    column_ids = delims_before - delims_before[record_starts] if n \
-        else delims_before
-    return _finalise(emissions, record_ids, column_ids, final_state)
+    delim_positions = np.flatnonzero(delim_any)
+    m = delim_positions.size
+    if n and 2 * m <= n:
+        # Segment j of the column-id stream spans (dp[j-1], dp[j]] shifted
+        # by one — i.e. starts right after delimiter j-1 — and holds the
+        # constant ``j - t[r_j]``: j delims seen so far, minus the delim
+        # count at the start of the enclosing record (t), where r_j counts
+        # the record delimiters among the first j delims.
+        is_record = record_delim[delim_positions]
+        records_before = np.empty(m + 1, dtype=np.int64)
+        records_before[0] = 0
+        np.cumsum(is_record, dtype=np.int64, out=records_before[1:])
+        record_start_delims = np.empty(record_positions.size + 1,
+                                       dtype=np.int64)
+        record_start_delims[0] = 0
+        record_start_delims[1:] = np.flatnonzero(is_record) + 1
+        segment_values = np.arange(m + 1, dtype=np.int64) \
+            - record_start_delims[records_before]
+        bounds = np.empty(m + 2, dtype=np.int64)
+        bounds[0] = 0
+        bounds[1:-1] = delim_positions + 1
+        bounds[-1] = n
+        column_ids = np.repeat(segment_values, np.diff(bounds))
+    else:
+        # Dense fallback: delims before the start of each record, as a
+        # per-record table; subtracting via a gather from it is the whole
+        # per-position reset.
+        delims_before = exclusive_sum(delim_any)
+        start_offsets = np.empty(record_positions.size + 1, dtype=np.int64)
+        start_offsets[0] = 0
+        start_offsets[1:] = delims_before[record_positions] + 1
+        column_ids = delims_before - start_offsets[record_ids]
+    return _finalise(emissions, record_ids, column_ids, final_state,
+                     bitmaps=(record_delim, field_delim, data_mask),
+                     record_positions=record_positions)
 
 
 def tag_chunked(emissions: np.ndarray, final_state: int,

@@ -31,6 +31,21 @@ byte positions — no record alignment, no sequential pre-pass.  Stages
 downstream of tagging (validate/partition/convert) run on the merged
 result through the ordinary stage pipeline, so the output is bit-for-bit
 the serial executor's.
+
+Two hot-path economies on top of the schedule:
+
+* **strided kernels** — workers run the byte-bound sweeps on the
+  precomposed k-gram tables of :mod:`repro.kernels` (same stride the
+  serial stages would pick); each worker process builds a dialect's
+  tables once, on its first shard, and its process-local cache serves
+  every later shard and parse;
+* **shared-memory input** — when running on a real process pool the raw
+  input is published once via :mod:`multiprocessing.shared_memory` and
+  workers slice + chunk their own shard, instead of pickling every
+  shard's bytes through the pool pipe twice (once per phase).  The
+  ``sharded.input.bytes.shipped`` counter records what still travels by
+  pickle, so the saving is visible; platforms without shared memory fall
+  back to shipping shard arrays.
 """
 
 from __future__ import annotations
@@ -52,7 +67,13 @@ from repro.core.tagging import build_tag_result, compute_emissions, \
 from repro.dfa.automaton import Dfa
 from repro.errors import ParseError
 from repro.exec.base import Executor
-from repro.obs.metrics import MetricsRegistry
+from repro.kernels import (
+    compute_emissions_strided,
+    compute_transition_vectors_strided,
+    get_tables,
+    resolve_stride,
+)
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
 from repro.obs.trace import Tracer, snapshot_spans
 from repro.scan.numpy_scan import exclusive_sum, scan_column_offsets, \
     scan_transition_vectors
@@ -91,7 +112,35 @@ def _pack_obs(tracer: Tracer | None, metrics: MetricsRegistry | None,
 
 
 # parlint: worker -- runs in pool processes; must stay pure and picklable
-def _shard_contexts(raw: np.ndarray, dfa: Dfa, chunk_size: int,
+def _open_shard(shard) -> tuple[np.ndarray, object]:
+    """Materialise a worker's shard bytes.
+
+    ``shard`` is either the shard's uint8 array (the pickle fallback) or
+    a ``(shm_name, total_bytes, lo, hi)`` descriptor pointing into the
+    shared-memory block the parent published; in the latter case the
+    worker attaches and slices its own range — no input bytes cross the
+    pool pipe.  Returns ``(raw, handle)``; pass ``handle`` to
+    :func:`_close_shard` once every derived array has been computed
+    (nothing returned home may alias the shared buffer).
+    """
+    if isinstance(shard, np.ndarray):
+        return shard, None
+    from multiprocessing import shared_memory
+    name, total, lo, hi = shard
+    handle = shared_memory.SharedMemory(name=name)
+    raw = np.ndarray((total,), dtype=np.uint8, buffer=handle.buf)[lo:hi]
+    return raw, handle
+
+
+# parlint: worker -- runs in pool processes; must stay pure and picklable
+def _close_shard(handle) -> None:
+    """Detach from the parent's shared-memory block (never unlinks)."""
+    if handle is not None:
+        handle.close()
+
+
+# parlint: worker -- runs in pool processes; must stay pure and picklable
+def _shard_contexts(shard, dfa: Dfa, chunk_size: int, stride: int = 1,
                     shard_index: int = 0, observe: bool = False
                     ) -> tuple[np.ndarray, np.ndarray, tuple | None]:
     """Worker phase 1: shard-local STVs, their scan, and the composite.
@@ -104,18 +153,28 @@ def _shard_contexts(raw: np.ndarray, dfa: Dfa, chunk_size: int,
     composition).  ``obs`` carries the worker's spans/metrics when
     observing (``None`` otherwise).
     """
-    tracer, metrics = _worker_obs(observe)
-    start = time.perf_counter()  # parlint: disable=PPR303 -- obs timing
-    with tracer.span("worker:contexts", shard=shard_index,
-                     bytes=int(raw.size)) if tracer else _NO_SPAN:
-        groups, _, padded_dfa = chunk_groups(raw, dfa, chunk_size)
-        vectors = compute_transition_vectors(groups, padded_dfa)
-        inclusive = scan_transition_vectors(vectors, exclusive=False)
-        local_scan = np.empty_like(inclusive)
-        local_scan[0] = np.arange(inclusive.shape[1], dtype=inclusive.dtype)
-        local_scan[1:] = inclusive[:-1]
-    obs = _pack_obs(tracer, metrics, "contexts", start, int(raw.size))
-    return local_scan, inclusive[-1], obs
+    raw, handle = _open_shard(shard)
+    try:
+        tracer, metrics = _worker_obs(observe)
+        start = time.perf_counter()  # parlint: disable=PPR303 -- obs timing
+        with tracer.span("worker:contexts", shard=shard_index,
+                         bytes=int(raw.size)) if tracer else _NO_SPAN:
+            groups, _, padded_dfa = chunk_groups(raw, dfa, chunk_size)
+            if stride > 1:
+                tables = get_tables(padded_dfa, stride,
+                                    metrics or NULL_METRICS)
+                vectors = compute_transition_vectors_strided(groups, tables)
+            else:
+                vectors = compute_transition_vectors(groups, padded_dfa)
+            inclusive = scan_transition_vectors(vectors, exclusive=False)
+            local_scan = np.empty_like(inclusive)
+            local_scan[0] = np.arange(inclusive.shape[1],
+                                      dtype=inclusive.dtype)
+            local_scan[1:] = inclusive[:-1]
+        obs = _pack_obs(tracer, metrics, "contexts", start, int(raw.size))
+        return local_scan, inclusive[-1], obs
+    finally:
+        _close_shard(handle)
 
 
 # parlint: worker -- runs in pool processes; must stay pure and picklable
@@ -127,8 +186,8 @@ def _compact_ids(ids: np.ndarray) -> np.ndarray:
 
 
 # parlint: worker -- runs in pool processes; must stay pure and picklable
-def _shard_tags(raw: np.ndarray, dfa: Dfa, chunk_size: int,
-                start_states: np.ndarray, impl_value: str,
+def _shard_tags(shard, dfa: Dfa, chunk_size: int,
+                start_states: np.ndarray, impl_value: str, stride: int = 1,
                 shard_index: int = 0, observe: bool = False) -> tuple:
     """Worker phase 2: emissions and shard-local record/column tags.
 
@@ -140,29 +199,43 @@ def _shard_tags(raw: np.ndarray, dfa: Dfa, chunk_size: int,
     record delimiter; relative = all field delimiters), and ``obs``
     carries the worker's spans/metrics when observing.
     """
-    tracer, metrics = _worker_obs(observe)
-    start = time.perf_counter()  # parlint: disable=PPR303 -- obs timing
-    with tracer.span("worker:tags", shard=shard_index,
-                     bytes=int(raw.size)) if tracer else _NO_SPAN:
-        groups, chunking, padded_dfa = chunk_groups(raw, dfa, chunk_size)
-        emissions, final_state, invalid_position = compute_emissions(
-            groups, start_states, padded_dfa, chunking)
-        if TaggingImpl(impl_value) is TaggingImpl.CHUNKED:
-            tags = tag_chunked(emissions, final_state, chunking)
-        else:
-            tags = tag_global(emissions, final_state)
-        delim_positions = np.flatnonzero(tags.record_delim)
-        if delim_positions.size:
-            offset_kind = True
-            offset_value = int(
-                tags.field_delim[delim_positions[-1] + 1:].sum())
-        else:
-            offset_kind = False
-            offset_value = int(tags.field_delim.sum())
-    obs = _pack_obs(tracer, metrics, "tags", start, int(raw.size))
-    return (emissions, _compact_ids(tags.record_ids),
-            _compact_ids(tags.column_ids), final_state, invalid_position,
-            int(delim_positions.size), offset_kind, offset_value, obs)
+    raw, handle = _open_shard(shard)
+    try:
+        tracer, metrics = _worker_obs(observe)
+        start = time.perf_counter()  # parlint: disable=PPR303 -- obs timing
+        with tracer.span("worker:tags", shard=shard_index,
+                         bytes=int(raw.size)) if tracer else _NO_SPAN:
+            groups, chunking, padded_dfa = chunk_groups(raw, dfa,
+                                                        chunk_size)
+            if stride > 1:
+                tables = get_tables(padded_dfa, stride,
+                                    metrics or NULL_METRICS)
+                emissions, final_state, invalid_position = \
+                    compute_emissions_strided(groups, start_states,
+                                              tables, chunking)
+            else:
+                emissions, final_state, invalid_position = \
+                    compute_emissions(groups, start_states, padded_dfa,
+                                      chunking)
+            if TaggingImpl(impl_value) is TaggingImpl.CHUNKED:
+                tags = tag_chunked(emissions, final_state, chunking)
+            else:
+                tags = tag_global(emissions, final_state)
+            delim_positions = np.flatnonzero(tags.record_delim)
+            if delim_positions.size:
+                offset_kind = True
+                offset_value = int(
+                    tags.field_delim[delim_positions[-1] + 1:].sum())
+            else:
+                offset_kind = False
+                offset_value = int(tags.field_delim.sum())
+        obs = _pack_obs(tracer, metrics, "tags", start, int(raw.size))
+        return (emissions, _compact_ids(tags.record_ids),
+                _compact_ids(tags.column_ids), final_state,
+                invalid_position, int(delim_positions.size), offset_kind,
+                offset_value, obs)
+    finally:
+        _close_shard(handle)
 
 
 class ShardedExecutor(Executor):
@@ -182,6 +255,11 @@ class ShardedExecutor(Executor):
         ``False`` executes the worker tasks inline in the calling
         process (the full sharded data path, minus the pool) — useful
         for tests and debugging.
+    shared_input:
+        Publish the raw input to pool workers through
+        :mod:`multiprocessing.shared_memory` (the default) instead of
+        pickling every shard's bytes; ``False`` forces the pickle path
+        (the automatic fallback when shared memory is unavailable).
     pipeline:
         Stage pipeline override (defaults to the canonical one).
 
@@ -193,6 +271,7 @@ class ShardedExecutor(Executor):
     def __init__(self, workers: int | None = None,
                  shard_bytes: int | None = None,
                  use_processes: bool = True,
+                 shared_input: bool = True,
                  pipeline=None):
         super().__init__(pipeline)
         if workers is None:
@@ -204,6 +283,7 @@ class ShardedExecutor(Executor):
         self.workers = int(workers)
         self.shard_bytes = shard_bytes
         self.use_processes = bool(use_processes)
+        self.shared_input = bool(shared_input)
         self._pool: ProcessPoolExecutor | None = None
 
     # -- lifecycle ---------------------------------------------------------
@@ -245,57 +325,109 @@ class ShardedExecutor(Executor):
         raw = payload.raw
         tracer, metrics = ctx.tracer, ctx.metrics
         observe = tracer.enabled or metrics.enabled
+        stride = resolve_stride(options.kernel_stride,
+                                ctx.dfa.with_padding_group())
         bounds = self._shard_bounds(int(raw.size), options.chunk_size)
-        shards = [raw[lo:hi] for lo, hi in bounds]
-        mapper = self._mapper(len(shards))
+        mapper = self._mapper(len(bounds))
+        pooled = self.use_processes and self.workers > 1 and len(bounds) > 1
+        shm, shards = self._ship_input(raw, bounds, pooled)
+        # Bytes each phase pickles through the pool pipe: the whole
+        # shard under the fallback, a ~100 B descriptor under shm, and
+        # nothing at all when shards stay in-process.
+        shipped_per_phase = sum(hi - lo for lo, hi in bounds) \
+            if pooled and shm is None else 0
         if metrics.enabled:
-            metrics.gauge("shards", len(shards))
+            metrics.gauge("shards", len(bounds))
             metrics.gauge("workers", self.workers)
+            # Workers run the sweeps in their own processes, so record the
+            # stride they were handed here, where it is resolved.
+            metrics.gauge("stage.stv.stride", stride)
+            metrics.gauge("stage.tag.stride", stride)
+            metrics.gauge("sharded.input.shared_memory",
+                          1.0 if shm is not None else 0.0)
 
-        with tracer.span("sharded:contexts", shards=len(shards)):
-            with ctx.timer.step("parse"):
-                contexts = list(mapper(_shard_contexts, shards,
-                                       repeat(ctx.dfa),
-                                       repeat(options.chunk_size),
-                                       range(len(shards)),
-                                       repeat(observe)))
-        for _, _, obs in contexts:
-            self._ingest_obs(tracer, metrics, obs)
+        try:
+            with tracer.span("sharded:contexts", shards=len(bounds)):
+                with ctx.timer.step("parse"):
+                    contexts = list(mapper(_shard_contexts, shards,
+                                           repeat(ctx.dfa),
+                                           repeat(options.chunk_size),
+                                           repeat(stride),
+                                           range(len(bounds)),
+                                           repeat(observe)))
+            for _, _, obs in contexts:
+                self._ingest_obs(tracer, metrics, obs)
+            if metrics.enabled:
+                metrics.count("sharded.input.bytes.shipped",
+                              shipped_per_phase)
 
-        with tracer.span("sharded:combine", shards=len(shards)):
-            with ctx.timer.step("scan"):
-                # One composition scan over the shard composites gives
-                # every shard its entering state; indexing each shard's
-                # local scan with it gives every chunk its start state
-                # (§3.1, twice).
-                composites = np.stack([composite
-                                       for _, composite, _ in contexts])
-                entering = scan_transition_vectors(composites,
-                                                   exclusive=True)
-                entering_states = entering[:, ctx.dfa.start_state]
-                start_states = [
-                    local_scan[:, int(state)].astype(np.uint8)
-                    for (local_scan, _, _), state
-                    in zip(contexts, entering_states)
-                ]
+            with tracer.span("sharded:combine", shards=len(bounds)):
+                with ctx.timer.step("scan"):
+                    # One composition scan over the shard composites gives
+                    # every shard its entering state; indexing each shard's
+                    # local scan with it gives every chunk its start state
+                    # (§3.1, twice).
+                    composites = np.stack([composite
+                                           for _, composite, _ in contexts])
+                    entering = scan_transition_vectors(composites,
+                                                       exclusive=True)
+                    entering_states = entering[:, ctx.dfa.start_state]
+                    start_states = [
+                        local_scan[:, int(state)].astype(np.uint8)
+                        for (local_scan, _, _), state
+                        in zip(contexts, entering_states)
+                    ]
 
-        with tracer.span("sharded:tags", shards=len(shards)):
-            with ctx.timer.step("tag"):
-                shard_tags = list(mapper(
-                    _shard_tags, shards,
-                    repeat(ctx.dfa),
-                    repeat(options.chunk_size),
-                    start_states,
-                    repeat(options.tagging_impl.value),
-                    range(len(shards)),
-                    repeat(observe)))
-                tags, invalid_position = self._merge_tags(bounds,
-                                                          shard_tags)
-        for entry in shard_tags:
-            self._ingest_obs(tracer, metrics, entry[8])
+            with tracer.span("sharded:tags", shards=len(bounds)):
+                with ctx.timer.step("tag"):
+                    shard_tags = list(mapper(
+                        _shard_tags, shards,
+                        repeat(ctx.dfa),
+                        repeat(options.chunk_size),
+                        start_states,
+                        repeat(options.tagging_impl.value),
+                        repeat(stride),
+                        range(len(bounds)),
+                        repeat(observe)))
+                    tags, invalid_position = self._merge_tags(bounds,
+                                                              shard_tags)
+            for entry in shard_tags:
+                self._ingest_obs(tracer, metrics, entry[8])
+            if metrics.enabled:
+                metrics.count("sharded.input.bytes.shipped",
+                              shipped_per_phase)
+        finally:
+            if shm is not None:
+                shm.close()
+                shm.unlink()
 
         return TaggedInput(raw=raw, input_bytes=payload.input_bytes,
                            tags=tags, invalid_position=invalid_position)
+
+    def _ship_input(self, raw: np.ndarray, bounds, pooled: bool):
+        """How shard bytes reach the workers: ``(shm, shard payloads)``.
+
+        On a real pool (and unless ``shared_input=False``) the input is
+        copied once into a POSIX shared-memory block and workers get
+        ``(name, total, lo, hi)`` descriptors; they attach and slice
+        their own shard, so no input bytes are pickled.  Inline
+        execution, single-shard runs and platforms without
+        ``multiprocessing.shared_memory`` fall back to shipping the
+        shard arrays themselves.
+        """
+        if pooled and self.shared_input and raw.size:
+            try:
+                from multiprocessing import shared_memory
+                shm = shared_memory.SharedMemory(create=True,
+                                                 size=int(raw.size))
+                np.ndarray(raw.shape, dtype=np.uint8, buffer=shm.buf)[:] \
+                    = raw
+                descriptors = [(shm.name, int(raw.size), lo, hi)
+                               for lo, hi in bounds]
+                return shm, descriptors
+            except (ImportError, OSError):
+                pass
+        return None, [raw[lo:hi] for lo, hi in bounds]
 
     @staticmethod
     def _ingest_obs(tracer, metrics, obs) -> None:

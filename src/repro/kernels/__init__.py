@@ -1,0 +1,54 @@
+"""Strided kernels: multi-symbol steps for the byte-bound phases.
+
+This package is the pipeline's kernel-optimisation layer.  It precomposes
+the parsing DFA over k-symbol blocks (:mod:`repro.kernels.strided`) so the
+two hot sweeps — STV simulation and the tagging/emission sweep — advance
+``k`` symbols per vectorised gather instead of one, cutting their
+Python-level loop counts by ``k``.  Precomposed tables are cached per
+process (:mod:`repro.kernels.cache`) keyed on the automaton's fingerprint,
+so dialect tables are built once and reused across parses, shards and
+streaming partitions.
+
+The layer is engaged through ``ParseOptions.kernel_stride`` (default
+``None`` = automatic: the largest supported stride whose tables fit the
+memory budget) and used by :class:`~repro.core.stages.StvStage` /
+:class:`~repro.core.stages.TagStage` and the sharded executor's worker
+tasks.  Future kernel work — SWAR-style packed matching, a fused
+stv+tag single pass — plugs in here.
+"""
+
+from repro.kernels.cache import (
+    cache_info,
+    clear_cache,
+    dfa_fingerprint,
+    get_tables,
+)
+from repro.kernels.strided import (
+    DEFAULT_TABLE_BUDGET,
+    SUPPORTED_STRIDES,
+    StridedTables,
+    build_tables,
+    compute_emissions_strided,
+    compute_transition_vectors_strided,
+    pack_kgrams,
+    pick_stride,
+    resolve_stride,
+    table_nbytes,
+)
+
+__all__ = [
+    "StridedTables",
+    "SUPPORTED_STRIDES",
+    "DEFAULT_TABLE_BUDGET",
+    "build_tables",
+    "table_nbytes",
+    "pick_stride",
+    "resolve_stride",
+    "pack_kgrams",
+    "compute_transition_vectors_strided",
+    "compute_emissions_strided",
+    "get_tables",
+    "cache_info",
+    "clear_cache",
+    "dfa_fingerprint",
+]

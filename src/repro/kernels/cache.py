@@ -1,0 +1,123 @@
+"""Process-wide LRU cache for precomposed strided DFA tables.
+
+Building the k-step tables costs ``O(G^k · S)`` — negligible against a
+large parse, but very noticeable when the same dialect is parsed over
+and over: every streaming partition, every shard task and every parse
+call would otherwise rebuild identical tables.  This cache keys tables
+on ``(dfa fingerprint, k)`` so each distinct automaton pays the build
+exactly once per process:
+
+* the **serial** executor and :class:`~repro.streaming.StreamingParser`
+  hit the parent process's cache from the second chunk/partition on;
+* :class:`~repro.exec.ShardedExecutor` worker processes each hold their
+  own copy (module state is per-process) — a worker builds the tables on
+  its first shard and reuses them for every later shard and parse that
+  the pool schedules onto it.
+
+The fingerprint hashes the tables that define the automaton's *behaviour*
+(transitions, emissions, invalid sink) rather than using object identity,
+so equal dialects share cache entries across independently constructed
+:class:`~repro.dfa.automaton.Dfa` instances.
+
+Cache traffic is observable through :mod:`repro.obs`: pass a
+:class:`~repro.obs.metrics.MetricsRegistry` to :func:`get_tables` and it
+records ``kernels.cache.hits`` / ``kernels.cache.misses`` counters and a
+``kernels.table_build.seconds`` histogram (plus a ``kernels.table.bytes``
+gauge for the most recent build).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from collections import OrderedDict
+
+from repro.dfa.automaton import Dfa
+from repro.kernels.strided import StridedTables, build_tables
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
+
+__all__ = [
+    "dfa_fingerprint",
+    "get_tables",
+    "cache_info",
+    "clear_cache",
+    "MAX_CACHED_TABLES",
+]
+
+#: Entries kept before least-recently-used eviction.  Tables are small
+#: (bounded by the stride budget) but a long-lived process cycling many
+#: ad-hoc automata should not accumulate them forever.
+MAX_CACHED_TABLES = 16
+
+_lock = threading.Lock()
+_cache: "OrderedDict[tuple[str, int], StridedTables]" = OrderedDict()
+_hits = 0
+_misses = 0
+_evictions = 0
+
+
+def dfa_fingerprint(dfa: Dfa) -> str:
+    """Stable digest of everything that shapes the strided tables."""
+    digest = hashlib.sha1()
+    digest.update(b"%d:%d:%d:%d;" % (
+        dfa.num_groups, dfa.num_states, dfa.start_state,
+        -1 if dfa.invalid_state is None else dfa.invalid_state))
+    digest.update(dfa.transitions.tobytes())
+    digest.update(dfa.emissions.tobytes())
+    return digest.hexdigest()
+
+
+def get_tables(dfa: Dfa, k: int,
+               metrics: MetricsRegistry = NULL_METRICS) -> StridedTables:
+    """The precomposed tables for ``(dfa, k)``, built at most once.
+
+    Thread-safe; concurrent callers of the same key may race to build,
+    in which case one result wins and the others are discarded (the
+    tables are immutable and interchangeable, so this is merely a little
+    duplicated work, never an inconsistency).
+    """
+    global _hits, _misses, _evictions
+    key = (dfa_fingerprint(dfa), int(k))
+    with _lock:
+        cached = _cache.get(key)
+        if cached is not None:
+            _cache.move_to_end(key)
+            _hits += 1
+            if metrics.enabled:
+                metrics.count("kernels.cache.hits")
+            return cached
+    start = time.perf_counter()
+    tables = build_tables(dfa, k)
+    build_seconds = time.perf_counter() - start
+    with _lock:
+        _misses += 1
+        _cache[key] = tables
+        _cache.move_to_end(key)
+        while len(_cache) > MAX_CACHED_TABLES:
+            _cache.popitem(last=False)
+            _evictions += 1
+    if metrics.enabled:
+        metrics.count("kernels.cache.misses")
+        metrics.observe("kernels.table_build.seconds", build_seconds)
+        metrics.gauge("kernels.table.bytes", tables.nbytes)
+    return tables
+
+
+def cache_info() -> dict[str, int]:
+    """Lifetime cache statistics of this process."""
+    with _lock:
+        return {
+            "entries": len(_cache),
+            "hits": _hits,
+            "misses": _misses,
+            "evictions": _evictions,
+        }
+
+
+def clear_cache() -> None:
+    """Drop all cached tables and reset the statistics (tests)."""
+    global _hits, _misses, _evictions
+    with _lock:
+        _cache.clear()
+        _hits = _misses = _evictions = 0

@@ -1,0 +1,388 @@
+"""Multi-symbol strided kernels for the byte-bound phases.
+
+The two hot loops of the pipeline — the STV simulation
+(:func:`repro.core.context.compute_transition_vectors`) and the tagging
+sweep (:func:`repro.core.tagging.compute_emissions`) — advance every
+chunk by *one* symbol per Python-level iteration, so a chunk of ``n``
+bytes pays ``n`` rounds of interpreter and NumPy-dispatch overhead on
+top of the actual table gathers.  ParPaRaw's own answer to per-symbol
+serial depth is to process several symbols per thread step: MFIRA packs
+fragments into registers (paper §5.2) and SWAR matches multiple bytes
+branchlessly (§5.3).  This module is the NumPy translation of that idea.
+
+Given a DFA with ``G`` symbol groups and ``S`` states, a *stride* ``k``
+and the packed k-gram ``g_0·G^(k-1) + … + g_{k-1}`` of ``k`` consecutive
+symbols, :func:`build_tables` precomposes
+
+* ``transitions[kgram, state]`` — the state after consuming all ``k``
+  symbols (the k-fold composition of the base transition table);
+* ``emissions[kgram, state, 0..k-1]`` — the :class:`Emission` code of
+  every one of the ``k`` symbols, as emitted by the base Mealy table
+  along the way — plus, for word-sized strides, a SWAR view of the same
+  table packing the ``k`` codes into a single machine word, so the
+  tagging sweep gathers one word per chunk per block instead of ``k``
+  scattered bytes (the §5.3 trick: several symbols matched per
+  register-width operation);
+* ``first_invalid[kgram, state]`` — the block-local index of the first
+  symbol that is *read in* the INV sink state (``-1`` if none), which is
+  exactly the intermediate-state information the unit-stride sweep
+  derives symbol by symbol.
+
+With these tables both sweeps advance ``k`` symbols per gather, shrinking
+the Python loop from ``chunk_size`` to ``chunk_size // k`` iterations
+(plus a unit-stride tail of ``chunk_size % k`` symbols).  The outputs are
+bit-identical to the unit-stride sweeps by construction — the tables are
+*the same function*, memoised over k-grams — and the parity property
+suite in ``tests/kernels`` proves it over random dialects and inputs.
+
+The trade-off is table memory: ``G^k`` rows.  :func:`pick_stride`
+selects the largest supported ``k`` whose tables fit a byte budget
+(falling back to ``k = 1``, i.e. the unit-stride path), so small
+automata — CSV needs 7-9 groups including padding — get ``k = 4`` while
+group-rich automata degrade gracefully.
+"""
+
+from __future__ import annotations
+
+# parlint: hot-path -- strided byte-bound kernels; loops need waivers
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dfa.automaton import Dfa
+from repro.errors import ParseError
+
+__all__ = [
+    "StridedTables",
+    "SUPPORTED_STRIDES",
+    "DEFAULT_TABLE_BUDGET",
+    "build_tables",
+    "table_nbytes",
+    "pick_stride",
+    "resolve_stride",
+    "pack_kgrams",
+    "compute_transition_vectors_strided",
+    "compute_emissions_strided",
+]
+
+#: Strides the auto-picker considers, best first.  Any ``k >= 1`` is
+#: legal to request explicitly; these are the sweet spots for the
+#: paper's 31-byte chunks.
+SUPPORTED_STRIDES: tuple[int, ...] = (4, 2)
+
+#: Default ceiling for the precomposed tables of one ``(dfa, k)`` pair.
+#: 4 MiB keeps every table well inside L2 — a table that spills out of
+#: cache loses the very memory locality the striding is buying.
+DEFAULT_TABLE_BUDGET = 4 << 20
+
+#: Hard ceiling for explicitly requested strides: building a table this
+#: large is always a configuration error, not a tuning choice.
+_HARD_TABLE_CAP = 1 << 30
+
+#: Strides whose k emission bytes fit one machine word (SWAR packing).
+_EMISSION_WORD_DTYPES: dict[int, type] = {
+    1: np.uint8, 2: np.uint16, 4: np.uint32, 8: np.uint64,
+}
+
+
+@dataclass(frozen=True)
+class StridedTables:
+    """Precomposed k-step DFA tables (see module docstring).
+
+    Built once per ``(dfa, k)`` by :func:`build_tables` and cached
+    process-wide by :mod:`repro.kernels.cache`; instances are immutable
+    and safe to share across parses, shards and threads.
+    """
+
+    #: The automaton the tables were composed from (with padding group).
+    dfa: Dfa
+    #: Symbols advanced per table gather.
+    k: int
+    #: ``(G**k, S)`` uint8 — state after consuming a whole k-gram.
+    transitions: np.ndarray
+    #: ``(G**k, S, k)`` uint8 — emission of each symbol in the k-gram.
+    emissions: np.ndarray
+    #: ``(G**k, S)`` int16 — block-local index of the first symbol read
+    #: in the INV sink (-1 = never); ``None`` when the DFA has no sink.
+    first_invalid: np.ndarray | None
+    #: ``(G**k, S)`` uint{8k} — the k emission bytes of each cell packed
+    #: into one machine word (a zero-copy view of ``emissions``, native
+    #: byte order); ``None`` when ``k`` is not a word size.  Lets the
+    #: tagging sweep gather one word instead of ``k`` scattered bytes —
+    #: the SWAR device of paper §5.3.
+    emission_words: np.ndarray | None = None
+
+    @property
+    def num_kgrams(self) -> int:
+        return self.transitions.shape[0]
+
+    @property
+    def nbytes(self) -> int:
+        """Total table footprint in bytes."""
+        invalid = self.first_invalid.nbytes if self.first_invalid is not None \
+            else 0
+        return self.transitions.nbytes + self.emissions.nbytes + invalid
+
+
+def table_nbytes(num_groups: int, num_states: int, k: int) -> int:
+    """Predicted footprint of :func:`build_tables` output (bytes)."""
+    kgrams = num_groups ** k
+    # transitions (1 B) + emissions (k B) + first_invalid (2 B) per
+    # (kgram, state) cell.
+    return kgrams * num_states * (1 + k + 2)
+
+
+def pick_stride(dfa: Dfa, budget: int = DEFAULT_TABLE_BUDGET) -> int:
+    """Largest supported stride whose tables fit ``budget`` bytes.
+
+    Falls back to ``1`` (the unit-stride path, no tables at all) when
+    even ``k = 2`` would blow the budget — automata with very many
+    symbol groups keep working, just without striding.
+    """
+    for k in SUPPORTED_STRIDES:  # parlint: disable=PPR401 -- two candidate strides, configuration-time arithmetic only
+        if table_nbytes(dfa.num_groups, dfa.num_states, k) <= budget:
+            return k
+    return 1
+
+
+def resolve_stride(requested: int | None, dfa: Dfa,
+                   budget: int = DEFAULT_TABLE_BUDGET) -> int:
+    """The stride a parse actually runs with.
+
+    ``requested is None`` selects automatically via :func:`pick_stride`;
+    an explicit stride is honoured (``1`` = force unit-stride) but
+    rejected when its tables would be absurdly large.
+    """
+    if requested is None:
+        return pick_stride(dfa, budget)
+    if requested < 1:
+        raise ParseError("kernel_stride must be >= 1")
+    if requested > 1 and table_nbytes(dfa.num_groups, dfa.num_states,
+                                      requested) > _HARD_TABLE_CAP:
+        raise ParseError(
+            f"kernel_stride={requested} needs a "
+            f"{dfa.num_groups}**{requested}-row table; reduce the stride "
+            f"or use kernel_stride=None for automatic selection")
+    return requested
+
+
+def build_tables(dfa: Dfa, k: int) -> StridedTables:
+    """Precompose the DFA over all k-grams (see module docstring).
+
+    The build iterates over the ``k`` positions of the block — never over
+    input data — extending every (prefix, start-state) pair by all ``G``
+    possible next symbols at once, so it costs ``O(G^k · S)`` table cells
+    and is independent of input size.  The packed index of prefix ``p``
+    extended by group ``g`` is ``p·G + g``, matching
+    :func:`pack_kgrams`'s big-endian packing.
+    """
+    if k < 1:
+        raise ParseError("stride must be >= 1")
+    num_groups, num_states = dfa.num_groups, dfa.num_states
+    transitions = dfa.transitions          # (G, S): group-major
+    emission_table = dfa.emissions         # (S, G): state-major
+    invalid = dfa.invalid_state
+
+    groups = np.arange(num_groups)
+    # State after the (initially empty) prefix, per (prefix, start state).
+    prefix_states = np.broadcast_to(
+        np.arange(num_states, dtype=np.uint8), (1, num_states)).copy()
+    emissions = np.empty((1, num_states, 0), dtype=np.uint8)
+    first_invalid = np.full((1, num_states), -1, dtype=np.int16) \
+        if invalid is not None else None
+
+    for i in range(k):  # parlint: disable=PPR401 -- loop over the k<=stride block positions, not over input; each body is a vectorised table extension
+        num_prefixes = prefix_states.shape[0]
+        # Symbol i is read in the prefix state; extension by group g
+        # lands the (prefix*G + g) row of every table.
+        step_emissions = emission_table[
+            prefix_states[:, None, :], groups[None, :, None]]
+        next_states = transitions[
+            groups[None, :, None], prefix_states[:, None, :]]
+        if first_invalid is not None:
+            hit = prefix_states == invalid
+            first_invalid = np.where(
+                first_invalid >= 0, first_invalid,
+                np.where(hit, np.int16(i), np.int16(-1)))
+            first_invalid = np.repeat(first_invalid, num_groups, axis=0)
+        emissions = np.concatenate([
+            np.repeat(emissions, num_groups, axis=0),
+            step_emissions.reshape(num_prefixes * num_groups,
+                                   num_states)[:, :, None],
+        ], axis=2)
+        prefix_states = next_states.reshape(
+            num_prefixes * num_groups, num_states)
+
+    emissions = np.ascontiguousarray(emissions)
+    word_dtype = _EMISSION_WORD_DTYPES.get(k)
+    # The word view and the byte table alias the same memory; viewing in
+    # native order on both the pack and unpack side makes the round trip
+    # endianness-independent.
+    emission_words = emissions.view(word_dtype)[:, :, 0] \
+        if word_dtype is not None else None
+    return StridedTables(
+        dfa=dfa,
+        k=k,
+        transitions=np.ascontiguousarray(prefix_states),
+        emissions=emissions,
+        first_invalid=np.ascontiguousarray(first_invalid)
+        if first_invalid is not None else None,
+        emission_words=emission_words,
+    )
+
+
+def pack_kgrams(groups: np.ndarray, k: int, num_groups: int) -> np.ndarray:
+    """Pack consecutive symbol groups into big-endian k-gram indexes.
+
+    ``groups`` is the ``(num_chunks, chunk_size)`` symbol-group matrix;
+    the result is ``(num_chunks, chunk_size // k)`` int32 where block
+    ``b`` packs columns ``b*k .. b*k+k-1`` as
+    ``g_0·G^(k-1) + … + g_{k-1}``.  Trailing columns beyond the last
+    full block are ignored (the sweeps finish them unit-stride).
+
+    The packing itself is ``k`` vectorised shift-adds over the whole
+    matrix — one pass over the data, amortised across the
+    ``chunk_size // k`` loop iterations it saves.
+    """
+    num_blocks = groups.shape[1] // k
+    head = groups[:, :num_blocks * k]
+    packed = head[:, 0::k].astype(np.int32)
+    for i in range(1, k):  # parlint: disable=PPR401 -- k<=stride shift-add passes, each vectorised over the whole chunk grid
+        packed *= num_groups
+        packed += head[:, i::k]
+    return packed
+
+
+def compute_transition_vectors_strided(groups: np.ndarray,
+                                       tables: StridedTables,
+                                       packed: np.ndarray | None = None
+                                       ) -> np.ndarray:
+    """STVs for all chunks, ``k`` symbols per step (cf.
+    :func:`repro.core.context.compute_transition_vectors`).
+
+    Bit-identical to the unit-stride sweep: the k-step table *is* the
+    k-fold composition of the base table, and composition is associative.
+    ``packed`` may carry a precomputed :func:`pack_kgrams` result so the
+    STV and tagging sweeps of one parse share a single packing pass.
+    """
+    if groups.ndim != 2:
+        raise ValueError("expected a (num_chunks, chunk_size) matrix")
+    dfa, k = tables.dfa, tables.k
+    num_chunks, chunk_size = groups.shape
+    num_blocks = chunk_size // k
+    vectors = np.broadcast_to(
+        np.arange(dfa.num_states, dtype=np.uint8),
+        (num_chunks, dfa.num_states)).copy()
+    if packed is None:
+        packed = pack_kgrams(groups, k, dfa.num_groups)
+    elif packed.shape != (num_chunks, num_blocks):
+        raise ValueError("packed k-grams do not match the chunk grid")
+    transitions_k = tables.transitions
+    for b in range(num_blocks):  # parlint: disable=PPR401 -- chunk_size // k iterations (the strided serial depth); vectorised over the num_chunks axis
+        vectors = transitions_k[packed[:, b, None], vectors]
+    transitions = dfa.transitions
+    for j in range(num_blocks * k, chunk_size):  # parlint: disable=PPR401 -- unit-stride tail of < k symbols
+        vectors = transitions[groups[:, j, None], vectors]
+    return vectors
+
+
+def compute_emissions_strided(groups: np.ndarray, start_states: np.ndarray,
+                              tables: StridedTables, chunking,
+                              packed: np.ndarray | None = None
+                              ) -> tuple[np.ndarray, int, int | None]:
+    """Tagging sweep, ``k`` symbols per step (cf.
+    :func:`repro.core.tagging.compute_emissions`).
+
+    Returns the same ``(emissions, final_state, invalid_position)``
+    triple as the unit-stride sweep, bit for bit.  INV detection exploits
+    the sink property: once entered, INV is never left, so a chunk read a
+    symbol in the sink iff its *end* state is the sink (or it entered on
+    its very last transition, in which case the next chunk starts there
+    and reads its first symbol in it).  The hot loop therefore carries no
+    per-block invalid bookkeeping at all — it only records the block
+    entry states — and the exact offset is recovered afterwards by a
+    scalar replay of the single first affected chunk through the
+    per-block ``first_invalid`` table.  That reproduces the unit-stride
+    position also when it falls mid-block or inside the padded tail
+    (where the ``position < input_bytes`` filter below discards it
+    identically).  ``packed`` may carry a precomputed :func:`pack_kgrams`
+    result (see :func:`compute_transition_vectors_strided`).
+    """
+    dfa, k = tables.dfa, tables.k
+    num_chunks, chunk_size = groups.shape
+    num_blocks = chunk_size // k
+    states = start_states.astype(np.uint8).copy()
+    emissions = np.empty((num_chunks, chunk_size), dtype=np.uint8)
+    invalid = dfa.invalid_state
+
+    if packed is None:
+        packed = pack_kgrams(groups, k, dfa.num_groups)
+    elif packed.shape != (num_chunks, num_blocks):
+        raise ValueError("packed k-grams do not match the chunk grid")
+    transitions_k = tables.transitions
+    emissions_k = tables.emissions
+    words_k = tables.emission_words
+    invalid_k = tables.first_invalid
+    entry_states = np.empty((num_chunks, num_blocks), dtype=np.uint8) \
+        if invalid is not None else None
+    if words_k is not None:
+        # SWAR fast path (§5.3): one word gather per chunk per block
+        # instead of k scattered bytes; the word buffer is re-viewed as
+        # the emission bytes afterwards (same native order as the pack).
+        out_words = np.empty((num_chunks, num_blocks), dtype=words_k.dtype)
+    else:
+        out_words = None
+    for b in range(num_blocks):  # parlint: disable=PPR401 -- chunk_size // k iterations (the strided serial depth); vectorised over the num_chunks axis
+        kgrams = packed[:, b]
+        if out_words is not None:
+            out_words[:, b] = words_k[kgrams, states]
+        else:
+            emissions[:, b * k:(b + 1) * k] = emissions_k[kgrams, states]
+        if entry_states is not None:
+            entry_states[:, b] = states
+        states = transitions_k[kgrams, states]
+    if out_words is not None and num_blocks:
+        emissions[:, :num_blocks * k] = out_words.view(np.uint8).reshape(
+            num_chunks, num_blocks * k)
+
+    tail_entry = states.copy() if invalid is not None else None
+    transitions = dfa.transitions
+    emission_table = dfa.emissions
+    for j in range(num_blocks * k, chunk_size):  # parlint: disable=PPR401 -- unit-stride tail of < k symbols
+        g = groups[:, j]
+        emissions[:, j] = emission_table[states, g]
+        states = transitions[g, states]
+
+    final_state = int(states[-1])
+    flat = emissions.reshape(-1)[:chunking.input_bytes]
+
+    invalid_position: int | None = None
+    if invalid is not None:
+        bad = np.flatnonzero(states == invalid)   # sink: end == visited
+        if bad.size:
+            chunk = int(bad[0])
+            offset = -1
+            for b in range(num_blocks):  # parlint: disable=PPR401 -- scalar replay of one chunk, <= chunk_size/k steps
+                off = int(invalid_k[packed[chunk, b],
+                                    entry_states[chunk, b]])
+                if off >= 0:
+                    offset = b * k + off
+                    break
+            if offset < 0:
+                state = int(tail_entry[chunk])
+                for j in range(num_blocks * k, chunk_size):  # parlint: disable=PPR401 -- scalar replay of one chunk tail, < k steps
+                    if state == invalid:
+                        offset = j
+                        break
+                    state = int(transitions[groups[chunk, j], state])
+            if offset < 0:
+                # Entered the sink on the chunk's very last transition:
+                # the first symbol read in it is the next chunk's first.
+                chunk += 1
+                offset = 0 if chunk < num_chunks else -1
+            if offset >= 0:
+                position = chunk * chunk_size + offset
+                if position < chunking.input_bytes:
+                    invalid_position = position
+    return flat, final_state, invalid_position

@@ -1,0 +1,82 @@
+"""The process-wide table cache: keying, LRU behaviour, observability."""
+
+import pytest
+
+from repro.dfa import Dialect, dialect_dfa, rfc4180_dfa
+from repro.kernels import cache as cache_module
+from repro.kernels import (
+    build_tables,
+    cache_info,
+    clear_cache,
+    dfa_fingerprint,
+    get_tables,
+)
+from repro.obs import MetricsRegistry
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+@pytest.fixture()
+def padded():
+    return rfc4180_dfa().with_padding_group()
+
+
+def test_second_lookup_is_a_hit(padded):
+    first = get_tables(padded, 2)
+    second = get_tables(padded, 2)
+    assert first is second
+    info = cache_info()
+    assert info["misses"] == 1
+    assert info["hits"] == 1
+    assert info["entries"] == 1
+
+
+def test_fingerprint_is_behavioural():
+    # Two independently constructed automata for the same dialect must
+    # share one cache entry; a different dialect must not.
+    a = dialect_dfa(Dialect.csv()).with_padding_group()
+    b = dialect_dfa(Dialect.csv()).with_padding_group()
+    c = dialect_dfa(Dialect.tsv()).with_padding_group()
+    assert dfa_fingerprint(a) == dfa_fingerprint(b)
+    assert dfa_fingerprint(a) != dfa_fingerprint(c)
+    assert get_tables(a, 2) is get_tables(b, 2)
+    assert cache_info()["entries"] == 1
+    get_tables(c, 2)
+    assert cache_info()["entries"] == 2
+
+
+def test_distinct_strides_are_distinct_entries(padded):
+    t2 = get_tables(padded, 2)
+    t4 = get_tables(padded, 4)
+    assert t2.k == 2 and t4.k == 4
+    assert cache_info() == {"entries": 2, "hits": 0, "misses": 2,
+                            "evictions": 0}
+
+
+def test_lru_eviction(padded, monkeypatch):
+    monkeypatch.setattr(cache_module, "MAX_CACHED_TABLES", 2)
+    get_tables(padded, 1)
+    get_tables(padded, 2)
+    get_tables(padded, 1)          # refresh k=1: k=2 is now the LRU entry
+    get_tables(padded, 3)          # evicts k=2
+    info = cache_info()
+    assert info["entries"] == 2
+    assert info["evictions"] == 1
+    get_tables(padded, 1)          # still cached
+    assert cache_info()["hits"] == 2
+
+
+def test_metrics_record_cache_traffic(padded):
+    metrics = MetricsRegistry()
+    get_tables(padded, 2, metrics)
+    get_tables(padded, 2, metrics)
+    assert metrics.counters["kernels.cache.misses"] == 1
+    assert metrics.counters["kernels.cache.hits"] == 1
+    assert "kernels.table_build.seconds" in metrics.histograms
+    expected = build_tables(padded, 2).nbytes
+    assert metrics.gauges["kernels.table.bytes"] == expected

@@ -1,0 +1,199 @@
+"""Parity: strided kernels must be bit-identical to the unit-stride sweeps.
+
+The acceptance bar of the strided layer: for every stride, dialect,
+chunk geometry and input — including inputs whose length is not a
+multiple of the chunk size, chunk sizes that are not a multiple of k,
+and invalid bytes falling mid-block or inside the padded tail — the
+strided sweeps return exactly what the unit-stride sweeps return: same
+STVs, same emission stream, same final state, same ``invalid_position``.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import Dialect, ParPaRawParser, ParseOptions
+from repro.core.chunking import chunk_groups
+from repro.core.context import chunk_start_states, compute_transition_vectors
+from repro.core.tagging import compute_emissions
+from repro.dfa import dialect_dfa
+from repro.exec import ShardedExecutor
+from repro.kernels import (
+    build_tables,
+    compute_emissions_strided,
+    compute_transition_vectors_strided,
+)
+from tests.conftest import TRICKY_INPUTS
+from tests.exec.test_executors import assert_results_match
+
+STRIDES = (1, 2, 4)
+
+DIALECTS = [
+    Dialect(strip_carriage_return=False),
+    Dialect.csv(),
+    Dialect.tsv(),
+    Dialect.pipe(),
+    Dialect.csv_with_comments(),
+    Dialect(escape=b"\\", quote=None, strip_carriage_return=False),
+]
+
+
+def both_sweeps(raw: np.ndarray, dfa, chunk_size: int, k: int):
+    """(unit, strided) results of the full phase-1+2 sweep pair."""
+    groups, chunking, padded = chunk_groups(raw, dfa, chunk_size)
+    tables = build_tables(padded, k)
+
+    unit_vectors = compute_transition_vectors(groups, padded)
+    strided_vectors = compute_transition_vectors_strided(groups, tables)
+
+    starts = chunk_start_states(unit_vectors, padded)
+    unit = compute_emissions(groups, starts, padded, chunking)
+    strided = compute_emissions_strided(groups, starts, tables, chunking)
+    return (unit_vectors, unit), (strided_vectors, strided)
+
+
+def assert_sweeps_equal(raw: np.ndarray, dfa, chunk_size: int, k: int):
+    (uv, (ue, uf, ui)), (sv, (se, sf, si)) = both_sweeps(
+        raw, dfa, chunk_size, k)
+    np.testing.assert_array_equal(uv, sv)
+    np.testing.assert_array_equal(ue, se)
+    assert uf == sf
+    assert ui == si
+
+
+@pytest.mark.parametrize("dialect", DIALECTS,
+                         ids=lambda d: f"{d.delimiter!r}-{d.quote!r}")
+@pytest.mark.parametrize("chunk_size", [3, 5, 8, 31])
+def test_tricky_inputs_all_strides(dialect, chunk_size):
+    dfa = dialect_dfa(dialect)
+    for data in TRICKY_INPUTS:
+        raw = np.frombuffer(data, dtype=np.uint8)
+        for k in STRIDES:
+            assert_sweeps_equal(raw, dfa, chunk_size, k)
+
+
+@pytest.mark.parametrize("k", [2, 4])
+def test_invalid_at_every_block_offset(k):
+    """The INV sink must be reported at the same byte whether it is hit
+    at a block boundary, mid-block, or in the unit-stride tail."""
+    dfa = dialect_dfa(Dialect(strip_carriage_return=False))
+    for prefix_len in range(14):
+        # A stray quote after unquoted data drives RFC 4180 into INV at
+        # a position controlled by the prefix length.
+        data = b"x" * prefix_len + b'a"suffix,more\ndata,rows\n'
+        raw = np.frombuffer(data, dtype=np.uint8)
+        for chunk_size in (5, 7, 31):
+            assert_sweeps_equal(raw, dfa, chunk_size, k)
+            # And the reported position is the real one, not merely equal.
+            _, (_, (_, _, invalid)) = both_sweeps(raw, dfa, chunk_size, k)
+            assert invalid is not None
+            assert invalid > prefix_len
+
+
+class TestPaddedTail:
+    """Satellite: striding over the padded tail of the chunk grid.
+
+    Inputs whose length is not a multiple of the chunk size leave a
+    partially padded final chunk; chunk sizes that are not a multiple of
+    k leave a unit-stride tail in *every* chunk.  Neither may leak
+    padding into the emission stream or the invalid position.
+    """
+
+    DFA = dialect_dfa(Dialect(strip_carriage_return=False))
+
+    @pytest.mark.parametrize("k", [2, 4])
+    @pytest.mark.parametrize("chunk_size", [5, 6, 7, 31])
+    def test_length_not_multiple_of_chunk(self, k, chunk_size):
+        for extra in range(1, chunk_size):
+            data = (b"aa,bb\n" * 8)[:8 * 6 - chunk_size + extra]
+            raw = np.frombuffer(data, dtype=np.uint8)
+            assert_sweeps_equal(raw, self.DFA, chunk_size, k)
+
+    @pytest.mark.parametrize("k", [2, 4])
+    def test_chunk_not_multiple_of_stride(self, k):
+        # chunk sizes with every possible tail length 0..k-1
+        for chunk_size in range(k, 3 * k + 1):
+            data = b"f0,f1,f2\nv0,v1,v2\n" * 3
+            raw = np.frombuffer(data, dtype=np.uint8)
+            assert_sweeps_equal(raw, self.DFA, chunk_size, k)
+
+    @pytest.mark.parametrize("k", [2, 4])
+    def test_emissions_cover_exactly_the_input(self, k):
+        data = b"a,b\nc,d\ne"
+        raw = np.frombuffer(data, dtype=np.uint8)
+        groups, chunking, padded = chunk_groups(raw, self.DFA, 4)
+        tables = build_tables(padded, k)
+        starts = chunk_start_states(
+            compute_transition_vectors(groups, padded), padded)
+        emissions, _, invalid = compute_emissions_strided(
+            groups, starts, tables, chunking)
+        assert emissions.shape == (len(data),)
+        assert invalid is None
+
+    @pytest.mark.parametrize("k", [2, 4])
+    def test_invalid_only_in_padding_is_not_reported(self, k):
+        # An unclosed quote ends the input mid-string: the padding group
+        # keeps the DFA in the quoted state, never INV, and nothing
+        # beyond the input length may surface.
+        data = b'a,"unclosed'
+        raw = np.frombuffer(data, dtype=np.uint8)
+        for chunk_size in (4, 7, 31):
+            (_, (ue, uf, ui)), (_, (se, sf, si)) = both_sweeps(
+                raw, self.DFA, chunk_size, k)
+            assert ui is None and si is None
+            assert uf == sf
+            np.testing.assert_array_equal(ue, se)
+
+
+ALPHABET = b'ab,"\n\\|#\t '
+
+
+@given(
+    data=st.lists(st.sampled_from(list(ALPHABET)), max_size=160).map(bytes),
+    dialect_index=st.integers(min_value=0, max_value=len(DIALECTS) - 1),
+    chunk_size=st.integers(min_value=1, max_value=40),
+    k=st.sampled_from(STRIDES),
+)
+@settings(max_examples=120, deadline=None)
+def test_parity_property(data, dialect_index, chunk_size, k):
+    dfa = dialect_dfa(DIALECTS[dialect_index])
+    raw = np.frombuffer(data, dtype=np.uint8)
+    assert_sweeps_equal(raw, dfa, chunk_size, k)
+
+
+# -- full-parser parity, serial and sharded ----------------------------------
+
+@pytest.mark.parametrize("k", STRIDES)
+def test_parser_output_identical_across_strides(k):
+    baseline = ParseOptions(dialect=Dialect(strip_carriage_return=False),
+                            kernel_stride=1)
+    strided = ParseOptions(dialect=Dialect(strip_carriage_return=False),
+                           kernel_stride=k)
+    for data in TRICKY_INPUTS:
+        a = ParPaRawParser(baseline).parse(data)
+        b = ParPaRawParser(strided).parse(data)
+        assert a.table.to_pylist() == b.table.to_pylist()
+        assert a.num_records == b.num_records
+        assert a.validation.invalid_position \
+            == b.validation.invalid_position
+        assert a.validation.final_state == b.validation.final_state
+
+
+@pytest.mark.parametrize("k", STRIDES)
+def test_sharded_matches_serial_with_stride(k):
+    options = ParseOptions(dialect=Dialect(strip_carriage_return=False),
+                           chunk_size=8, kernel_stride=k)
+    executor = ShardedExecutor(workers=3, shard_bytes=21,
+                               use_processes=False)
+    for data in TRICKY_INPUTS:
+        assert_results_match(data, options, executor)
+
+
+def test_sharded_process_pool_with_stride():
+    """Workers resolve the same stride and produce identical results."""
+    data = b"".join(b"%d,%d.5,w%d\n" % (i, i, i) for i in range(400))
+    options = ParseOptions(dialect=Dialect(strip_carriage_return=False),
+                           kernel_stride=2)
+    executor = ShardedExecutor(workers=2, shard_bytes=len(data) // 3,
+                               use_processes=True)
+    assert_results_match(data, options, executor)

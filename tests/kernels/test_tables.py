@@ -1,0 +1,150 @@
+"""Strided-table construction checked against the scalar DFA walk.
+
+The precomposed tables claim to *be* the k-fold composition of the base
+automaton.  Every claim is checked cell by cell against ``Dfa.step``:
+the k-step transition, all k per-symbol emissions, and the block-local
+index of the first symbol read in the INV sink.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dfa import Dialect, dialect_dfa, rfc4180_dfa
+from repro.errors import ParseError
+from repro.kernels import (
+    DEFAULT_TABLE_BUDGET,
+    StridedTables,
+    build_tables,
+    pack_kgrams,
+    pick_stride,
+    resolve_stride,
+    table_nbytes,
+)
+
+
+def unpack_kgram(kgram: int, k: int, num_groups: int) -> list[int]:
+    """Big-endian digits of a packed k-gram (inverse of the packing)."""
+    digits = []
+    for _ in range(k):
+        digits.append(kgram % num_groups)
+        kgram //= num_groups
+    return digits[::-1]
+
+
+def scalar_block(dfa, state: int, groups: list[int]):
+    """Reference walk: (end state, emissions, first index read in INV)."""
+    emissions = []
+    first_invalid = -1
+    for i, g in enumerate(groups):
+        emissions.append(int(dfa.emissions[state, g]))
+        if dfa.invalid_state is not None and state == dfa.invalid_state \
+                and first_invalid < 0:
+            first_invalid = i
+        state = int(dfa.transitions[g, state])
+    return state, emissions, first_invalid
+
+
+@pytest.fixture(scope="module")
+def padded_csv_dfa():
+    return rfc4180_dfa().with_padding_group()
+
+
+@pytest.mark.parametrize("k", [1, 2, 3, 4])
+def test_tables_match_scalar_walk(padded_csv_dfa, k):
+    dfa = padded_csv_dfa
+    tables = build_tables(dfa, k)
+    num_kgrams = dfa.num_groups ** k
+    assert tables.transitions.shape == (num_kgrams, dfa.num_states)
+    assert tables.emissions.shape == (num_kgrams, dfa.num_states, k)
+
+    rng = np.random.default_rng(k)
+    kgrams = np.arange(num_kgrams) if num_kgrams <= 200 \
+        else rng.choice(num_kgrams, size=200, replace=False)
+    for kgram in kgrams:
+        block = unpack_kgram(int(kgram), k, dfa.num_groups)
+        for state in range(dfa.num_states):
+            end, emissions, first_invalid = scalar_block(dfa, state, block)
+            assert int(tables.transitions[kgram, state]) == end
+            assert tables.emissions[kgram, state].tolist() == emissions
+            assert int(tables.first_invalid[kgram, state]) == first_invalid
+
+
+@pytest.mark.parametrize("k", [1, 2, 4])
+def test_emission_words_alias_emission_bytes(padded_csv_dfa, k):
+    tables = build_tables(padded_csv_dfa, k)
+    words = tables.emission_words
+    assert words is not None
+    assert words.dtype.itemsize == k
+    assert words.shape == tables.emissions.shape[:2]
+    # The word view must contain exactly the k emission bytes, in the
+    # same native order a word buffer re-viewed as bytes produces.
+    round_trip = np.ascontiguousarray(words).view(np.uint8).reshape(
+        tables.emissions.shape)
+    np.testing.assert_array_equal(round_trip, tables.emissions)
+
+
+def test_no_emission_words_for_odd_strides(padded_csv_dfa):
+    assert build_tables(padded_csv_dfa, 3).emission_words is None
+
+
+def test_first_invalid_none_without_sink():
+    # A dialect whose automaton accepts every byte has no INV sink.
+    dfa = dialect_dfa(Dialect(quote=None, strip_carriage_return=False))
+    padded = dfa.with_padding_group()
+    if padded.invalid_state is None:
+        tables = build_tables(padded, 2)
+        assert tables.first_invalid is None
+
+
+def test_table_nbytes_predicts_build(padded_csv_dfa):
+    for k in (1, 2, 3):
+        tables = build_tables(padded_csv_dfa, k)
+        assert tables.nbytes == table_nbytes(
+            padded_csv_dfa.num_groups, padded_csv_dfa.num_states, k)
+
+
+def test_build_rejects_bad_stride(padded_csv_dfa):
+    with pytest.raises(ParseError):
+        build_tables(padded_csv_dfa, 0)
+
+
+class TestStrideSelection:
+    def test_auto_prefers_largest_fitting(self, padded_csv_dfa):
+        assert pick_stride(padded_csv_dfa, DEFAULT_TABLE_BUDGET) == 4
+
+    def test_auto_degrades_with_budget(self, padded_csv_dfa):
+        dfa = padded_csv_dfa
+        k2 = table_nbytes(dfa.num_groups, dfa.num_states, 2)
+        k4 = table_nbytes(dfa.num_groups, dfa.num_states, 4)
+        assert pick_stride(dfa, k4 - 1) == 2
+        assert pick_stride(dfa, k2 - 1) == 1
+
+    def test_resolve_auto_and_explicit(self, padded_csv_dfa):
+        assert resolve_stride(None, padded_csv_dfa) == \
+            pick_stride(padded_csv_dfa)
+        assert resolve_stride(1, padded_csv_dfa) == 1
+        assert resolve_stride(3, padded_csv_dfa) == 3
+
+    def test_resolve_rejects_nonpositive(self, padded_csv_dfa):
+        with pytest.raises(ParseError):
+            resolve_stride(0, padded_csv_dfa)
+
+    def test_resolve_rejects_absurd_tables(self, padded_csv_dfa):
+        with pytest.raises(ParseError):
+            resolve_stride(64, padded_csv_dfa)
+
+
+def test_pack_kgrams_big_endian():
+    groups = np.array([[0, 1, 2, 3, 4, 5, 1]], dtype=np.uint8)
+    packed = pack_kgrams(groups, 3, 6)
+    # Two full blocks; the trailing symbol is left for the tail sweep.
+    assert packed.shape == (1, 2)
+    assert packed[0, 0] == 0 * 36 + 1 * 6 + 2
+    assert packed[0, 1] == 3 * 36 + 4 * 6 + 5
+
+
+def test_tables_are_frozen(padded_csv_dfa):
+    tables = build_tables(padded_csv_dfa, 2)
+    assert isinstance(tables, StridedTables)
+    with pytest.raises(AttributeError):
+        tables.k = 3
