@@ -18,6 +18,11 @@ python -m pytest tests/analysis/test_operator_laws.py -q
 # Kernel tier: strided sweeps must be bit-identical to unit stride
 # (STVs, emissions, final state, invalid position; both executors).
 python -m pytest tests/kernels/test_parity.py -q
+# Partition tier: the field-run strategy must be bit-identical to the
+# stable radix sort (css, record tags, offsets, order) across dialects,
+# tagging modes and executors.
+python -m pytest tests/core/test_partition.py \
+    tests/core/test_partition_parity.py -q
 
 # Observability smoke: a sharded CLI parse must emit a Chrome trace that
 # the repo's own validator accepts, with worker spans and merged metrics.
@@ -58,6 +63,23 @@ assert doc["metrics"]["counters"]["records"] == 200, doc["metrics"]
 print("kernels smoke: strided trace valid")
 EOF
 
+# Partition-strategy smoke: an explicit field-run sharded parse must
+# still produce a valid trace and report the strategy it ran with.
+python -m repro parse "$OBS_TMP/smoke.csv" --partition-strategy field-run \
+    --workers 2 --trace "$OBS_TMP/trace_fieldrun.json" --metrics > /dev/null
+python - "$OBS_TMP/trace_fieldrun.json" <<'EOF'
+import json, sys
+from repro.obs import validate_chrome_trace
+doc = json.load(open(sys.argv[1]))
+problems = validate_chrome_trace(doc)
+assert not problems, problems
+assert doc["metrics"]["gauges"]["stage.partition.strategy"] == 1.0, \
+    doc["metrics"]
+assert doc["metrics"]["gauges"]["partition.fields"] > 0, doc["metrics"]
+assert doc["metrics"]["counters"]["records"] == 200, doc["metrics"]
+print("partition smoke: field-run trace valid")
+EOF
+
 # Bench smoke: the stride sweep must run end to end and emit the
 # machine-readable rows (tiny input; the committed BENCH_kernels.json
 # is produced by the full benchmark run).
@@ -71,6 +93,21 @@ assert {"1", "2", "4", "auto"} <= strides, strides
 assert all({"workload", "seconds", "mb_per_s"} <= r.keys()
            for r in doc["rows"])
 print("bench smoke:", len(doc["rows"]), "sweep rows")
+EOF
+
+# Partition bench smoke: the strategy sweep must run end to end and
+# emit both the stage rows and the kernel radix_bits sweep rows.
+python benchmarks/bench_partition.py --bytes 65536 --repeats 1 \
+    --out "$OBS_TMP/bench_partition.json" > /dev/null
+python - "$OBS_TMP/bench_partition.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+strategies = {r["strategy"] for r in doc["stage_rows"]}
+assert {"radix", "field-run", "auto"} <= strategies, strategies
+bits = {r["radix_bits"] for r in doc["kernel_rows"]}
+assert {1, 2, 4, 8, None} <= bits, bits
+print("partition bench smoke:", len(doc["stage_rows"]), "stage rows,",
+      len(doc["kernel_rows"]), "kernel rows")
 EOF
 
 python -m pytest "$@"

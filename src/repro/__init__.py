@@ -34,6 +34,7 @@ from repro.core import (
     ParPaRawParser,
     ParseOptions,
     ParseResult,
+    PartitionStrategy,
     TaggingImpl,
     TaggingMode,
     parse_bytes,
@@ -60,6 +61,7 @@ __all__ = [
     "ParseResult",
     "TaggingMode",
     "TaggingImpl",
+    "PartitionStrategy",
     "ColumnCountPolicy",
     "StreamingParser",
     "Executor",

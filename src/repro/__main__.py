@@ -42,6 +42,7 @@ from repro import (
     Dialect,
     ParPaRawParser,
     ParseOptions,
+    PartitionStrategy,
     TaggingMode,
 )
 from repro.columnar.serialize import serialize_table
@@ -75,6 +76,8 @@ def _options_from_args(args: argparse.Namespace) -> ParseOptions:
         chunk_size=args.chunk,
         kernel_stride=args.stride,
         tagging_mode=TaggingMode(args.tagging_mode),
+        partition_strategy=None if args.partition_strategy == "auto"
+        else PartitionStrategy(args.partition_strategy),
         infer_types=getattr(args, "infer_types", False),
         column_count_policy=ColumnCountPolicy(args.column_policy),
     )
@@ -261,6 +264,13 @@ def build_parser() -> argparse.ArgumentParser:
                             "sweeps (default: auto; 1 = unit-stride)")
         p.add_argument("--tagging-mode", default="tagged",
                        choices=[m.value for m in TaggingMode])
+        p.add_argument("--partition-strategy", default="auto",
+                       choices=["auto"] + [s.value
+                                           for s in PartitionStrategy],
+                       help="phase 3a CSS materialisation: field-run "
+                            "(O(n) segment gather), radix (GPU-faithful "
+                            "sort), or auto (default: field-run when the "
+                            "tags are run-structured)")
         p.add_argument("--column-policy", default="lenient",
                        choices=[p.value for p in ColumnCountPolicy])
         p.add_argument("--workers", type=_positive_int, default=1,

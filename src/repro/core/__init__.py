@@ -26,7 +26,8 @@ partition -> convert``), scheduled by a pluggable executor from
 one-call facade over it and the library's main entry point.
 """
 
-from repro.core.options import ParseOptions, TaggingMode, TaggingImpl
+from repro.core.options import ParseOptions, PartitionStrategy, \
+    TaggingMode, TaggingImpl
 from repro.core.parser import ParPaRawParser, parse_bytes
 from repro.core.result import ParseResult
 from repro.core.stages import StagePipeline, default_pipeline
@@ -35,6 +36,7 @@ __all__ = [
     "ParseOptions",
     "TaggingMode",
     "TaggingImpl",
+    "PartitionStrategy",
     "ParPaRawParser",
     "parse_bytes",
     "ParseResult",

@@ -1,24 +1,33 @@
 """Phase 3a — partitioning symbols by column (paper §3.3).
 
 To convert fields without thread divergence and without load-balancing
-hazards, ParPaRaw first brings all symbols of each column together: a
-**stable LSD radix sort** keyed on the column tags, moving the symbol and
-its record tag along.  A single partitioning pass is the GPU-classic
-three-step dance the paper describes:
+hazards, ParPaRaw first brings all symbols of each column together.  Two
+interchangeable strategies produce the same stable column partition:
+
+**Stable LSD radix sort** (:func:`stable_radix_sort` /
+:func:`partition_by_column`) — the paper's GPU formulation.  A single
+partitioning pass is the GPU-classic three-step dance:
 
 1. histogram of items per digit value,
 2. exclusive prefix sum over the histogram (partition start offsets),
-3. stable scatter of every item to ``offset[digit] + rank-within-digit``.
+3. stable placement of every item at ``offset[digit] + rank-within-digit``.
 
-:func:`stable_radix_sort` implements exactly that (no ``np.argsort``
-anywhere), with configurable digit width; the rank-within-digit is computed
-per digit value with vectorised cumulative sums, which is the
-prefix-sum-based ranking a GPU implementation uses.
+No ``np.argsort`` anywhere; the rank-within-digit is materialised per
+digit value with a vectorised ``np.flatnonzero`` (the positions of a
+digit value, in input order, *are* its stable ranks), which stands in for
+the prefix-sum-based ranking a GPU implementation performs.
 
-:func:`partition_by_column` applies the sort to the data symbols and
-returns the per-column *concatenated symbol strings* (CSS) with their
-offsets — the histogram maintained while sorting identifies the CSS
-boundaries (paper §3.3).
+**Field-run segment gather** (:func:`partition_field_runs`) — the
+vectorised-executor formulation.  Column tags arrive in contiguous
+per-field runs (they only change at delimiters), so instead of paying
+per-symbol sort work the runs are encoded once, the *runs* are
+stable-counting-sorted by column id (``num_fields ≪ n``), and the CSS,
+record tags and ``order`` permutation are materialised with a single
+``np.repeat``-based segment gather: ``O(n + num_fields)`` total work.
+The result is bit-identical to the radix sort — same
+:class:`PartitionResult`, including the stable ``order`` permutation —
+which the parity suite in ``tests/core/test_partition.py`` and the
+pipeline-level sweep in ``tests/core/test_partition_parity.py`` enforce.
 """
 
 from __future__ import annotations
@@ -32,7 +41,8 @@ import numpy as np
 from repro.errors import ParseError
 from repro.scan.numpy_scan import exclusive_sum
 
-__all__ = ["stable_radix_sort", "PartitionResult", "partition_by_column"]
+__all__ = ["stable_radix_sort", "PartitionResult", "partition_by_column",
+           "partition_field_runs"]
 
 
 def stable_radix_sort(keys: np.ndarray, radix_bits: int = 2,
@@ -73,6 +83,8 @@ def stable_radix_sort(keys: np.ndarray, radix_bits: int = 2,
         max_key = int(keys.max()) + 1
     key_bits = max(1, int(max_key - 1).bit_length())
     radix = 1 << radix_bits
+    # The keys travel with the permutation (permuted in place each pass)
+    # so no pass re-gathers them from the source array.
     current_keys = keys.astype(np.int64)
 
     shift = 0
@@ -81,21 +93,45 @@ def stable_radix_sort(keys: np.ndarray, radix_bits: int = 2,
         # (1) histogram, (2) partition offsets via exclusive prefix sum.
         histogram = np.bincount(digits, minlength=radix)
         offsets = exclusive_sum(histogram)
-        # (3) stable scatter: rank within digit via a per-digit-value
-        # cumulative sum (the segmented prefix sum a GPU pass performs).
-        destinations = np.empty(n, dtype=np.int64)
-        for value in range(radix):  # parlint: disable=PPR401 -- 2**radix_bits iterations with vectorised bodies (per-digit segmented rank)
-            if histogram[value] == 0:
+        # (3) stable placement: a digit value's positions in input order
+        # (np.flatnonzero) are exactly its items in stable rank order, so
+        # writing them at the partition offset performs the
+        # offset[d] + rank-within-d scatter without materialising the
+        # per-digit prefix sum.
+        gather = np.empty(n, dtype=np.int64)
+        for value in range(radix):  # parlint: disable=PPR401 -- 2**radix_bits iterations with vectorised bodies (per-digit stable ranking)
+            count = int(histogram[value])
+            if count == 0:
                 continue
-            mask = digits == value
-            ranks = np.cumsum(mask, dtype=np.int64)[mask] - 1
-            destinations[mask] = offsets[value] + ranks
-        new_perm = np.empty(n, dtype=np.int64)
-        new_perm[destinations] = perm
-        perm = new_perm
-        current_keys = keys[perm].astype(np.int64)
+            lo = int(offsets[value])
+            gather[lo:lo + count] = np.flatnonzero(digits == value)
+        perm = perm[gather]
+        current_keys = current_keys[gather]
         shift += radix_bits
     return perm
+
+
+def _stable_counting_sort(keys: np.ndarray, num_values: int
+                          ) -> tuple[np.ndarray, np.ndarray]:
+    """Stable permutation sorting small-int ``keys`` ascending.
+
+    One counting-sort pass: histogram → exclusive prefix sum → per-value
+    stable placement, iterating only over the key values actually
+    present.  ``O(P · R)`` with vectorised bodies, for ``R`` keys over
+    ``P`` distinct values — the field-run partition calls this on the
+    *runs* (``R = num_fields``, ``P ≤ num_columns``), never on symbols.
+
+    Returns ``(perm, key_starts)``: the stable permutation and, as a
+    by-product of the pass, the ``(num_values,)`` exclusive prefix sum of
+    the key histogram (first sorted position of each key value).
+    """
+    counts = np.bincount(keys, minlength=num_values)
+    offsets = exclusive_sum(counts)
+    perm = np.empty(keys.size, dtype=np.int64)
+    for value in np.flatnonzero(counts):  # parlint: disable=PPR401 -- one iteration per distinct column id, vectorised bodies over the runs
+        lo = int(offsets[value])
+        perm[lo:lo + int(counts[value])] = np.flatnonzero(keys == value)
+    return perm, offsets
 
 
 @dataclass
@@ -117,13 +153,19 @@ class PartitionResult:
         Original input position of each CSS symbol (the applied stable
         permutation) — lets callers gather any per-position payload into
         CSS layout (the inline/delimited modes gather the delimiter mask).
+    num_field_runs:
+        Diagnostic metadata: how many contiguous field runs the field-run
+        strategy gathered (``None`` on the radix path, which never counts
+        them).  Excluded from the strategies' bit-identity contract,
+        which covers ``css``/``record_tags``/``column_offsets``/``order``.
     """
 
     css: np.ndarray
     record_tags: np.ndarray
     column_offsets: np.ndarray
     num_columns: int
-    order: np.ndarray = None  # type: ignore[assignment]
+    order: np.ndarray | None = None
+    num_field_runs: int | None = None
 
     def column_css(self, column: int) -> np.ndarray:
         """Column ``c``'s concatenated symbol string."""
@@ -137,11 +179,19 @@ class PartitionResult:
         return self.record_tags[lo:hi]
 
 
+def _check_partition_inputs(data: np.ndarray, keep_mask: np.ndarray,
+                            column_ids: np.ndarray,
+                            record_ids: np.ndarray) -> None:
+    if not (data.shape == keep_mask.shape == column_ids.shape
+            == record_ids.shape):
+        raise ParseError("partition inputs must share one shape")
+
+
 def partition_by_column(data: np.ndarray, keep_mask: np.ndarray,
                         column_ids: np.ndarray, record_ids: np.ndarray,
                         num_columns: int,
                         radix_bits: int = 2) -> PartitionResult:
-    """Partition the retained symbols into per-column CSSs.
+    """Partition the retained symbols into per-column CSSs (radix sort).
 
     Parameters
     ----------
@@ -158,9 +208,7 @@ def partition_by_column(data: np.ndarray, keep_mask: np.ndarray,
     radix_bits:
         Digit width for the radix sort.
     """
-    if not (data.shape == keep_mask.shape == column_ids.shape
-            == record_ids.shape):
-        raise ParseError("partition inputs must share one shape")
+    _check_partition_inputs(data, keep_mask, column_ids, record_ids)
     kept = np.flatnonzero(keep_mask)
     keys = column_ids[kept]
     if keys.size and int(keys.max()) >= num_columns:
@@ -177,3 +225,107 @@ def partition_by_column(data: np.ndarray, keep_mask: np.ndarray,
     return PartitionResult(css=css, record_tags=record_tags,
                            column_offsets=column_offsets,
                            num_columns=num_columns, order=order)
+
+
+def partition_field_runs(data: np.ndarray, keep_mask: np.ndarray,
+                         column_ids: np.ndarray, record_ids: np.ndarray,
+                         num_columns: int,
+                         delim_positions: np.ndarray | None = None
+                         ) -> PartitionResult:
+    """Partition via run-length encoding + one stable segment gather.
+
+    Bit-identical to :func:`partition_by_column` (same CSS, record tags,
+    offsets and stable ``order`` permutation) in ``O(n + num_fields)``:
+
+    1. encode the retained positions' column-tag sequence as contiguous
+       runs — either from ``delim_positions`` (the tagging stage's
+       per-delimiter position arrays; ``O(num_fields · log n)`` with no
+       per-symbol key gather at all) or, when they are unavailable, by a
+       vectorised change-detection sweep over the gathered keys;
+    2. stable-counting-sort the *runs* by column id
+       (:func:`_stable_counting_sort`, ``num_fields ≪ n`` items);
+    3. materialise ``order`` with one ``np.repeat``-based segment gather
+       (run starts repeated by run lengths plus intra-run ``arange``
+       offsets), then gather ``css`` and ``record_tags`` through it.
+
+    Parameters
+    ----------
+    delim_positions:
+        Ascending positions at which a delimiter (record or field)
+        occurs.  The column tags must be constant on every segment
+        between consecutive delimiters — exactly what phase 2 guarantees
+        (a delimiter carries the column of the field it terminates; the
+        next position starts the following field).  ``None`` derives the
+        run boundaries from ``column_ids`` directly, which is correct
+        for *any* tag sequence.
+    """
+    _check_partition_inputs(data, keep_mask, column_ids, record_ids)
+    kept = np.flatnonzero(keep_mask)
+    total = kept.size
+
+    if delim_positions is not None:
+        # Segment j spans [seg_starts[j], seg_starts[j+1]) in input
+        # space; its retained positions are a contiguous slice of
+        # ``kept`` located by binary search — no per-symbol key gather.
+        seg_starts = np.empty(delim_positions.size + 1, dtype=np.int64)
+        seg_starts[0] = 0
+        seg_starts[1:] = delim_positions
+        seg_starts[1:] += 1
+        bounds = np.searchsorted(kept, seg_starts)
+        lengths = np.empty(bounds.size, dtype=np.int64)
+        lengths[:-1] = np.diff(bounds)
+        lengths[-1] = total - bounds[-1]
+        nonempty = lengths > 0
+        run_starts = bounds[nonempty]
+        run_lengths = lengths[nonempty]
+    elif total:
+        boundary = np.empty(total, dtype=bool)
+        boundary[0] = True
+        keys = column_ids[kept]
+        np.not_equal(keys[1:], keys[:-1], out=boundary[1:])
+        run_starts = np.flatnonzero(boundary)
+        run_lengths = np.empty(run_starts.size, dtype=np.int64)
+        run_lengths[:-1] = np.diff(run_starts)
+        if run_lengths.size:
+            run_lengths[-1] = total - run_starts[-1]
+    else:
+        run_starts = np.empty(0, dtype=np.int64)
+        run_lengths = np.empty(0, dtype=np.int64)
+
+    run_keys = column_ids[kept[run_starts]]
+    if run_keys.size:
+        if int(run_keys.min()) < 0:
+            raise ParseError("partition requires non-negative column tags")
+        if int(run_keys.max()) >= num_columns:
+            raise ParseError(
+                "a column tag exceeds the declared column count")
+
+    perm_runs, run_starts_of_key = _stable_counting_sort(run_keys,
+                                                         num_columns)
+    sorted_starts = run_starts[perm_runs]
+    sorted_lengths = run_lengths[perm_runs]
+
+    # Segment gather: output position p inside sorted run j reads
+    # kept[sorted_starts[j] + (p - out_starts[j])]; repeating
+    # (start - out_start) per run and adding a global arange yields every
+    # source index in one vectorised sweep.
+    out_starts = exclusive_sum(sorted_lengths)
+    gather = np.repeat(sorted_starts - out_starts, sorted_lengths)
+    gather += np.arange(total, dtype=np.int64)
+    order = kept[gather]
+    css = data[order]
+    record_tags = record_ids[order]
+
+    # CSS boundaries without a per-symbol histogram: column c's CSS
+    # starts where its first sorted run starts, i.e. the run-length
+    # prefix sum evaluated at the counting sort's per-key offsets.
+    out_bounds = np.empty(perm_runs.size + 1, dtype=np.int64)
+    out_bounds[:-1] = out_starts
+    out_bounds[-1] = total
+    column_offsets = np.empty(num_columns + 1, dtype=np.int64)
+    column_offsets[:-1] = out_bounds[run_starts_of_key]
+    column_offsets[-1] = total
+    return PartitionResult(css=css, record_tags=record_tags,
+                           column_offsets=column_offsets,
+                           num_columns=num_columns, order=order,
+                           num_field_runs=int(run_keys.size))

@@ -45,10 +45,12 @@ from repro.core.conversion import CollaborationStats, convert_column
 from repro.core.options import (
     ColumnCountPolicy,
     ParseOptions,
+    PartitionStrategy,
     TaggingImpl,
     TaggingMode,
 )
-from repro.core.partition import PartitionResult, partition_by_column
+from repro.core.partition import PartitionResult, partition_by_column, \
+    partition_field_runs
 from repro.core.selection import prune_rows, row_mapping, selected_column_mask
 from repro.core.tagging import TagResult, compute_emissions, tag_chunked, \
     tag_global
@@ -201,6 +203,13 @@ class ValidatedInput(TaggedInput):
     delim_mask: np.ndarray
     #: ``(n_ext,)`` bool — positions entering the partition.
     keep: np.ndarray
+    #: Ascending delimiter positions over the extended input (including
+    #: the virtual trailing delimiter), threaded through from the
+    #: tagging stage when it materialised them; ``None`` on the
+    #: paper-faithful chunked path.  Column tags are constant between
+    #: consecutive entries — the run structure that licenses the
+    #: field-run partition strategy.
+    delim_positions: np.ndarray | None
 
 
 @dataclass
@@ -432,8 +441,9 @@ class ValidateStage(Stage):
         rows_of_record, num_rows = row_mapping(valid_records)
         rejected = int(tags.num_records - num_rows)
 
-        data_ext, col_ids, rec_ids, data_mask, delim_mask = \
-            self._extend_trailing(options, payload.raw, tags, report)
+        (data_ext, col_ids, rec_ids, data_mask, delim_mask,
+         delim_positions) = self._extend_trailing(options, payload.raw,
+                                                  tags, report)
 
         mode = options.tagging_mode
         col_ok = (col_ids < num_columns) & (col_ids >= 0)
@@ -468,6 +478,7 @@ class ValidateStage(Stage):
             data_mask=data_mask,
             delim_mask=delim_mask,
             keep=keep,
+            delim_positions=delim_positions,
         )
 
     def record_metrics(self, metrics, payload: ValidatedInput) -> None:
@@ -527,17 +538,21 @@ class ValidateStage(Stage):
     def _extend_trailing(options: ParseOptions, raw: np.ndarray,
                          tags: TagResult, report
                          ) -> tuple[np.ndarray, np.ndarray, np.ndarray,
-                                    np.ndarray, np.ndarray]:
+                                    np.ndarray, np.ndarray,
+                                    np.ndarray | None]:
         """Append a virtual record delimiter for an unterminated record.
 
         This gives the trailing record's last field a terminator, so the
         inline/delimited CSS modes need no special-casing.  The virtual
-        position is never field data.
+        position is never field data.  The tagging stage's per-delimiter
+        position array (when present) is extended alongside, so the
+        partition stage sees run structure consistent with the extended
+        input.
         """
         delim_mask = tags.record_delim | tags.field_delim
         if not tags.has_trailing_record:
             return (raw, tags.column_ids, tags.record_ids, tags.data_mask,
-                    delim_mask)
+                    delim_mask, tags.delim_positions)
         last_record = tags.num_records - 1
         last_column = int(report.field_counts[last_record]) - 1
         data_ext = np.concatenate([
@@ -549,7 +564,12 @@ class ValidateStage(Stage):
                                   np.array([last_record], dtype=np.int64)])
         data_mask = np.concatenate([tags.data_mask, [False]])
         delim_ext = np.concatenate([delim_mask, [True]])
-        return data_ext, col_ids, rec_ids, data_mask, delim_ext
+        delim_positions = tags.delim_positions
+        if delim_positions is not None:
+            delim_positions = np.concatenate([
+                delim_positions, np.array([raw.size], dtype=np.int64)])
+        return data_ext, col_ids, rec_ids, data_mask, delim_ext, \
+            delim_positions
 
     @staticmethod
     def _require_consistent_columns(report, valid_records: np.ndarray,
@@ -566,22 +586,57 @@ class ValidateStage(Stage):
 
 
 class PartitionStage(Stage):
-    """Phase 3a: stable column partition + CSS post-processing (§3.3)."""
+    """Phase 3a: stable column partition + CSS post-processing (§3.3).
+
+    Selects the partition strategy: ``ParseOptions.partition_strategy``
+    when set, otherwise field-run whenever the tagging stage threaded
+    per-delimiter position arrays through the payload (run-structured
+    tags), with the GPU-faithful radix sort as the fallback.  Both
+    strategies produce bit-identical :class:`PartitionResult` values, so
+    everything downstream is untouched by the choice.
+    """
 
     name = "partition"
     timer_step = "partition"
     input_type = ValidatedInput
     output_type = PartitionedInput
 
+    @staticmethod
+    def resolve_strategy(options: ParseOptions,
+                         delim_positions: np.ndarray | None
+                         ) -> PartitionStrategy:
+        """The strategy this parse runs with (auto = by run structure)."""
+        if options.partition_strategy is not None:
+            return options.partition_strategy
+        return PartitionStrategy.FIELD_RUN if delim_positions is not None \
+            else PartitionStrategy.RADIX
+
     def run(self, ctx, payload: ValidatedInput) -> PartitionedInput:
         options = ctx.options
-        part = partition_by_column(payload.data_ext, payload.keep,
-                                   payload.col_ids, payload.rec_ids,
-                                   payload.num_columns)
+        strategy = self.resolve_strategy(options, payload.delim_positions)
+        if strategy is PartitionStrategy.FIELD_RUN:
+            part = partition_field_runs(payload.data_ext, payload.keep,
+                                        payload.col_ids, payload.rec_ids,
+                                        payload.num_columns,
+                                        payload.delim_positions)
+        else:
+            part = partition_by_column(payload.data_ext, payload.keep,
+                                       payload.col_ids, payload.rec_ids,
+                                       payload.num_columns)
         css, aux_delims = prepare_css(options.tagging_mode, part,
                                       payload.delim_mask, options)
         return PartitionedInput(**payload.__dict__, part=part, css=css,
                                 aux_delims=aux_delims)
+
+    def record_metrics(self, metrics, payload: PartitionedInput) -> None:
+        # 1.0 = field-run, 0.0 = radix (num_field_runs is the field-run
+        # strategy's diagnostic by-product; the radix path never counts
+        # runs).
+        field_run = payload.part.num_field_runs is not None
+        metrics.gauge("stage.partition.strategy",
+                      1.0 if field_run else 0.0)
+        if field_run:
+            metrics.gauge("partition.fields", payload.part.num_field_runs)
 
 
 class ConvertStage(Stage):

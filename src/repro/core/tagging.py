@@ -63,6 +63,13 @@ class TagResult:
     has_trailing_record: bool
     #: Total records, including a trailing unterminated one.
     num_records: int
+    #: ``(m,)`` int64 ascending positions of all delimiters (record or
+    #: field), when the tagging implementation materialised them — the
+    #: run structure the field-run partition strategy exploits (§3.3):
+    #: column tags are constant on every segment between consecutive
+    #: delimiter positions.  ``None`` on the paper-faithful chunked path,
+    #: which never builds per-delimiter arrays.
+    delim_positions: np.ndarray | None = None
 
 
 def compute_emissions(groups: np.ndarray, start_states: np.ndarray,
@@ -169,7 +176,8 @@ def _finalise(emissions: np.ndarray, record_ids: np.ndarray,
               column_ids: np.ndarray, final_state: int,
               bitmaps: tuple[np.ndarray, np.ndarray, np.ndarray]
               | None = None,
-              record_positions: np.ndarray | None = None) -> TagResult:
+              record_positions: np.ndarray | None = None,
+              delim_positions: np.ndarray | None = None) -> TagResult:
     record_delim, field_delim, data_mask = bitmaps if bitmaps is not None \
         else _bitmaps(emissions)
     if record_positions is None:
@@ -186,19 +194,31 @@ def _finalise(emissions: np.ndarray, record_ids: np.ndarray,
         final_state=final_state,
         has_trailing_record=trailing,
         num_records=num_records,
+        delim_positions=delim_positions,
     )
 
 
 def build_tag_result(emissions: np.ndarray, record_ids: np.ndarray,
-                     column_ids: np.ndarray, final_state: int) -> TagResult:
+                     column_ids: np.ndarray, final_state: int, *,
+                     run_structured: bool = True) -> TagResult:
     """Assemble a :class:`TagResult` from externally computed tags.
 
     Bitmap indexes, the trailing-record flag and the record count are
     derived from the emission stream exactly as :func:`tag_global` does —
     used by the sharded executor after merging per-shard record/column ids
     with the rel/abs offset scan.
+
+    ``run_structured`` materialises the per-delimiter position array
+    (the :func:`tag_global` contract, licensing the field-run partition
+    strategy); the sharded executor passes ``False`` when the workers
+    ran the paper-faithful chunked implementation, so serial and sharded
+    schedules resolve the auto partition strategy identically.
     """
-    return _finalise(emissions, record_ids, column_ids, final_state)
+    result = _finalise(emissions, record_ids, column_ids, final_state)
+    if run_structured:
+        result.delim_positions = np.flatnonzero(result.record_delim
+                                                | result.field_delim)
+    return result
 
 
 def tag_global(emissions: np.ndarray, final_state: int) -> TagResult:
@@ -257,7 +277,8 @@ def tag_global(emissions: np.ndarray, final_state: int) -> TagResult:
         column_ids = delims_before - start_offsets[record_ids]
     return _finalise(emissions, record_ids, column_ids, final_state,
                      bitmaps=(record_delim, field_delim, data_mask),
-                     record_positions=record_positions)
+                     record_positions=record_positions,
+                     delim_positions=delim_positions)
 
 
 def tag_chunked(emissions: np.ndarray, final_state: int,

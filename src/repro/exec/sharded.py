@@ -389,8 +389,10 @@ class ShardedExecutor(Executor):
                         repeat(stride),
                         range(len(bounds)),
                         repeat(observe)))
-                    tags, invalid_position = self._merge_tags(bounds,
-                                                              shard_tags)
+                    tags, invalid_position = self._merge_tags(
+                        bounds, shard_tags,
+                        run_structured=options.tagging_impl
+                        is TaggingImpl.GLOBAL)
             for entry in shard_tags:
                 self._ingest_obs(tracer, metrics, entry[8])
             if metrics.enabled:
@@ -439,7 +441,7 @@ class ShardedExecutor(Executor):
         metrics.merge_dict(metric_snapshot)
 
     @staticmethod
-    def _merge_tags(bounds, shard_tags):
+    def _merge_tags(bounds, shard_tags, run_structured: bool = True):
         """Stitch per-shard tag results into one global TagResult.
 
         Record ids shift by the exclusive sum of per-shard record counts;
@@ -448,6 +450,13 @@ class ShardedExecutor(Executor):
         gain the shard's entering column offset from the rel/abs scan.
         Everything after a shard's first record delimiter is already
         globally correct — the §3.2 argument, verbatim.
+
+        ``run_structured`` mirrors the serial schedule's tagging
+        implementation: when the workers ran :func:`tag_global` the
+        merged result carries the per-delimiter position array, so the
+        parent's partition stage resolves the auto strategy exactly as a
+        serial parse would (field-run); the paper-faithful chunked
+        implementation leaves it out (radix fallback).
         """
         record_counts = np.array([t[5] for t in shard_tags],
                                  dtype=np.int64)
@@ -483,7 +492,8 @@ class ShardedExecutor(Executor):
             else np.empty(0, dtype=np.int64)
         final_state = int(shard_tags[-1][3])
         tags = build_tag_result(emissions, record_ids, column_ids,
-                                final_state)
+                                final_state,
+                                run_structured=run_structured)
         return tags, invalid_position
 
     # -- scheduling --------------------------------------------------------

@@ -5,7 +5,9 @@ import pytest
 from hypothesis import given, settings, strategies as st
 from hypothesis.extra import numpy as hnp
 
-from repro.core.partition import partition_by_column, stable_radix_sort
+from repro.core.partition import (partition_by_column,
+                                  partition_field_runs,
+                                  stable_radix_sort)
 from repro.errors import ParseError
 
 
@@ -124,3 +126,165 @@ class TestPartitionByColumn:
             expected_tags = records[keep & (columns == c)]
             assert part.column_record_tags(c).tolist() \
                 == expected_tags.tolist()
+
+
+def _runsy(data, n, num_cols):
+    """Draw run-structured (column, record) tag arrays of length n."""
+    col = np.empty(n, dtype=np.int64)
+    rec = np.empty(n, dtype=np.int64)
+    pos = 0
+    record = 0
+    while pos < n:
+        length = data.draw(st.integers(1, 12))
+        column = data.draw(st.integers(0, num_cols - 1))
+        end = min(n, pos + length)
+        col[pos:end] = column
+        rec[pos:end] = record
+        if data.draw(st.booleans()):
+            record += 1
+        pos = end
+    return col, rec
+
+
+class TestStableCountingSort:
+    @given(hnp.arrays(np.int64, st.integers(0, 250),
+                      elements=st.integers(0, 30)))
+    def test_matches_numpy_stable(self, keys):
+        from repro.core.partition import _stable_counting_sort
+        perm, key_starts = _stable_counting_sort(keys, 31)
+        expected = np.argsort(keys, kind="stable")
+        assert perm.tolist() == expected.tolist()
+        counts = np.bincount(keys, minlength=31)
+        assert key_starts.tolist() == \
+            (np.cumsum(counts) - counts).tolist()
+
+
+class TestPartitionFieldRuns:
+    """The O(n + num_fields) strategy must match the radix sort bit for
+    bit — including the stable ``order`` permutation."""
+
+    @given(st.data())
+    @settings(max_examples=80)
+    def test_parity_with_radix_arbitrary_tags(self, data):
+        n = data.draw(st.integers(0, 150))
+        num_cols = data.draw(st.integers(1, 6))
+        payload = data.draw(hnp.arrays(np.uint8, n))
+        columns = data.draw(hnp.arrays(
+            np.int64, n, elements=st.integers(0, num_cols - 1)))
+        records = data.draw(hnp.arrays(np.int64, n,
+                                       elements=st.integers(0, 8)))
+        keep = data.draw(hnp.arrays(np.bool_, n))
+        a = partition_by_column(payload, keep, columns, records, num_cols)
+        b = partition_field_runs(payload, keep, columns, records,
+                                 num_cols)
+        assert a.css.tolist() == b.css.tolist()
+        assert a.record_tags.tolist() == b.record_tags.tolist()
+        assert a.column_offsets.tolist() == b.column_offsets.tolist()
+        assert a.order.tolist() == b.order.tolist()
+
+    @given(st.data(), st.sampled_from([1, 2, 4, 8]))
+    @settings(max_examples=60)
+    def test_parity_across_radix_bits(self, data, radix_bits):
+        n = data.draw(st.integers(0, 120))
+        num_cols = data.draw(st.integers(1, 5))
+        payload = data.draw(hnp.arrays(np.uint8, n))
+        columns, records = _runsy(data, n, num_cols)
+        keep = data.draw(hnp.arrays(np.bool_, n))
+        a = partition_by_column(payload, keep, columns, records,
+                                num_cols, radix_bits=radix_bits)
+        b = partition_field_runs(payload, keep, columns, records,
+                                 num_cols)
+        assert a.css.tolist() == b.css.tolist()
+        assert a.record_tags.tolist() == b.record_tags.tolist()
+        assert a.column_offsets.tolist() == b.column_offsets.tolist()
+        assert a.order.tolist() == b.order.tolist()
+
+    @given(st.data())
+    @settings(max_examples=60)
+    def test_delim_positions_path_matches_fallback(self, data):
+        """Explicit segment boundaries must give the same result as
+        boundary detection, provided tags are constant per segment."""
+        n = data.draw(st.integers(1, 120))
+        num_cols = data.draw(st.integers(1, 5))
+        payload = data.draw(hnp.arrays(np.uint8, n))
+        # Build segments from sorted delimiter positions; tags constant
+        # on (prev_delim, this_delim] exactly as the tagger guarantees.
+        delims = np.array(sorted(data.draw(st.sets(
+            st.integers(0, n - 1), max_size=12))), dtype=np.int64)
+        seg_starts = np.concatenate([[0], delims + 1])
+        col = np.empty(n, dtype=np.int64)
+        rec = np.empty(n, dtype=np.int64)
+        for i, s in enumerate(seg_starts):
+            e = n if i + 1 == seg_starts.size else seg_starts[i + 1]
+            col[s:e] = data.draw(st.integers(0, num_cols - 1))
+            rec[s:e] = i
+        keep = data.draw(hnp.arrays(np.bool_, n))
+        a = partition_field_runs(payload, keep, col, rec, num_cols)
+        b = partition_field_runs(payload, keep, col, rec, num_cols,
+                                 delim_positions=delims)
+        assert a.css.tolist() == b.css.tolist()
+        assert a.record_tags.tolist() == b.record_tags.tolist()
+        assert a.column_offsets.tolist() == b.column_offsets.tolist()
+        assert a.order.tolist() == b.order.tolist()
+
+    def test_empty_input(self):
+        part = partition_field_runs(
+            np.zeros(0, dtype=np.uint8), np.zeros(0, dtype=bool),
+            np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64), 3)
+        assert part.css.size == 0
+        assert part.order.size == 0
+        assert part.column_offsets.tolist() == [0, 0, 0, 0]
+
+    def test_single_column(self):
+        data = np.frombuffer(b"abcdef", dtype=np.uint8)
+        keep = np.array([True, False, True, True, True, False])
+        part = partition_field_runs(data, keep,
+                                    np.zeros(6, dtype=np.int64),
+                                    np.array([0, 0, 1, 1, 2, 2]), 1)
+        assert part.css.tobytes() == b"acde"
+        assert part.order.tolist() == [0, 2, 3, 4]
+        assert part.record_tags.tolist() == [0, 1, 1, 2]
+        assert part.num_field_runs is not None
+
+    def test_all_one_record(self):
+        data = np.frombuffer(b"1,2,3", dtype=np.uint8)
+        col = np.array([0, 0, 1, 1, 2])
+        rec = np.zeros(5, dtype=np.int64)
+        keep = np.array([True, False, True, False, True])
+        a = partition_by_column(data, keep, col, rec, 3)
+        b = partition_field_runs(data, keep, col, rec, 3)
+        assert b.css.tobytes() == b"123"
+        assert a.order.tolist() == b.order.tolist()
+
+    def test_rejects_negative_tags(self):
+        with pytest.raises(ParseError):
+            partition_field_runs(np.zeros(2, dtype=np.uint8),
+                                 np.ones(2, dtype=bool),
+                                 np.array([-1, 0]),
+                                 np.zeros(2, dtype=np.int64), 2)
+
+    def test_rejects_overflowing_tags(self):
+        with pytest.raises(ParseError):
+            partition_field_runs(np.zeros(2, dtype=np.uint8),
+                                 np.ones(2, dtype=bool),
+                                 np.array([0, 7]),
+                                 np.zeros(2, dtype=np.int64), 2)
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ParseError):
+            partition_field_runs(np.zeros(2, dtype=np.uint8),
+                                 np.ones(3, dtype=bool),
+                                 np.zeros(2, dtype=np.int64),
+                                 np.zeros(2, dtype=np.int64), 1)
+
+
+class TestPartitionResultDefaults:
+    def test_order_defaults_to_none(self):
+        from repro.core.partition import PartitionResult
+        part = PartitionResult(
+            css=np.zeros(0, dtype=np.uint8),
+            record_tags=np.zeros(0, dtype=np.int64),
+            column_offsets=np.zeros(1, dtype=np.int64),
+            num_columns=0)
+        assert part.order is None
+        assert part.num_field_runs is None
