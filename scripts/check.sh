@@ -23,6 +23,11 @@ python -m pytest tests/kernels/test_parity.py -q
 # tagging modes and executors.
 python -m pytest tests/core/test_partition.py \
     tests/core/test_partition_parity.py -q
+# Columnar tier: the fused zero-copy convert must be bit-identical to
+# the copy path (dialects x tagging modes x executors), string columns
+# must alias the CSS, and the buffer layer/feather round-trips hold.
+python -m pytest tests/core/test_columnar_parity.py \
+    tests/columnar -q
 
 # Observability smoke: a sharded CLI parse must emit a Chrome trace that
 # the repo's own validator accepts, with worker spans and merged metrics.
@@ -80,6 +85,20 @@ assert doc["metrics"]["counters"]["records"] == 200, doc["metrics"]
 print("partition smoke: field-run trace valid")
 EOF
 
+# Columnar export smoke: a sharded parse must write a feather-style
+# file that the repo's own reader round-trips.
+python -m repro parse "$OBS_TMP/smoke.csv" --workers 2 \
+    --output "$OBS_TMP/out.feather" --output-format feather > /dev/null
+python - "$OBS_TMP/out.feather" <<'EOF'
+import sys
+from repro.columnar import read_feather
+table = read_feather(sys.argv[1])
+assert table.num_rows == 200, table
+assert table.num_columns == 3, table
+assert table.column(2).value(199) == "item-199", table.row(199)
+print("columnar smoke: feather round-trip,", table.num_rows, "rows")
+EOF
+
 # Bench smoke: the stride sweep must run end to end and emit the
 # machine-readable rows (tiny input; the committed BENCH_kernels.json
 # is produced by the full benchmark run).
@@ -108,6 +127,20 @@ bits = {r["radix_bits"] for r in doc["kernel_rows"]}
 assert {1, 2, 4, 8, None} <= bits, bits
 print("partition bench smoke:", len(doc["stage_rows"]), "stage rows,",
       len(doc["kernel_rows"]), "kernel rows")
+EOF
+
+# Columnar bench smoke: the export sweep must run end to end and emit
+# fused/copy path rows with the zero-copy counters.
+python benchmarks/bench_columnar_export.py --bytes 65536 --repeats 1 \
+    --out "$OBS_TMP/bench_columnar.json" > /dev/null
+python - "$OBS_TMP/bench_columnar.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+paths = {r["path"] for r in doc["path_rows"]}
+assert {"fused", "copy", "write_feather"} <= paths, paths
+fused = [r for r in doc["path_rows"] if r["path"] == "fused"]
+assert all(r["zero_copy_columns"] > 0 for r in fused), fused
+print("columnar bench smoke:", len(doc["path_rows"]), "path rows")
 EOF
 
 python -m pytest "$@"

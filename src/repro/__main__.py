@@ -45,7 +45,7 @@ from repro import (
     PartitionStrategy,
     TaggingMode,
 )
-from repro.columnar.serialize import serialize_table
+from repro.columnar.serialize import serialize_table, write_feather
 from repro.exec import SerialExecutor, ShardedExecutor
 from repro.gpusim.cost_model import PipelineCostModel, WorkloadStats
 from repro.obs import (
@@ -142,10 +142,16 @@ def cmd_parse(args: argparse.Namespace) -> int:
     if args.timings:
         _print_timings(result)
     if args.output:
-        with open(args.output, "wb") as handle:
-            handle.write(serialize_table(table))
+        fmt = getattr(args, "output_format", "auto") or "auto"
+        if fmt == "auto":
+            fmt = "feather" if args.output.endswith(".feather") else "rprw"
+        if fmt == "feather":
+            write_feather(table, args.output)
+        else:
+            with open(args.output, "wb") as handle:
+                handle.write(serialize_table(table))
         print(f"wrote {table.num_rows} rows x {table.num_columns} columns "
-              f"to {args.output}")
+              f"to {args.output} ({fmt})")
         return 0
     if args.summary:
         print(f"records:  {result.num_records}")
@@ -288,6 +294,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_parse.add_argument("--infer-types", action="store_true")
     p_parse.add_argument("--output", metavar="OUT",
                          help="write serialised columnar output to OUT")
+    p_parse.add_argument("--output-format",
+                         choices=("auto", "rprw", "feather"),
+                         default="auto",
+                         help="serialisation format for --output: the "
+                              "compact RPRW stream or the Feather-style "
+                              "framed file (auto = by .feather extension)")
     p_parse.add_argument("--timings", action="store_true",
                          help="print the per-stage StepTimer breakdown")
     p_parse.add_argument("--trace", metavar="OUT.json",

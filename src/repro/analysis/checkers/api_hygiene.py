@@ -35,7 +35,9 @@ ALLOWED_LAYER_IMPORTS: dict[str, frozenset[str]] = {
     "repro.utils": frozenset(),
     "repro.obs": frozenset(),
     "repro.scan": frozenset(),
-    "repro.columnar": frozenset(),
+    # The columnar buffer layer sits just above the scan primitives: its
+    # structural ops (offset rebase, gather) are built on exclusive_sum.
+    "repro.columnar": frozenset({"repro.scan"}),
     "repro.dfa": frozenset(),
     "repro.gpusim": frozenset({"repro.dfa"}),
     "repro.kernels": frozenset({"repro.dfa", "repro.obs"}),

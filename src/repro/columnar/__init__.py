@@ -14,23 +14,36 @@ subpackage implements the relevant subset of the layout from scratch:
 
 from repro.columnar.schema import DataType, Field, Schema
 from repro.columnar.buffers import (
+    BufferColumn,
     ValidityBitmap,
     pack_validity,
     unpack_validity,
 )
+from repro.columnar.ops import concat_buffers, slice_buffers, take_buffers
 from repro.columnar.table import Column, Table, concat_tables
-from repro.columnar.serialize import deserialize_table, serialize_table
+from repro.columnar.serialize import (
+    deserialize_table,
+    read_feather,
+    serialize_table,
+    write_feather,
+)
 
 __all__ = [
     "DataType",
     "Field",
     "Schema",
+    "BufferColumn",
     "ValidityBitmap",
     "pack_validity",
     "unpack_validity",
+    "concat_buffers",
+    "slice_buffers",
+    "take_buffers",
     "Column",
     "Table",
     "concat_tables",
     "serialize_table",
     "deserialize_table",
+    "write_feather",
+    "read_feather",
 ]

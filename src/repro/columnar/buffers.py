@@ -8,9 +8,14 @@ during type conversion (paper §3.3) and the output format follows Arrow
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
-__all__ = ["ValidityBitmap", "pack_validity", "unpack_validity"]
+from repro.errors import ColumnarError
+
+__all__ = ["BufferColumn", "ValidityBitmap", "pack_validity",
+           "unpack_validity"]
 
 
 def pack_validity(mask: np.ndarray) -> np.ndarray:
@@ -37,6 +42,75 @@ def unpack_validity(bitmap: np.ndarray, length: int) -> np.ndarray:
     if bitmap.size * 8 < length:
         raise ValueError("bitmap too short for requested length")
     return np.unpackbits(bitmap, bitorder="little")[:length].astype(bool)
+
+
+@dataclass(frozen=True)
+class BufferColumn:
+    """The Arrow buffer triple backing one column.
+
+    This is the zero-copy currency of the columnar layer: a column is
+    fully described by ``(validity, offsets, values)`` plus its logical
+    row count, exactly as in the Arrow columnar format.  All structural
+    operations (:mod:`repro.columnar.ops`: filter, slice, concat) and the
+    Feather-style writer operate on these triples directly, so a column
+    produced by the fused partition→convert path travels to the output
+    file without ever materialising Python values.
+
+    Attributes
+    ----------
+    length:
+        Logical row count.
+    validity:
+        Packed LSB-first uint8 validity bitmap (``ceil(length / 8)``
+        bytes or more; trailing bits ignored).
+    values:
+        Typed data buffer — ``(length,)`` of the column's physical dtype
+        for fixed-width columns, the contiguous uint8 byte buffer for
+        variable-width columns.
+    offsets:
+        ``(length + 1,)`` int64 offsets into ``values`` for
+        variable-width columns; ``None`` for fixed-width.
+    """
+
+    length: int
+    validity: np.ndarray
+    values: np.ndarray
+    offsets: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        if self.length < 0:
+            raise ColumnarError("buffer column length must be >= 0")
+        if self.validity.dtype != np.uint8 \
+                or self.validity.size * 8 < self.length:
+            raise ColumnarError("validity bitmap too short for length")
+        if self.offsets is not None:
+            if self.offsets.ndim != 1 \
+                    or self.offsets.size != self.length + 1:
+                raise ColumnarError(
+                    "offsets must be a (length + 1,) int64 array")
+            if self.values.dtype != np.uint8:
+                raise ColumnarError(
+                    "variable-width values buffer must be uint8")
+            if int(self.offsets[-1]) - int(self.offsets[0]) \
+                    > self.values.size - int(self.offsets[0]):
+                raise ColumnarError("offsets overrun the values buffer")
+        elif self.values.size != self.length:
+            raise ColumnarError(
+                "fixed-width values buffer length mismatch")
+
+    @property
+    def is_variable_width(self) -> bool:
+        return self.offsets is not None
+
+    def validity_mask(self) -> np.ndarray:
+        """The validity bitmap as a ``(length,)`` boolean mask."""
+        return unpack_validity(self.validity, self.length)
+
+    def nbytes(self) -> int:
+        """Total bytes across the triple (diagnostics/metrics)."""
+        return int(self.validity.nbytes + self.values.nbytes
+                   + (self.offsets.nbytes if self.offsets is not None
+                      else 0))
 
 
 class ValidityBitmap:

@@ -1,0 +1,124 @@
+# parlint: hot-path
+"""Structural operations on Arrow buffer triples.
+
+Everything the columnar layer does to whole columns — filter, slice,
+concatenate — happens here, directly on :class:`BufferColumn` triples
+(validity bitmap, offsets, values).  Python values are never
+materialised: filter is a vectorised gather, slice is a pure view
+(zero-copy; offsets are *not* rebased, the column keeps a non-zero
+``offsets[0]``), and concat rebases offsets once per part while the
+value buffers are copied verbatim.
+
+This mirrors how ParPaRaw's output stays in Arrow layout end-to-end
+(paper §5): a per-column CSS produced by the partition stage *is* the
+values buffer of an Arrow string column, and downstream consumers only
+shuffle the three buffers.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.columnar.buffers import BufferColumn, pack_validity
+from repro.errors import ColumnarError
+from repro.scan import exclusive_sum
+
+__all__ = ["concat_buffers", "slice_buffers", "take_buffers"]
+
+
+def take_buffers(column: BufferColumn, rows: np.ndarray) -> BufferColumn:
+    """Gather the given rows into a new, densely packed column.
+
+    ``rows`` is an int64 array of row indexes (``np.flatnonzero`` of a
+    filter mask, or any take/permutation).  Variable-width values are
+    gathered with the same double-``np.repeat`` trick the conversion
+    stage uses: one source-index vector covering every kept byte, one
+    fancy-index read.
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    if rows.size and (int(rows.min()) < 0
+                      or int(rows.max()) >= column.length):
+        raise ColumnarError("take rows out of range")
+    validity = pack_validity(column.validity_mask()[rows])
+    if column.offsets is None:
+        return BufferColumn(rows.size, validity, column.values[rows])
+    lengths = (column.offsets[1:] - column.offsets[:-1])[rows]
+    offsets = np.empty(rows.size + 1, dtype=np.int64)
+    offsets[0] = 0
+    np.cumsum(lengths, out=offsets[1:])
+    total = int(offsets[-1])
+    if total:
+        src = (np.arange(total, dtype=np.int64)
+               - np.repeat(offsets[:-1], lengths)
+               + np.repeat(column.offsets[:-1][rows], lengths))
+        values = column.values[src]
+    else:
+        values = np.empty(0, dtype=np.uint8)
+    return BufferColumn(rows.size, validity, values, offsets)
+
+
+def slice_buffers(column: BufferColumn, start: int,
+                  stop: int) -> BufferColumn:
+    """Row range ``[start, stop)`` as views — no buffer is copied.
+
+    The validity bitmap is the one buffer that cannot be viewed when
+    ``start`` is not byte-aligned, so it is repacked (``(stop-start)/8``
+    bytes — negligible).  For variable-width columns the offsets buffer
+    is a view too: the result's ``offsets[0]`` is generally non-zero,
+    which every consumer in this package (and the Feather writer, which
+    rebases on write) handles.
+    """
+    if not 0 <= start <= stop <= column.length:
+        raise ColumnarError("slice bounds out of range")
+    if start % 8 == 0:
+        validity = column.validity[start // 8:(stop + 7) // 8]
+    else:
+        validity = pack_validity(column.validity_mask()[start:stop])
+    if column.offsets is None:
+        return BufferColumn(stop - start, validity,
+                            column.values[start:stop])
+    return BufferColumn(stop - start, validity, column.values,
+                        column.offsets[start:stop + 1])
+
+
+def concat_buffers(parts: Sequence[BufferColumn]) -> BufferColumn:
+    """Vertically concatenate columns: offset-rebase, values verbatim.
+
+    This is the sharded-merge primitive: each shard's values buffer is
+    copied once into the output (an unavoidable ``memcpy``), while the
+    per-row work is a single vectorised add per part to rebase offsets.
+    No per-row Python loop, no value materialisation.
+    """
+    if not parts:
+        raise ColumnarError("concat_buffers needs at least one part")
+    if len(parts) == 1:
+        return parts[0]
+    variable = parts[0].offsets is not None
+    if any((p.offsets is not None) != variable for p in parts):
+        raise ColumnarError("cannot concatenate fixed- and variable-"
+                            "width columns")
+    total_rows = sum(p.length for p in parts)
+    validity = pack_validity(
+        np.concatenate([p.validity_mask() for p in parts]))
+    if not variable:
+        return BufferColumn(total_rows, validity,
+                            np.concatenate([p.values for p in parts]))
+    part_bytes = np.array(
+        [int(p.offsets[-1]) - int(p.offsets[0]) for p in parts],
+        dtype=np.int64)
+    bases = exclusive_sum(part_bytes)
+    offsets = np.empty(total_rows + 1, dtype=np.int64)
+    offsets[0] = 0
+    row = 0
+    chunks: list[np.ndarray] = []
+    for base, p in zip(bases, parts):  # parlint: disable=PPR401 -- iterates over shards (a handful), not rows; per-shard body is one vectorised offset rebase
+        lo = int(p.offsets[0])
+        chunks.append(p.values[lo:int(p.offsets[-1])])
+        offsets[row + 1:row + p.length + 1] = \
+            p.offsets[1:] - lo + int(base)
+        row += p.length
+    values = np.concatenate(chunks) if chunks else \
+        np.empty(0, dtype=np.uint8)
+    return BufferColumn(total_rows, validity, values, offsets)

@@ -1,13 +1,13 @@
-"""Serialisation of tables to a simple Arrow-flavoured binary format.
+"""Serialisation of tables to Arrow-flavoured binary formats.
 
 The paper's output "complies with the format specified by Apache Arrow"
 (§5) so downstream engines can consume it zero-copy.  This module writes
 a table's buffers — schema description, validity bitmaps, offsets, data —
-into one contiguous byte stream, and reads them back.  The format is this
-library's own framing (magic ``RPRW1``, little-endian lengths) around the
-Arrow buffer *contents*; it exists so the streaming example and tests can
-demonstrate a full parse -> serialise -> load round trip without a
-``pyarrow`` dependency.
+into contiguous byte streams, and reads them back, without a ``pyarrow``
+dependency.  Two framings:
+
+**RPRW1** (:func:`serialize_table` / :func:`deserialize_table`) — the
+original compact stream: length-prefixed buffers, native byte order.
 
 Layout::
 
@@ -18,52 +18,133 @@ Layout::
         u64 validity_bytes,  validity bitmap buffer
         [variable-width only] u64 offsets_bytes, int64 offsets buffer
         u64 data_bytes, data buffer
+
+**Feather-style** (:func:`write_feather` / :func:`read_feather`) — a
+random-access framing in the spirit of Feather/Arrow IPC files: a
+versioned JSON header maps every buffer (explicit numpy dtype string,
+hence explicit endianness; absolute offset; byte length), and the buffer
+bytes follow verbatim at 8-byte-aligned offsets.  A reader can locate and
+map any single buffer from the header alone.  Buffers from a non-native
+byte order round-trip: the dtype string records the order and
+:func:`read_feather` swaps to native on load.
+
+Layout::
+
+    magic b"RPFE" + u16 version (1)
+    u32 header_json_length, header JSON, zero padding to 8-byte alignment
+    buffer bytes, each buffer starting at an 8-byte-aligned offset
+    (absolute offsets + byte lengths recorded in the header)
+
+Both readers reject malformed streams (bad magic, truncation, trailing
+bytes) and both writers guard their length fields against overflow with
+:class:`~repro.errors.ColumnarError` instead of silently truncating.
 """
 
 from __future__ import annotations
 
 import json
 import struct
+from pathlib import Path
 
 import numpy as np
 
-from repro.columnar.buffers import ValidityBitmap, pack_validity
+from repro.columnar.buffers import ValidityBitmap
 from repro.columnar.schema import DataType, Field, Schema
 from repro.columnar.table import Column, Table
-from repro.errors import SchemaError
+from repro.errors import ColumnarError
 
-__all__ = ["serialize_table", "deserialize_table"]
+__all__ = ["serialize_table", "deserialize_table", "write_feather",
+           "read_feather"]
 
 MAGIC = b"RPRW1"
+FEATHER_MAGIC = b"RPFE"
+FEATHER_VERSION = 1
+
+#: Maximum values representable in the formats' length fields.  Module
+#: constants (rather than inline literals) so overflow tests can lower
+#: them without materialising multi-GiB payloads.
+_U32_MAX = 0xFFFF_FFFF
+_U64_MAX = 0xFFFF_FFFF_FFFF_FFFF
 
 
-def _write_buffer(parts: list[bytes], buffer: np.ndarray) -> None:
-    raw = buffer.tobytes()
-    parts.append(struct.pack("<Q", len(raw)))
-    parts.append(raw)
+def _checked_u32(value: int, what: str) -> bytes:
+    if value > _U32_MAX:
+        raise ColumnarError(
+            f"{what} ({value} bytes) exceeds the u32 length field")
+    return struct.pack("<I", value)
 
 
-def serialize_table(table: Table) -> bytes:
-    """Serialise a table into one byte string."""
-    schema_json = json.dumps([
+def _checked_u64(value: int, what: str) -> bytes:
+    if value > _U64_MAX:
+        raise ColumnarError(
+            f"{what} ({value}) exceeds the u64 length field")
+    return struct.pack("<Q", value)
+
+
+def _column_wire_buffers(column: Column
+                         ) -> tuple[np.ndarray, np.ndarray | None,
+                                    np.ndarray]:
+    """The (validity, offsets, values) triple as written to disk.
+
+    Zero-copy sliced columns view a larger shared values buffer through
+    non-zero-based offsets; on the wire both formats are canonical —
+    offsets rebased to zero and values cut to the referenced range.
+    """
+    validity = np.asarray(column.validity.buffer)
+    if column.field.dtype.is_variable_width:
+        offsets = column.offsets
+        assert offsets is not None
+        offsets = offsets.astype(np.int64, copy=False)
+        lo = int(offsets[0])
+        if lo:
+            offsets = offsets - lo
+        values = column.data[lo:int(offsets[-1]) + lo]
+        return validity, offsets, values
+    return validity, None, column.data
+
+
+def _schema_json(schema: Schema) -> list[dict]:
+    return [
         {
             "name": f.name,
             "dtype": f.dtype.value,
             "nullable": f.nullable,
             "decimal_scale": f.decimal_scale,
         }
-        for f in table.schema
-    ]).encode("utf-8")
+        for f in schema
+    ]
+
+
+def _schema_from_json(entries: list[dict]) -> Schema:
+    return Schema([Field(name=entry["name"],
+                         dtype=DataType(entry["dtype"]),
+                         nullable=entry["nullable"],
+                         decimal_scale=entry["decimal_scale"])
+                   for entry in entries])
+
+
+# -- RPRW1: compact length-prefixed stream -----------------------------------
+
+def _write_buffer(parts: list[bytes], buffer: np.ndarray) -> None:
+    raw = buffer.tobytes()
+    parts.append(_checked_u64(len(raw), "buffer"))
+    parts.append(raw)
+
+
+def serialize_table(table: Table) -> bytes:
+    """Serialise a table into one byte string."""
+    schema_json = json.dumps(_schema_json(table.schema)).encode("utf-8")
 
     parts: list[bytes] = [MAGIC,
-                          struct.pack("<I", len(schema_json)), schema_json,
-                          struct.pack("<Q", table.num_rows)]
+                          _checked_u32(len(schema_json), "schema JSON"),
+                          schema_json,
+                          _checked_u64(table.num_rows, "row count")]
     for column in table.columns:
-        _write_buffer(parts, np.asarray(column.validity.buffer))
-        if column.field.dtype.is_variable_width:
-            assert column.offsets is not None
-            _write_buffer(parts, column.offsets.astype(np.int64))
-        _write_buffer(parts, column.data)
+        validity, offsets, values = _column_wire_buffers(column)
+        _write_buffer(parts, validity)
+        if offsets is not None:
+            _write_buffer(parts, offsets)
+        _write_buffer(parts, values)
     return b"".join(parts)
 
 
@@ -74,7 +155,7 @@ class _Reader:
 
     def take(self, count: int) -> bytes:
         if self.pos + count > len(self.raw):
-            raise SchemaError("truncated table stream")
+            raise ColumnarError("truncated table stream")
         out = self.raw[self.pos:self.pos + count]
         self.pos += count
         return out
@@ -94,18 +175,13 @@ def deserialize_table(raw: bytes) -> Table:
     """Read a table serialised by :func:`serialize_table`."""
     reader = _Reader(raw)
     if reader.take(len(MAGIC)) != MAGIC:
-        raise SchemaError("not a serialised table (bad magic)")
-    schema_json = json.loads(reader.take(reader.u32()).decode("utf-8"))
-    fields = [Field(name=entry["name"],
-                    dtype=DataType(entry["dtype"]),
-                    nullable=entry["nullable"],
-                    decimal_scale=entry["decimal_scale"])
-              for entry in schema_json]
-    schema = Schema(fields)
+        raise ColumnarError("not a serialised table (bad magic)")
+    schema = _schema_from_json(
+        json.loads(reader.take(reader.u32()).decode("utf-8")))
     num_rows = reader.u64()
 
     columns: list[Column] = []
-    for f in fields:
+    for f in schema:
         validity_buf = reader.buffer(np.uint8)
         validity = ValidityBitmap(validity_buf, num_rows)
         if f.dtype.is_variable_width:
@@ -116,5 +192,159 @@ def deserialize_table(raw: bytes) -> Table:
             data = reader.buffer(f.dtype.numpy_dtype)
             columns.append(Column(f, data, validity))
     if reader.pos != len(raw):
-        raise SchemaError("trailing bytes after table stream")
+        raise ColumnarError("trailing bytes after table stream")
     return Table(schema, columns)
+
+
+# -- Feather-style: versioned header + aligned verbatim buffers --------------
+
+_ALIGN = 8
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def write_feather(table: Table, path: str | Path | None = None) -> bytes:
+    """Serialise a table in the Feather-style framed format.
+
+    Returns the byte stream; when ``path`` is given the stream is also
+    written to that file.  Every buffer lands verbatim (no re-encoding)
+    at an 8-byte-aligned offset recorded in the header together with its
+    exact numpy dtype string — including byte order — so a reader can
+    map buffers individually and detect foreign endianness.
+    """
+    column_entries: list[dict] = []
+    payload: list[np.ndarray] = []
+    # Header length shifts the buffer region, so record buffer offsets
+    # relative to the region start and rebase after sizing the header.
+    cursor = 0
+    for column, field in zip(table.columns, table.schema):
+        validity, offsets, values = _column_wire_buffers(column)
+        buffers = []
+        for kind, buf in (("validity", validity), ("offsets", offsets),
+                          ("values", values)):
+            if buf is None:
+                continue
+            cursor = _aligned(cursor)
+            nbytes = int(buf.nbytes)
+            if nbytes > _U64_MAX:
+                raise ColumnarError(
+                    f"{kind} buffer of column {field.name!r} ({nbytes} "
+                    f"bytes) exceeds the u64 length field")
+            buffers.append({"kind": kind, "dtype": buf.dtype.str,
+                            "offset": cursor, "length": nbytes})
+            payload.append(buf)
+            cursor += nbytes
+        column_entries.append({**_schema_json(Schema([field]))[0],
+                               "buffers": buffers})
+
+    header = {
+        "version": FEATHER_VERSION,
+        "num_rows": table.num_rows,
+        "columns": column_entries,
+    }
+    # The buffer region starts after the header, but the header encodes
+    # the buffers' absolute offsets — whose digit count depends on the
+    # region start.  Iterate to the (monotone, quickly reached) fixed
+    # point.
+    relative = [buf["offset"] for entry in column_entries
+                for buf in entry["buffers"]]
+    region_start = 0
+    while True:
+        specs = [buf for entry in column_entries
+                 for buf in entry["buffers"]]
+        for spec, rel in zip(specs, relative):
+            spec["offset"] = rel + region_start
+        header_json = json.dumps(header).encode("utf-8")
+        prefix_len = len(FEATHER_MAGIC) + 2 + 4 + len(header_json)
+        if _aligned(prefix_len) == region_start:
+            break
+        region_start = _aligned(prefix_len)
+
+    parts: list[bytes] = [FEATHER_MAGIC,
+                          struct.pack("<H", FEATHER_VERSION),
+                          _checked_u32(len(header_json), "feather header"),
+                          header_json,
+                          b"\x00" * (region_start - prefix_len)]
+    pos = region_start
+    for buf in payload:
+        aligned = _aligned(pos)
+        parts.append(b"\x00" * (aligned - pos))
+        raw = buf.tobytes()
+        parts.append(raw)
+        pos = aligned + len(raw)
+    stream = b"".join(parts)
+    if path is not None:
+        Path(path).write_bytes(stream)
+    return stream
+
+
+def read_feather(source: bytes | str | Path) -> Table:
+    """Read a table written by :func:`write_feather`.
+
+    ``source`` is the byte stream or a file path.  Buffers recorded with
+    a non-native byte order are swapped to native on load.
+    """
+    raw = source if isinstance(source, bytes) else \
+        Path(source).read_bytes()
+    prefix = len(FEATHER_MAGIC)
+    if raw[:prefix] != FEATHER_MAGIC:
+        raise ColumnarError("not a feather-style table (bad magic)")
+    if len(raw) < prefix + 6:
+        raise ColumnarError("truncated feather stream")
+    version, = struct.unpack_from("<H", raw, prefix)
+    if version != FEATHER_VERSION:
+        raise ColumnarError(f"unsupported feather version {version}")
+    header_len, = struct.unpack_from("<I", raw, prefix + 2)
+    header_end = prefix + 6 + header_len
+    if header_end > len(raw):
+        raise ColumnarError("truncated feather stream")
+    header = json.loads(raw[prefix + 6:header_end].decode("utf-8"))
+    num_rows = int(header["num_rows"])
+
+    columns: list[Column] = []
+    fields: list[Field] = []
+    # The stream ends exactly at the last buffer's end (the buffer region
+    # start when there are no buffers) — anything beyond is trailing
+    # garbage, anything short is truncation.
+    end = _aligned(header_end)
+    for entry in header["columns"]:
+        field = Field(name=entry["name"],
+                      dtype=DataType(entry["dtype"]),
+                      nullable=entry["nullable"],
+                      decimal_scale=entry["decimal_scale"])
+        buffers: dict[str, np.ndarray] = {}
+        for spec in entry["buffers"]:
+            offset, length = int(spec["offset"]), int(spec["length"])
+            if offset % _ALIGN:
+                raise ColumnarError(
+                    f"misaligned {spec['kind']} buffer at {offset}")
+            if offset + length > len(raw):
+                raise ColumnarError("truncated feather stream")
+            dtype = np.dtype(spec["dtype"])
+            if length % dtype.itemsize:
+                raise ColumnarError(
+                    f"{spec['kind']} buffer length {length} is not a "
+                    f"multiple of its item size {dtype.itemsize}")
+            buf = np.frombuffer(raw, dtype=dtype,
+                                count=length // dtype.itemsize,
+                                offset=offset)
+            if dtype.byteorder not in ("=", "|") \
+                    and dtype != dtype.newbyteorder("="):
+                buf = buf.astype(dtype.newbyteorder("="))
+            else:
+                buf = buf.copy()
+            buffers[spec["kind"]] = buf
+            end = max(end, offset + length)
+        validity = ValidityBitmap(buffers["validity"], num_rows)
+        if field.dtype.is_variable_width:
+            columns.append(Column(field, buffers["values"], validity,
+                                  buffers["offsets"]))
+        else:
+            columns.append(Column(field, buffers["values"], validity))
+        fields.append(field)
+    if len(raw) != end:
+        raise ColumnarError("feather stream length mismatch "
+                            "(trailing or missing bytes)")
+    return Table(Schema(fields), columns)

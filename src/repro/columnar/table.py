@@ -5,6 +5,14 @@ typed data buffer plus a validity bitmap; STRING columns additionally carry
 an int64 offsets buffer into a contiguous UTF-8 data buffer.  A
 :class:`Table` is an ordered collection of equal-length columns bound to a
 :class:`~repro.columnar.schema.Schema`.
+
+Every column is backed by a :class:`~repro.columnar.buffers.BufferColumn`
+triple, and all structural operations (``filter``/``slice``/``select``/
+``concat_tables``) are buffer operations from :mod:`repro.columnar.ops` —
+no Python-value materialisation on any of these paths.  ``slice`` returns
+views into the parent's buffers (zero-copy), so a sliced STRING column's
+offsets generally start at a non-zero base; all consumers in this package
+handle that.
 """
 
 from __future__ import annotations
@@ -13,7 +21,8 @@ from typing import Any, Iterator, Sequence
 
 import numpy as np
 
-from repro.columnar.buffers import ValidityBitmap
+from repro.columnar.buffers import BufferColumn, ValidityBitmap
+from repro.columnar.ops import concat_buffers, slice_buffers, take_buffers
 from repro.columnar.schema import DataType, Field, Schema
 from repro.errors import SchemaError
 
@@ -44,8 +53,6 @@ class Column:
                  offsets: np.ndarray | None = None,
                  rejects: int = 0):
         self.field = field
-        self.data = data
-        self.offsets = offsets
         self.rejects = rejects
         if field.dtype.is_variable_width:
             if offsets is None:
@@ -70,8 +77,19 @@ class Column:
         if len(validity) != self._length:
             raise SchemaError("validity bitmap length mismatch")
         self.validity = validity
+        self._buffers = BufferColumn(self._length,
+                                     np.asarray(validity.buffer),
+                                     data, offsets)
 
     # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_buffers(cls, field: Field, buffers: BufferColumn,
+                     rejects: int = 0) -> "Column":
+        """Wrap a :class:`BufferColumn` triple without copying it."""
+        validity = ValidityBitmap(buffers.validity, buffers.length)
+        return cls(field, buffers.values, validity, buffers.offsets,
+                   rejects=rejects)
 
     @staticmethod
     def from_values(field: Field, values: Sequence[Any]) -> "Column":
@@ -95,6 +113,19 @@ class Column:
 
     # -- accessors ----------------------------------------------------------
 
+    @property
+    def buffers(self) -> BufferColumn:
+        """The Arrow buffer triple backing this column."""
+        return self._buffers
+
+    @property
+    def data(self) -> np.ndarray:
+        return self._buffers.values
+
+    @property
+    def offsets(self) -> np.ndarray | None:
+        return self._buffers.offsets
+
     def __len__(self) -> int:
         return self._length
 
@@ -109,9 +140,10 @@ class Column:
         if not self.validity[row]:
             return None
         if self.field.dtype.is_variable_width:
-            assert self.offsets is not None
-            lo = int(self.offsets[row])
-            hi = int(self.offsets[row + 1])
+            offsets = self._buffers.offsets
+            assert offsets is not None
+            lo = int(offsets[row])
+            hi = int(offsets[row + 1])
             return self.data[lo:hi].tobytes().decode("utf-8",
                                                      errors="replace")
         raw = self.data[row]
@@ -123,14 +155,44 @@ class Column:
         return int(raw)
 
     def to_list(self) -> list[Any]:
-        """Materialise the whole column as Python values."""
-        return [self.value(i) for i in range(self._length)]
+        """Materialise the whole column as Python values.
+
+        Vectorised: one ``tolist`` per buffer plus a decode loop for
+        strings — never routes through per-row :meth:`value` calls.
+        """
+        mask = self.validity.to_mask().tolist()
+        if self.field.dtype.is_variable_width:
+            offsets = self._buffers.offsets
+            assert offsets is not None
+            view = memoryview(np.ascontiguousarray(self.data))
+            offs = offsets.tolist()
+            return [bytes(view[offs[i]:offs[i + 1]])
+                    .decode("utf-8", errors="replace") if valid else None
+                    for i, valid in enumerate(mask)]
+        values = self.data.tolist()
+        return [v if valid else None
+                for v, valid in zip(values, mask)]
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Column):
             return NotImplemented
         if self.field.dtype != other.field.dtype or len(self) != len(other):
             return False
+        mask = self.validity.to_mask()
+        if not np.array_equal(mask, other.validity.to_mask()):
+            return False
+        # Fast path: compare buffers at valid rows only (invalid rows are
+        # don't-cares).  On mismatch, fall back to the materialised
+        # comparison so semantics match value()/to_list() exactly.
+        if self.field.dtype.is_variable_width:
+            rows = np.flatnonzero(mask)
+            a = take_buffers(self._buffers, rows)
+            b = take_buffers(other._buffers, rows)
+            if np.array_equal(a.offsets, b.offsets) \
+                    and np.array_equal(a.values, b.values):
+                return True
+        elif np.array_equal(self.data[mask], other.data[mask]):
+            return True
         return self.to_list() == other.to_list()
 
     def __repr__(self) -> str:
@@ -196,59 +258,34 @@ class Table:
 
         ``mask`` is a boolean sequence of length ``num_rows``; used by the
         in-situ query paths to push filters onto the columnar output.
+        Implemented as one buffer gather per column
+        (:func:`~repro.columnar.ops.take_buffers`) — no per-row value
+        materialisation.
         """
         mask = np.asarray(mask, dtype=bool)
         if mask.shape != (self.num_rows,):
             raise SchemaError(
                 f"filter mask must have length {self.num_rows}")
         rows = np.flatnonzero(mask)
-        columns: list[Column] = []
-        for column in self.columns:
-            validity = ValidityBitmap.from_mask(
-                column.validity.to_mask()[rows])
-            if column.field.dtype.is_variable_width:
-                assert column.offsets is not None
-                lengths = (column.offsets[1:] - column.offsets[:-1])[rows]
-                offsets = np.zeros(rows.size + 1, dtype=np.int64)
-                np.cumsum(lengths, out=offsets[1:])
-                total = int(offsets[-1])
-                if total:
-                    src = (np.arange(total, dtype=np.int64)
-                           - np.repeat(offsets[:-1], lengths)
-                           + np.repeat(column.offsets[:-1][rows], lengths))
-                    data = column.data[src]
-                else:
-                    data = np.empty(0, dtype=np.uint8)
-                columns.append(Column(column.field, data, validity,
-                                      offsets))
-            else:
-                columns.append(Column(column.field, column.data[rows],
-                                      validity))
-        return Table(self.schema, columns)
+        return Table(self.schema,
+                     [Column.from_buffers(c.field,
+                                          take_buffers(c.buffers, rows))
+                      for c in self.columns])
 
     def slice(self, start: int, stop: int | None = None) -> "Table":
-        """Row range [start, stop) as a new table (buffers copied)."""
+        """Row range [start, stop) as a new table (zero-copy views).
+
+        The returned columns share buffers with this table; STRING
+        offsets keep their original base rather than being rebased.
+        """
         stop = self.num_rows if stop is None else min(stop, self.num_rows)
         start = max(0, start)
         if start > stop:
             start = stop
-        columns: list[Column] = []
-        for column in self.columns:
-            validity = ValidityBitmap.from_mask(
-                column.validity.to_mask()[start:stop])
-            if column.field.dtype.is_variable_width:
-                assert column.offsets is not None
-                lo = int(column.offsets[start])
-                hi = int(column.offsets[stop])
-                offsets = column.offsets[start:stop + 1] - lo
-                columns.append(Column(column.field,
-                                      column.data[lo:hi].copy(),
-                                      validity, offsets.copy()))
-            else:
-                columns.append(Column(column.field,
-                                      column.data[start:stop].copy(),
-                                      validity))
-        return Table(self.schema, columns)
+        return Table(self.schema,
+                     [Column.from_buffers(
+                         c.field, slice_buffers(c.buffers, start, stop))
+                      for c in self.columns])
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Table):
@@ -265,8 +302,9 @@ def concat_tables(tables: Sequence[Table]) -> Table:
     """Vertically concatenate tables sharing one schema.
 
     Buffers are concatenated directly (offsets rebased for variable-width
-    columns) — this is how the streaming parser stitches per-partition
-    results together without materialising Python values.
+    columns, value bytes copied verbatim) — this is how the streaming
+    parser and the sharded executor stitch per-partition results together
+    without materialising Python values.
     """
     if not tables:
         raise SchemaError("concat_tables needs at least one table")
@@ -280,28 +318,7 @@ def concat_tables(tables: Sequence[Table]) -> Table:
     columns: list[Column] = []
     for index, field in enumerate(schema):
         parts = [t.columns[index] for t in tables]
-        validity = ValidityBitmap.from_mask(
-            np.concatenate([p.validity.to_mask() for p in parts]))
-        rejects = sum(p.rejects for p in parts)
-        if field.dtype.is_variable_width:
-            total_rows = sum(len(p) for p in parts)
-            offsets = np.zeros(total_rows + 1, dtype=np.int64)
-            buffers: list[np.ndarray] = []
-            row = 0
-            base = 0
-            for p in parts:
-                assert p.offsets is not None
-                lo = int(p.offsets[0])
-                hi = int(p.offsets[-1])
-                buffers.append(p.data[lo:hi])
-                offsets[row + 1:row + len(p) + 1] = p.offsets[1:] - lo + base
-                base += hi - lo
-                row += len(p)
-            data = np.concatenate(buffers) if buffers else \
-                np.empty(0, dtype=np.uint8)
-            columns.append(Column(field, data, validity, offsets,
-                                  rejects=rejects))
-        else:
-            data = np.concatenate([p.data for p in parts])
-            columns.append(Column(field, data, validity, rejects=rejects))
+        merged = concat_buffers([p.buffers for p in parts])
+        columns.append(Column.from_buffers(
+            field, merged, rejects=sum(p.rejects for p in parts)))
     return Table(schema, columns)

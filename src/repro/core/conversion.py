@@ -50,7 +50,7 @@ from repro.core.vector_convert import (
 from repro.errors import ConversionError
 from repro.scan.numpy_scan import exclusive_sum
 
-__all__ = ["CollaborationStats", "convert_column"]
+__all__ = ["CollaborationStats", "ConvertStats", "convert_column"]
 
 
 @dataclass
@@ -70,6 +70,21 @@ class CollaborationStats:
             self.thread_fields + other.thread_fields,
             self.block_fields + other.block_fields,
             self.device_fields + other.device_fields)
+
+
+@dataclass
+class ConvertStats:
+    """Byte-copy accounting across one convert stage.
+
+    ``bytes_copied`` counts the value bytes materialised into output
+    buffers by copy; ``zero_copy_columns`` counts string columns whose
+    value buffer is a zero-copy slice of the column CSS (the fused
+    partition→convert handoff).  Surfaced as the ``convert.bytes.copied``
+    and ``convert.zero_copy_columns`` metrics.
+    """
+
+    bytes_copied: int = 0
+    zero_copy_columns: int = 0
 
 
 def _classify_collaboration(lengths: np.ndarray,
@@ -137,9 +152,15 @@ def _scalar_parse_into(field: Field, buf: np.ndarray, offsets: np.ndarray,
             values[i] = value
 
 
+def _contiguous(starts: np.ndarray, lengths: np.ndarray) -> bool:
+    """Whether the fields tile ``[starts[0], starts[-1] + lengths[-1])``."""
+    return bool(np.array_equal(starts[1:], starts[:-1] + lengths[:-1]))
+
+
 def convert_column(field: Field, css: np.ndarray, index: ColumnIndex,
                    row_of_record: np.ndarray, num_rows: int,
-                   options: ParseOptions
+                   options: ParseOptions,
+                   convert_stats: ConvertStats | None = None
                    ) -> tuple[Column, CollaborationStats]:
     """Convert one column's CSS into a typed :class:`Column`.
 
@@ -157,7 +178,11 @@ def convert_column(field: Field, css: np.ndarray, index: ColumnIndex,
         Output row count.
     options:
         Parse options (vectorised vs scalar conversion, thresholds,
-        strictness).
+        strictness, fused vs copying buffer assembly).
+    convert_stats:
+        Optional accumulator for byte-copy accounting (the convert
+        stage's ``convert.bytes.copied`` / ``convert.zero_copy_columns``
+        metrics).
     """
     records = index.records
     in_range = (records >= 0) & (records < len(row_of_record))
@@ -185,21 +210,53 @@ def convert_column(field: Field, css: np.ndarray, index: ColumnIndex,
 
     default = _effective_default(field)
 
+    # The fused paths need the output rows in order (so per-row cumsum
+    # reproduces the per-field order) and the fields tiling the CSS (so a
+    # CSS slice is the value buffer / a parse input).  Both hold on the
+    # record-tagged partition handoff unless NULL literals punched holes.
+    rows_ascending = bool(np.all(out_rows[1:] > out_rows[:-1]))
+    fields_tile_css = lengths.size > 0 and _contiguous(starts, lengths)
+
     if field.dtype is DataType.STRING:
-        column = _convert_string_column(field, css, starts, lengths,
-                                        out_rows, num_rows, default,
-                                        null_rows)
+        column = None
+        if options.fused_convert and rows_ascending and fields_tile_css:
+            column = _fused_string_column(field, css, starts, lengths,
+                                          out_rows, num_rows, default,
+                                          null_rows)
+        if column is not None:
+            if convert_stats is not None:
+                convert_stats.zero_copy_columns += 1
+        else:
+            column = _convert_string_column(field, css, starts, lengths,
+                                            out_rows, num_rows, default,
+                                            null_rows)
+            if convert_stats is not None:
+                convert_stats.bytes_copied += int(column.data.nbytes)
         return column, stats
 
-    data = np.zeros(num_rows, dtype=field.dtype.numpy_dtype)
-    if default is None:
-        validity = np.zeros(num_rows, dtype=bool)
-    else:
-        data[:] = default
-        validity = np.ones(num_rows, dtype=bool)
-
-    buf, packed_offsets = pack_fields(css, starts, lengths)
     n_fields = len(lengths)
+    # Fully-populated fixed-width column: every output row has exactly
+    # one field, in order — the parsed value vector *is* the data buffer
+    # and the parse-ok mask *is* the validity; no default pre-fill, no
+    # scatter.  (NULL-literal holes break full coverage, so they imply
+    # the scatter path.)
+    fused_fixed = (options.fused_convert and rows_ascending
+                   and n_fields == num_rows and num_rows > 0)
+    if not fused_fixed:
+        data = np.zeros(num_rows, dtype=field.dtype.numpy_dtype)
+        if default is None:
+            validity = np.zeros(num_rows, dtype=bool)
+        else:
+            data[:] = default
+            validity = np.ones(num_rows, dtype=bool)
+
+    if options.fused_convert and fields_tile_css:
+        # Fields already packed: parse straight off the CSS slice.
+        base = int(starts[0])
+        buf = css[base:int(starts[-1] + lengths[-1])]
+        packed_offsets = starts - base
+    else:
+        buf, packed_offsets = pack_fields(css, starts, lengths)
     if n_fields:
         if options.vectorized_conversion:
             values, ok, fallback = _vector_parse(field, buf,
@@ -225,15 +282,57 @@ def convert_column(field: Field, css: np.ndarray, index: ColumnIndex,
                 f"in column {field.name!r}",
                 column=None, record=int(out_rows[first]),
                 text=text.decode("utf-8", errors="replace"))
-        data[out_rows[ok]] = values[ok]
-        validity[out_rows[ok]] = True
-        validity[out_rows[~ok]] = False
+        if fused_fixed:
+            data = values
+            validity = ok
+        else:
+            data[out_rows[ok]] = values[ok]
+            validity[out_rows[ok]] = True
+            validity[out_rows[~ok]] = False
+            if convert_stats is not None:
+                convert_stats.bytes_copied += int(data.nbytes)
     else:
         rejects = 0
+        if convert_stats is not None and not fused_fixed:
+            convert_stats.bytes_copied += int(data.nbytes)
     validity[null_rows] = False
 
     return Column(field, data, ValidityBitmap.from_mask(validity),
                   rejects=rejects), stats
+
+
+def _fused_string_column(field: Field, css: np.ndarray,
+                         starts: np.ndarray, lengths: np.ndarray,
+                         out_rows: np.ndarray, num_rows: int,
+                         default,
+                         null_rows: np.ndarray) -> Column | None:
+    """Zero-copy string column: the value buffer is a slice of the CSS.
+
+    Preconditions checked by the caller: fields tile a contiguous CSS
+    range and output rows are ascending — then the CSS slice *is* the
+    Arrow value buffer byte-for-byte (same field order, no terminators in
+    between), and only the per-row offsets need computing (rows without
+    a field get zero length: NULL or empty-default).  Returns ``None``
+    when a non-empty default would have to materialise bytes the CSS
+    does not contain.
+    """
+    default_bytes = (default.encode("utf-8")
+                     if isinstance(default, str) else None)
+    if default_bytes:
+        return None
+    values = css[int(starts[0]):int(starts[-1] + lengths[-1])]
+    row_lengths = np.zeros(num_rows, dtype=np.int64)
+    row_lengths[out_rows] = lengths
+    offsets = np.zeros(num_rows + 1, dtype=np.int64)
+    np.cumsum(row_lengths, out=offsets[1:])
+    if default is None:
+        validity = np.zeros(num_rows, dtype=bool)
+        validity[out_rows] = True
+    else:
+        validity = np.ones(num_rows, dtype=bool)
+    validity[null_rows] = False
+    return Column(field, values, ValidityBitmap.from_mask(validity),
+                  offsets=offsets)
 
 
 def _convert_string_column(field: Field, css: np.ndarray,

@@ -158,6 +158,18 @@ class PartitionResult:
         strategy gathered (``None`` on the radix path, which never counts
         them).  Excluded from the strategies' bit-identity contract,
         which covers ``css``/``record_tags``/``column_offsets``/``order``.
+    field_records / field_starts / field_lengths / field_bounds:
+        Per-field geometry read directly off the segment gather, present
+        only when the field-run strategy partitioned from the tagging
+        stage's ``delim_positions`` (where one run is exactly one
+        non-empty field).  Sorted-run ``j`` is a field starting at CSS
+        position ``field_starts[j]`` with ``field_lengths[j]`` symbols of
+        record ``field_records[j]``; column ``c``'s fields are the slice
+        ``[field_bounds[c], field_bounds[c + 1])``.  This is the fused
+        partition→convert handoff: the convert stage reads each column's
+        index from here instead of re-deriving it with a per-symbol RLE,
+        and a column's CSS *is* already an Arrow string column
+        (:meth:`column_view`).
     """
 
     css: np.ndarray
@@ -166,6 +178,15 @@ class PartitionResult:
     num_columns: int
     order: np.ndarray | None = None
     num_field_runs: int | None = None
+    field_records: np.ndarray | None = None
+    field_starts: np.ndarray | None = None
+    field_lengths: np.ndarray | None = None
+    field_bounds: np.ndarray | None = None
+
+    @property
+    def has_field_geometry(self) -> bool:
+        """Whether per-field run geometry survived the partition."""
+        return self.field_bounds is not None
 
     def column_css(self, column: int) -> np.ndarray:
         """Column ``c``'s concatenated symbol string."""
@@ -177,6 +198,44 @@ class PartitionResult:
         lo = int(self.column_offsets[column])
         hi = int(self.column_offsets[column + 1])
         return self.record_tags[lo:hi]
+
+    def column_fields(self, column: int
+                      ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Column ``c``'s ``(records, offsets, lengths)`` field geometry.
+
+        Offsets are relative to :meth:`column_css`.  Requires
+        :attr:`has_field_geometry` (the ``delim_positions`` field-run
+        path); callers without it re-derive the index from the record
+        tags.
+        """
+        if self.field_bounds is None:
+            raise ParseError("partition carries no field geometry")
+        assert self.field_records is not None
+        assert self.field_starts is not None
+        assert self.field_lengths is not None
+        lo = int(self.field_bounds[column])
+        hi = int(self.field_bounds[column + 1])
+        base = int(self.column_offsets[column])
+        return (self.field_records[lo:hi],
+                self.field_starts[lo:hi] - base,
+                self.field_lengths[lo:hi])
+
+    def column_view(self, column: int) -> tuple[np.ndarray, np.ndarray]:
+        """Column ``c``'s CSS as an Arrow-style ``(values, offsets)`` pair.
+
+        ``values`` is a zero-copy view of :attr:`css`; ``offsets`` is the
+        ``(num_fields + 1,)`` int64 field-boundary buffer.  In the
+        record-tagged mode the fields tile the column CSS exactly, so the
+        pair *is* a valid Arrow string column over the retained fields —
+        no symbol is copied.  Requires :attr:`has_field_geometry`.
+        """
+        values = self.column_css(column)
+        _, starts, lengths = self.column_fields(column)
+        offsets = np.empty(starts.size + 1, dtype=np.int64)
+        offsets[:-1] = starts
+        offsets[-1] = (int(starts[-1] + lengths[-1]) if starts.size
+                       else 0)
+        return values, offsets
 
 
 def _check_partition_inputs(data: np.ndarray, keep_mask: np.ndarray,
@@ -325,7 +384,25 @@ def partition_field_runs(data: np.ndarray, keep_mask: np.ndarray,
     column_offsets = np.empty(num_columns + 1, dtype=np.int64)
     column_offsets[:-1] = out_bounds[run_starts_of_key]
     column_offsets[-1] = total
+
+    # On the delim_positions path every sorted run is exactly one
+    # non-empty field, so the run geometry *is* the per-column field
+    # index — expose it and spare the convert stage its per-symbol RLE.
+    # (The boundary-detect fallback may merge adjacent same-column runs
+    # across records, e.g. single-column data, so it stays geometry-free.)
+    field_records = field_bounds = None
+    if delim_positions is not None:
+        field_records = record_tags[out_starts]
+        field_bounds = np.empty(num_columns + 1, dtype=np.int64)
+        field_bounds[:-1] = run_starts_of_key
+        field_bounds[-1] = perm_runs.size
     return PartitionResult(css=css, record_tags=record_tags,
                            column_offsets=column_offsets,
                            num_columns=num_columns, order=order,
-                           num_field_runs=int(run_keys.size))
+                           num_field_runs=int(run_keys.size),
+                           field_records=field_records,
+                           field_starts=out_starts
+                           if field_bounds is not None else None,
+                           field_lengths=sorted_lengths
+                           if field_bounds is not None else None,
+                           field_bounds=field_bounds)

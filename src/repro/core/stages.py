@@ -41,7 +41,8 @@ from repro.columnar.schema import DataType, Field, Schema
 from repro.columnar.table import Table
 from repro.core.chunking import Chunking, chunk_groups
 from repro.core.context import chunk_start_states, compute_transition_vectors
-from repro.core.conversion import CollaborationStats, convert_column
+from repro.core.conversion import CollaborationStats, ConvertStats, \
+    convert_column
 from repro.core.options import (
     ColumnCountPolicy,
     ParseOptions,
@@ -235,6 +236,8 @@ class ConvertedOutput:
     num_rows: int
     rejected_records: int
     input_bytes: int
+    #: Byte-copy accounting of the convert stage (fused-path telemetry).
+    convert_stats: ConvertStats = field(default_factory=ConvertStats)
 
 
 def as_input_array(data: bytes | bytearray | np.ndarray) -> np.ndarray:
@@ -662,6 +665,7 @@ class ConvertStage(Stage):
         columns = []
         out_fields = []
         collaboration = CollaborationStats()
+        convert_stats = ConvertStats()
         for column in range(num_columns):
             if not payload.column_mask[column]:
                 continue
@@ -681,7 +685,8 @@ class ConvertStage(Stage):
                         f"records; inline/delimited tagging requires a "
                         f"consistent column count")
             converted, stats = convert_column(
-                field, column_css, index, row_of, num_rows, options)
+                field, column_css, index, row_of, num_rows, options,
+                convert_stats)
             columns.append(converted)
             out_fields.append(field)
             collaboration = collaboration + stats
@@ -695,6 +700,7 @@ class ConvertStage(Stage):
             num_rows=num_rows,
             rejected_records=payload.rejected_records,
             input_bytes=payload.input_bytes,
+            convert_stats=convert_stats,
         )
 
     def record_metrics(self, metrics, payload: ConvertedOutput) -> None:
@@ -706,6 +712,10 @@ class ConvertStage(Stage):
                           + (col.offsets.nbytes if col.offsets is not None
                              else 0)
                           for col in payload.table.columns))
+        metrics.count("convert.bytes.copied",
+                      payload.convert_stats.bytes_copied)
+        metrics.count("convert.zero_copy_columns",
+                      payload.convert_stats.zero_copy_columns)
 
     @staticmethod
     def _infer_schema(options: ParseOptions, part, css: np.ndarray,

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 __all__ = [
     "CapacityError",
+    "ColumnarError",
     "ConversionError",
     "DfaError",
     "DialectError",
@@ -75,6 +76,16 @@ class ConversionError(ReproError):
 
 class SchemaError(ReproError):
     """A schema is inconsistent with the input or with itself."""
+
+
+class ColumnarError(SchemaError):
+    """A columnar buffer operation or serialised stream is malformed.
+
+    Subclasses :class:`SchemaError` so existing handlers around the
+    serialisation round trip keep working; raised for framing problems
+    (bad magic, truncation, trailing bytes, length-field overflow) and
+    inconsistent buffer geometry.
+    """
 
 
 class CapacityError(ReproError):

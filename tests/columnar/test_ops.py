@@ -1,0 +1,126 @@
+"""Tests for BufferColumn and the structural buffer operations."""
+
+import numpy as np
+import pytest
+
+from repro.columnar.buffers import BufferColumn, pack_validity
+from repro.columnar.ops import concat_buffers, slice_buffers, take_buffers
+from repro.errors import ColumnarError
+
+
+def fixed(values, mask=None):
+    values = np.asarray(values, dtype=np.int64)
+    mask = np.ones(values.size, dtype=bool) if mask is None \
+        else np.asarray(mask, dtype=bool)
+    return BufferColumn(values.size, pack_validity(mask), values)
+
+
+def variable(strings):
+    mask = np.array([s is not None for s in strings])
+    payload = b"".join(s.encode() for s in strings if s is not None)
+    lengths = [len(s.encode()) if s is not None else 0 for s in strings]
+    offsets = np.concatenate([[0], np.cumsum(lengths)]).astype(np.int64)
+    return BufferColumn(len(strings), pack_validity(mask),
+                        np.frombuffer(payload, dtype=np.uint8).copy(),
+                        offsets)
+
+
+def materialise(column):
+    mask = column.validity_mask()
+    if column.offsets is None:
+        return [int(v) if ok else None
+                for v, ok in zip(column.values, mask)]
+    view = memoryview(column.values.tobytes())
+    return [bytes(view[int(column.offsets[i]):
+                       int(column.offsets[i + 1])]).decode()
+            if mask[i] else None for i in range(column.length)]
+
+
+class TestBufferColumn:
+    def test_geometry_validation(self):
+        with pytest.raises(ColumnarError):
+            BufferColumn(-1, np.zeros(0, dtype=np.uint8),
+                         np.zeros(0, dtype=np.int64))
+        with pytest.raises(ColumnarError):  # bitmap too short
+            BufferColumn(9, np.zeros(1, dtype=np.uint8),
+                         np.zeros(9, dtype=np.int64))
+        with pytest.raises(ColumnarError):  # offsets wrong length
+            BufferColumn(2, np.zeros(1, dtype=np.uint8),
+                         np.zeros(4, dtype=np.uint8),
+                         np.array([0, 4], dtype=np.int64))
+        with pytest.raises(ColumnarError):  # offsets overrun values
+            BufferColumn(1, np.zeros(1, dtype=np.uint8),
+                         np.zeros(2, dtype=np.uint8),
+                         np.array([0, 3], dtype=np.int64))
+
+    def test_nbytes_and_width(self):
+        col = variable(["ab", "c"])
+        assert col.is_variable_width
+        assert col.nbytes() == col.validity.nbytes \
+            + col.offsets.nbytes + col.values.nbytes
+        assert not fixed([1, 2]).is_variable_width
+
+
+class TestTakeBuffers:
+    def test_fixed_gather(self):
+        col = fixed([10, 20, 30, 40], [True, False, True, True])
+        out = take_buffers(col, np.array([3, 0, 1]))
+        assert materialise(out) == [40, 10, None]
+
+    def test_variable_gather(self):
+        col = variable(["aa", None, "", "xyz"])
+        out = take_buffers(col, np.array([3, 2, 0, 0]))
+        assert materialise(out) == ["xyz", "", "aa", "aa"]
+        assert int(out.offsets[0]) == 0
+
+    def test_out_of_range(self):
+        with pytest.raises(ColumnarError):
+            take_buffers(fixed([1, 2]), np.array([2]))
+        with pytest.raises(ColumnarError):
+            take_buffers(fixed([1, 2]), np.array([-1]))
+
+
+class TestSliceBuffers:
+    def test_views_not_copies(self):
+        col = variable(["aa", "b", "ccc", "d"])
+        out = slice_buffers(col, 1, 3)
+        assert materialise(out) == ["b", "ccc"]
+        assert np.shares_memory(out.values, col.values)
+        assert np.shares_memory(out.offsets, col.offsets)
+        assert int(out.offsets[0]) == 2  # non-zero base, by design
+
+    def test_unaligned_start_repacks_validity(self):
+        col = fixed(list(range(20)), [i % 3 == 0 for i in range(20)])
+        out = slice_buffers(col, 5, 13)
+        assert materialise(out) == [v if v % 3 == 0 else None
+                                    for v in range(5, 13)]
+
+    def test_bounds_checked(self):
+        with pytest.raises(ColumnarError):
+            slice_buffers(fixed([1]), 0, 2)
+        with pytest.raises(ColumnarError):
+            slice_buffers(fixed([1]), -1, 1)
+
+
+class TestConcatBuffers:
+    def test_variable_rebase(self):
+        parts = [variable(["aa", None]), variable([]),
+                 slice_buffers(variable(["xx", "yy", "zz"]), 1, 3)]
+        out = concat_buffers(parts)
+        assert materialise(out) == ["aa", None, "yy", "zz"]
+        assert int(out.offsets[0]) == 0
+        assert int(out.offsets[-1]) == out.values.size
+
+    def test_fixed_concat(self):
+        out = concat_buffers([fixed([1, 2]), fixed([3], [False])])
+        assert materialise(out) == [1, 2, None]
+
+    def test_single_part_passthrough(self):
+        col = variable(["a"])
+        assert concat_buffers([col]) is col
+
+    def test_mixed_width_rejected(self):
+        with pytest.raises(ColumnarError):
+            concat_buffers([fixed([1]), variable(["a"])])
+        with pytest.raises(ColumnarError):
+            concat_buffers([])

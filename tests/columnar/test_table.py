@@ -94,6 +94,62 @@ class TestTable:
             Table(schema, [])
 
 
+class TestFilterSlice:
+    def make(self, n: int) -> Table:
+        schema = Schema([Field("i", DataType.INT64),
+                         Field("s", DataType.STRING)])
+        return Table(schema, [
+            Column.from_values(schema[0], list(range(n))),
+            Column.from_values(schema[1],
+                               [None if i % 11 == 0 else f"v{i}"
+                                for i in range(n)]),
+        ])
+
+    def test_filter_contents(self):
+        table = self.make(50)
+        mask = np.arange(50) % 7 == 0
+        filtered = table.filter(mask)
+        assert filtered.num_rows == int(mask.sum())
+        assert filtered.to_pylist() == [
+            row for row, keep in zip(table.to_pylist(), mask) if keep]
+
+    def test_filter_mask_length_checked(self):
+        with pytest.raises(SchemaError):
+            self.make(5).filter(np.ones(4, dtype=bool))
+
+    def test_slice_contents_and_views(self):
+        table = self.make(50)
+        sliced = table.slice(10, 20)
+        assert sliced.num_rows == 10
+        assert sliced.to_pylist() == table.to_pylist()[10:20]
+        # Slices are views over the parent buffers, not copies.
+        for parent, child in zip(table.columns, sliced.columns):
+            assert np.shares_memory(child.data, parent.data)
+
+    def test_filter_large_table_avoids_row_materialisation(self, monkeypatch):
+        """Regression (ISSUE 6): filter/slice on a 6-digit-row table must
+        be buffer gathers — never a ``Column.value`` call per row."""
+        n = 100_000
+        table = self.make(n)
+        calls = {"value": 0}
+        original = Column.value
+
+        def counting_value(self, row):
+            calls["value"] += 1
+            return original(self, row)
+
+        monkeypatch.setattr(Column, "value", counting_value)
+        mask = np.arange(n) % 97 == 0
+        filtered = table.filter(mask)
+        sliced = table.slice(n // 2, n // 2 + 10)
+        assert calls["value"] == 0
+        assert filtered.num_rows == int(mask.sum())
+        assert sliced.num_rows == 10
+        monkeypatch.undo()
+        assert filtered.column("i").value(1) == 97
+        assert sliced.column("s").value(0) == f"v{n // 2}"
+
+
 class TestConcatTables:
     def test_concat_roundtrip(self):
         schema = Schema([Field("a", DataType.INT64),
