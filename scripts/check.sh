@@ -12,6 +12,26 @@ export PYTHONPATH
 
 python -m compileall -q src
 python -m repro lint src
+# Dataflow tier: the buffer-ownership analysis must prove src/repro free
+# of unwaived borrowed-view mutations and escapes (PPR6xx) — the static
+# half of the zero-copy safety argument (the runtime half is the
+# read-only guard the parity suites enable).
+python -m repro lint src/repro --select PPR6
+# Lint self-test smoke: the known-bad corpus must still fail, and the
+# dataflow corpus must trip both new checkers.
+if python -m repro lint tests/analysis/corpus > /dev/null 2>&1; then
+    echo "parlint corpus unexpectedly clean" >&2
+    exit 1
+fi
+corpus_codes="$(python -m repro lint tests/analysis/corpus \
+    --select PPR6 || true)"
+for code in PPR601 PPR602 PPR603 PPR604 PPR605 PPR606; do
+    case "$corpus_codes" in
+        *"$code"*) ;;
+        *) echo "parlint corpus smoke: $code not caught" >&2; exit 1 ;;
+    esac
+done
+echo "parlint corpus smoke: PPR601-606 all caught"
 # Law tier: exhaustive associativity+identity proofs for every
 # registered scan operator (licenses the parallel scans of paper §2).
 python -m pytest tests/analysis/test_operator_laws.py -q

@@ -246,7 +246,8 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 def cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis import main as lint_main
     return lint_main(args.paths, output_format=args.format,
-                     list_codes=args.list_codes)
+                     list_codes=args.list_codes, select=args.select,
+                     ignore=args.ignore)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -337,7 +338,15 @@ def build_parser() -> argparse.ArgumentParser:
         "lint", help="run the parlint static-analysis checkers")
     p_lint.add_argument("paths", nargs="*", default=["src"],
                         help="files or directories to lint (default: src)")
-    p_lint.add_argument("--format", choices=("text", "json"),
+    p_lint.add_argument("--select", action="append", default=None,
+                        metavar="CODES",
+                        help="only report codes matching these comma-"
+                             "separated prefixes (e.g. PPR6,PPR401)")
+    p_lint.add_argument("--ignore", action="append", default=None,
+                        metavar="CODES",
+                        help="drop codes matching these comma-separated "
+                             "prefixes")
+    p_lint.add_argument("--format", choices=("text", "json", "github"),
                         default="text")
     p_lint.add_argument("--list-codes", action="store_true",
                         help="list all checkers and diagnostic codes")

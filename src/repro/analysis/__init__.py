@@ -3,9 +3,11 @@
 The pipeline's correctness rests on invariants the type system cannot
 see: stages must honour their declared payload contracts, scan operators
 must be lawful monoids (paper §2), worker tasks must be pure and
-picklable, hot-path modules must stay vectorised, and the package layers
-must stay a DAG.  This package enforces all of them statically, with an
-exhaustive law-check tier for the operators.
+picklable, hot-path modules must stay vectorised, the package layers
+must stay a DAG, and no zero-copy buffer view may be mutated or escape
+its frame (the ownership dataflow tier,
+:mod:`repro.analysis.dataflow`).  This package enforces all of them
+statically, with an exhaustive law-check tier for the operators.
 
 Entry points:
 
@@ -17,13 +19,24 @@ Entry points:
 Waiver syntax (see ``docs/PARLINT.md``): ``# parlint: disable=CODE`` on
 the offending line, ``# parlint: disable-file=CODE`` or
 ``# parlint: skip-file`` at module level, plus the markers
-``# parlint: hot-path``, ``# parlint: worker`` and
-``# parlint: module=dotted.name``.  A ``-- justification`` suffix is
-encouraged and ignored by the parser.
+``# parlint: hot-path``, ``# parlint: worker``,
+``# parlint: borrowed[=names]``, ``# parlint: returns-borrowed``,
+``# parlint: owned`` and ``# parlint: module=dotted.name``.  A
+``-- justification`` suffix is encouraged and ignored by the parser.
 """
 
-from repro.analysis.diagnostics import Diagnostic, render_json, render_text
-from repro.analysis.driver import LintResult, lint_paths, main
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    render_github,
+    render_json,
+    render_text,
+)
+from repro.analysis.driver import (
+    LintResult,
+    filter_diagnostics,
+    lint_paths,
+    main,
+)
 from repro.analysis.registry import Checker, all_checkers, all_codes, register
 
 __all__ = [
@@ -32,9 +45,11 @@ __all__ = [
     "LintResult",
     "all_checkers",
     "all_codes",
+    "filter_diagnostics",
     "lint_paths",
     "main",
     "register",
+    "render_github",
     "render_json",
     "render_text",
 ]

@@ -7,11 +7,63 @@ import ast
 __all__ = [
     "base_names",
     "decorator_names",
+    "def_anchor_lines",
     "dotted_name",
     "stage_subclasses",
+    "statement_spans",
     "dataclass_fields_by_name",
     "class_methods",
 ]
+
+#: Simple (non-compound) statements: a pragma anywhere within one of
+#: these applies to the whole statement when it spans several lines.
+_SIMPLE_STMTS = (ast.Assign, ast.AnnAssign, ast.AugAssign, ast.Expr,
+                 ast.Return, ast.Raise, ast.Assert, ast.Delete,
+                 ast.Import, ast.ImportFrom, ast.Global, ast.Nonlocal)
+
+
+def statement_spans(tree: ast.Module) -> list[tuple[int, int]]:
+    """``(first_line, last_line)`` of every multi-line simple statement.
+
+    Used by the driver to let a ``# parlint: disable=…`` trailing any
+    physical line of a statement (a call split over several lines, a
+    parenthesised expression, …) waive diagnostics anchored anywhere in
+    that statement.  Compound statements (``def``/``for``/``if``…) are
+    deliberately excluded: expanding a waiver over a whole suite would
+    silence far more than the author wrote it next to.
+    """
+    spans: list[tuple[int, int]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, _SIMPLE_STMTS) \
+                and node.end_lineno is not None \
+                and node.end_lineno > node.lineno:
+            spans.append((node.lineno, node.end_lineno))
+    return spans
+
+
+def def_anchor_lines(func: ast.FunctionDef | ast.AsyncFunctionDef
+                     ) -> set[int]:
+    """Physical lines on which a def-level pragma marker may sit.
+
+    Covers the ``def`` line, the line directly above the def *or its
+    first decorator*, every decorator line, and the whole signature when
+    it spans several lines — so ``# parlint: worker`` (or ``borrowed``/
+    ``returns-borrowed``) keeps working when a decorator is added above
+    the function or the parameter list wraps.
+    """
+    lines = {func.lineno, func.lineno - 1}
+    if func.decorator_list:
+        first = min(d.lineno for d in func.decorator_list)
+        lines.add(first - 1)
+        for deco in func.decorator_list:
+            lines.add(deco.lineno)
+            if deco.end_lineno is not None:
+                lines.update(range(deco.lineno, deco.end_lineno + 1))
+    if func.body:
+        # Multi-line signatures: def line .. line before the first body
+        # statement (covers the closing-paren line).
+        lines.update(range(func.lineno, func.body[0].lineno))
+    return lines
 
 
 def dotted_name(node: ast.AST) -> str | None:

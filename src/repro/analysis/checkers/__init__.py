@@ -7,6 +7,8 @@ registry's ``all_checkers()`` imports this module lazily).
 
 from repro.analysis.checkers import (  # noqa: F401  (registration imports)
     api_hygiene,
+    buffer_escape,
+    buffer_mutation,
     hot_loops,
     mp_safety,
     operator_laws,
@@ -15,6 +17,8 @@ from repro.analysis.checkers import (  # noqa: F401  (registration imports)
 
 __all__ = [
     "api_hygiene",
+    "buffer_escape",
+    "buffer_mutation",
     "hot_loops",
     "mp_safety",
     "operator_laws",

@@ -1,0 +1,78 @@
+"""Checker: borrowed buffer views escaping their frame (PPR604-606).
+
+A borrowed view is only valid while its backing buffer is: a CSS slice
+dies with the partition result, a shared-memory view dies with the
+segment (``_open_shard``'s contract), a ``slice_buffers`` view dies
+with the source column.  A view that outlives its frame is a
+use-after-free waiting for a GC or ``shm.close()`` — or, subtler, a
+mutation hazard handed to a caller who believes the array is theirs.
+The ownership dataflow (:mod:`repro.analysis.dataflow`) flags three
+escape routes:
+
+* **PPR604** — a borrowed view is returned or yielded from a function
+  not marked ``# parlint: returns-borrowed``.  Functions that hand out
+  views *by contract* (``slice_buffers``, ``column_view``) carry the
+  marker; everyone else must copy before returning.
+* **PPR605** — a nested function or lambda captures a borrowed name:
+  the closure can outlive the frame (callbacks, late binding in loops),
+  carrying the dying view with it.
+* **PPR606** — a borrowed view is stored into an object attribute
+  (``self.cache = view``): the attribute outlives the call, so the
+  object now holds a reference into a buffer it does not own.  Storing
+  *into a subscript* of an owned array (``owned[a:b] = view``) is
+  deliberately not an escape — NumPy copies the values.
+
+Fix by copying at the boundary (``view.copy()``) or by marking the
+function ``returns-borrowed`` when handing out views is its documented
+contract (which moves the obligation to callers: the dataflow then
+treats its results as borrowed).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.dataflow import analyse_module
+from repro.analysis.registry import Checker, register
+
+__all__ = ["BufferEscapeChecker"]
+
+_CODE_BY_KIND = {
+    "return": "PPR604",
+    "yield": "PPR604",
+    "closure": "PPR605",
+    "store-escape": "PPR606",
+}
+
+
+@register
+class BufferEscapeChecker(Checker):
+    name = "buffer-escape"
+    codes = {
+        "PPR604": "borrowed buffer view returned/yielded without a "
+                  "returns-borrowed contract",
+        "PPR605": "closure captures a borrowed buffer view that may "
+                  "outlive its frame",
+        "PPR606": "borrowed buffer view stored into an outliving "
+                  "object attribute",
+    }
+
+    def check(self, module):
+        for event in analyse_module(module):
+            code = _CODE_BY_KIND.get(event.kind)
+            if code is None:
+                continue
+            if code == "PPR604":
+                detail = (f"{event.function}() {event.kind}s "
+                          f"{event.name!r}, a borrowed view "
+                          f"({event.origin}); copy before returning or "
+                          f"mark the function returns-borrowed")
+            elif code == "PPR605":
+                detail = (f"{event.function}() captures borrowed view "
+                          f"{event.name!r} in a closure "
+                          f"({event.origin}); the closure may outlive "
+                          f"the buffer — pass a copy instead")
+            else:
+                detail = (f"{event.function}() stores borrowed view "
+                          f"into {event.name!r} ({event.origin}); the "
+                          f"attribute outlives the call — store a copy "
+                          f"or document ownership transfer")
+            yield self.diagnostic(module, event.line, code, detail)

@@ -1,0 +1,75 @@
+"""Checker: mutation of borrowed zero-copy buffers (PPR601-603).
+
+The fused convert path and the columnar slicing operators hand out
+*views* — string columns alias the partition CSS, ``slice_buffers``
+aliases its input column, ``_open_shard`` aliases a shared-memory
+segment.  Writing through any of those views corrupts every sibling
+alias, usually far from the write and only for some shard geometries.
+Three mutation families are flagged on values the ownership dataflow
+(:mod:`repro.analysis.dataflow`) proves borrowed:
+
+* **PPR601** — a plain store through the alias: ``view[i] = x``,
+  ``view[a:b] = x``, ``view += x`` (in-place ufunc) or an attribute
+  store through it (``view.flags.writeable = True``).
+* **PPR602** — a registered in-place ndarray method on the alias:
+  ``sort``/``fill``/``put``/``partition``/… (see
+  :data:`repro.analysis.dataflow.INPLACE_METHODS`), plus ``byteswap``
+  with a truthy ``inplace=`` and ``setflags`` enabling write.
+* **PPR603** — the alias passed as an ``out=`` target: NumPy writes the
+  result straight into the shared buffer.
+
+Fix by copying first (``view.copy()``) or by restructuring so the
+function owns the buffer it writes; annotate deliberate exceptions with
+``# parlint: owned`` (asserting a copy the analysis cannot see) or a
+justified ``disable=`` waiver.  The runtime twin of this checker is
+:mod:`repro.columnar.guard`, which makes every handed-out view
+read-only under the parity suites so a missed write raises immediately.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.dataflow import analyse_module
+from repro.analysis.registry import Checker, register
+
+__all__ = ["BufferMutationChecker"]
+
+_CODE_BY_KIND = {
+    "subscript-store": "PPR601",
+    "attribute-store": "PPR601",
+    "augassign": "PPR601",
+    "inplace-method": "PPR602",
+    "out-kwarg": "PPR603",
+}
+
+_VERB_BY_KIND = {
+    "subscript-store": "stores into",
+    "attribute-store": "assigns an attribute of",
+    "augassign": "updates in place",
+    "inplace-method": "calls an in-place method on",
+    "out-kwarg": "uses as an out= target",
+}
+
+
+@register
+class BufferMutationChecker(Checker):
+    name = "buffer-mutation"
+    codes = {
+        "PPR601": "write through a borrowed buffer view (subscript/"
+                  "attribute store or augmented assignment)",
+        "PPR602": "in-place ndarray method invoked on a borrowed "
+                  "buffer view",
+        "PPR603": "borrowed buffer view passed as an out= target",
+    }
+
+    def check(self, module):
+        for event in analyse_module(module):
+            code = _CODE_BY_KIND.get(event.kind)
+            if code is None:
+                continue
+            verb = _VERB_BY_KIND[event.kind]
+            yield self.diagnostic(
+                module, event.line, code,
+                f"{event.function}() {verb} {event.name!r}, a borrowed "
+                f"view ({event.origin}); mutating it corrupts every "
+                f"alias of the shared buffer — copy first or take "
+                f"ownership")

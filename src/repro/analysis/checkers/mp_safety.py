@@ -33,6 +33,7 @@ import ast
 
 from repro.analysis.astutils import (
     class_methods,
+    def_anchor_lines,
     dotted_name,
     stage_subclasses,
 )
@@ -81,7 +82,8 @@ def _audited_functions(module) -> list[tuple[str, ast.FunctionDef]]:
                 audited.append((f"stage method {cls.name}.{name}", method))
     for node in ast.walk(module.tree):
         if isinstance(node, ast.FunctionDef) \
-                and module.pragmas.is_worker_def(node.lineno):
+                and module.pragmas.has_worker_marker(
+                    def_anchor_lines(node)):
             audited.append((f"worker function {node.name}", node))
     return audited
 

@@ -16,7 +16,7 @@ import json
 from dataclasses import asdict, dataclass
 from typing import Iterable
 
-__all__ = ["Diagnostic", "render_text", "render_json"]
+__all__ = ["Diagnostic", "render_text", "render_json", "render_github"]
 
 
 @dataclass(frozen=True, order=True)
@@ -41,6 +41,25 @@ class Diagnostic:
 def render_text(diagnostics: Iterable[Diagnostic]) -> str:
     """The human rendering: one sorted ``path:line: CODE message`` per line."""
     return "\n".join(d.format() for d in sorted(diagnostics))
+
+
+def _github_escape(text: str) -> str:
+    """Escape message data for a workflow command (GitHub's own rules)."""
+    return (text.replace("%", "%25").replace("\r", "%0D")
+            .replace("\n", "%0A"))
+
+
+def render_github(diagnostics: Iterable[Diagnostic]) -> str:
+    """GitHub Actions workflow-command rendering.
+
+    One ``::error file=…,line=…`` annotation per finding — emitted on a
+    workflow runner's stdout, these attach to the offending lines of the
+    PR diff (``parparaw lint --format github``).
+    """
+    return "\n".join(
+        f"::error file={d.path},line={d.line},"
+        f"title=parlint {d.code}::{_github_escape(f'{d.code} {d.message}')}"
+        for d in sorted(diagnostics))
 
 
 def render_json(diagnostics: Iterable[Diagnostic], *,

@@ -14,11 +14,18 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Iterator, Sequence
 
-from repro.analysis.diagnostics import Diagnostic, render_json, render_text
+from repro.analysis.astutils import statement_spans
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    render_github,
+    render_json,
+    render_text,
+)
 from repro.analysis.pragmas import FilePragmas, parse_pragmas
 from repro.analysis.registry import Checker, all_checkers, all_codes
 
-__all__ = ["ModuleInfo", "LintResult", "load_module", "lint_paths", "main"]
+__all__ = ["ModuleInfo", "LintResult", "filter_diagnostics", "load_module",
+           "lint_paths", "main"]
 
 
 @dataclass
@@ -76,6 +83,10 @@ def load_module(path: Path) -> ModuleInfo:
     source = path.read_text(encoding="utf-8")
     tree = ast.parse(source, filename=str(path))
     pragmas = parse_pragmas(source)
+    # A waiver on any physical line of a multi-line simple statement
+    # covers the whole statement (the diagnostic may be anchored to a
+    # different line of it than the pragma).
+    pragmas.attach_statement_spans(statement_spans(tree))
     module = pragmas.module_override or _module_name_from_path(path)
     return ModuleInfo(path=path, source=source, tree=tree,
                       module=module, pragmas=pragmas)
@@ -135,6 +146,40 @@ def lint_paths(paths: Sequence[Path | str],
     return LintResult(diagnostics=diagnostics, files_checked=count)
 
 
+def _split_code_list(spec: str | Iterable[str] | None) -> list[str]:
+    """Normalise a ``--select``/``--ignore`` spec into code prefixes."""
+    if spec is None:
+        return []
+    if isinstance(spec, str):
+        spec = [spec]
+    prefixes: list[str] = []
+    for entry in spec:
+        prefixes.extend(p.strip() for p in entry.split(",") if p.strip())
+    return prefixes
+
+
+def filter_diagnostics(diagnostics: Sequence[Diagnostic],
+                       select: str | Iterable[str] | None = None,
+                       ignore: str | Iterable[str] | None = None
+                       ) -> list[Diagnostic]:
+    """Keep diagnostics matching ``select`` and not matching ``ignore``.
+
+    Both filters are comma-separated lists of code *prefixes*
+    (``PPR6`` selects the whole dataflow tier, ``PPR601`` one code).
+    An empty/absent ``select`` keeps everything.
+    """
+    selected = _split_code_list(select)
+    ignored = _split_code_list(ignore)
+    kept = []
+    for diag in diagnostics:
+        if selected and not any(diag.code.startswith(p) for p in selected):
+            continue
+        if any(diag.code.startswith(p) for p in ignored):
+            continue
+        kept.append(diag)
+    return kept
+
+
 def _list_codes() -> str:
     lines = ["parlint diagnostic codes:"]
     for code, summary in all_codes().items():
@@ -143,7 +188,9 @@ def _list_codes() -> str:
 
 
 def main(paths: Iterable[str], output_format: str = "text",
-         list_codes: bool = False, out=None) -> int:
+         list_codes: bool = False, out=None,
+         select: str | Iterable[str] | None = None,
+         ignore: str | Iterable[str] | None = None) -> int:
     """CLI body shared by ``parparaw lint`` (see ``repro.__main__``)."""
     out = out if out is not None else sys.stdout
     if list_codes:
@@ -154,12 +201,18 @@ def main(paths: Iterable[str], output_format: str = "text",
     except (FileNotFoundError, SyntaxError) as exc:
         print(f"parlint: error: {exc}", file=sys.stderr)
         return 2
+    diagnostics = filter_diagnostics(result.diagnostics, select, ignore)
     if output_format == "json":
-        print(render_json(result.diagnostics,
+        print(render_json(diagnostics,
                           files_checked=result.files_checked), file=out)
-    else:
-        if result.diagnostics:
-            print(render_text(result.diagnostics), file=out)
-        print(f"parlint: {len(result.diagnostics)} finding(s) in "
+    elif output_format == "github":
+        if diagnostics:
+            print(render_github(diagnostics), file=out)
+        print(f"parlint: {len(diagnostics)} finding(s) in "
               f"{result.files_checked} file(s)", file=out)
-    return 0 if result.ok else 1
+    else:
+        if diagnostics:
+            print(render_text(diagnostics), file=out)
+        print(f"parlint: {len(diagnostics)} finding(s) in "
+              f"{result.files_checked} file(s)", file=out)
+    return 0 if not diagnostics else 1

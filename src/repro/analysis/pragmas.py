@@ -1,4 +1,4 @@
-"""Parlint pragma comments: waivers and in-source markers.
+"""Parlint pragma comments: waivers, markers and ownership annotations.
 
 Pragmas are ordinary ``#`` comments beginning with ``parlint:``.  An
 optional justification follows `` -- `` and is encouraged for every
@@ -10,7 +10,10 @@ Waivers
 ``# parlint: disable=PPR401``
     Waive the listed codes (comma-separated) for diagnostics anchored to
     this physical line.  ``disable`` with no codes waives everything on
-    the line.
+    the line.  When the pragma sits on any physical line of a multi-line
+    *simple* statement (a call spanning several lines, say), the waiver
+    covers the whole statement — the driver expands it over the
+    statement's extent (:meth:`FilePragmas.attach_statement_spans`).
 ``# parlint: disable-file=PPR401,PPR303``
     Waive the listed codes for the whole file.
 ``# parlint: skip-file``
@@ -22,12 +25,35 @@ Markers
     Marks the module as performance-critical: the hot-path checker flags
     every explicit Python loop in it (PPR401) unless waived.
 ``# parlint: worker``
-    On (or directly above) a ``def``: the function is shipped to worker
-    processes, so the multiprocess-safety checker audits its body.
+    On (or adjacent to) a ``def``: the function is shipped to worker
+    processes, so the multiprocess-safety checker audits its body.  The
+    marker may trail the ``def`` line, any decorator line, or sit on the
+    line directly above the ``def`` or its first decorator (see
+    :func:`repro.analysis.astutils.def_anchor_lines`).
 ``# parlint: module=repro.core.example``
     Overrides the dotted module name inferred from the file path — used
     by the self-test corpus to exercise package-layering rules on files
     that live outside ``src/``.
+
+Ownership annotations (dataflow tier)
+-------------------------------------
+``# parlint: borrowed`` / ``# parlint: borrowed=css,buf``
+    On (or adjacent to) a ``def``: the named parameters (all parameters
+    when no names are given) are *borrowed* views of shared buffers —
+    the dataflow checkers (PPR6xx) flag any mutation of them or of
+    aliases derived from them.  On an assignment line, forces the
+    assigned name(s) borrowed (an ownership assertion the analysis
+    cannot infer).
+``# parlint: returns-borrowed``
+    On (or adjacent to) a ``def``: the function intentionally returns
+    borrowed views (``slice_buffers`` is the canonical example), so a
+    borrowed value escaping through its ``return``/``yield`` is not a
+    violation — and *callers* of the function treat its result as
+    borrowed.
+``# parlint: owned``
+    On an assignment line: asserts the assigned name(s) own their
+    buffer (e.g. just after a copy the analysis cannot see through),
+    clearing any inferred borrow.
 
 Pragmas are extracted with a line-based scan, not the tokenizer; a
 pragma-shaped string inside a string literal would be honoured.  This is
@@ -39,6 +65,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
+from typing import Iterable, Sequence
 
 __all__ = ["FilePragmas", "parse_pragmas"]
 
@@ -59,6 +86,12 @@ class FilePragmas:
     hot_path: bool = False
     #: Lines carrying a ``worker`` marker.
     worker_lines: set[int] = field(default_factory=set)
+    #: Line -> parameter names marked ``borrowed`` (empty set = all).
+    borrowed_lines: dict[int, set[str]] = field(default_factory=dict)
+    #: Lines carrying a ``returns-borrowed`` marker.
+    returns_borrowed_lines: set[int] = field(default_factory=set)
+    #: Lines carrying an ``owned`` assertion.
+    owned_lines: set[int] = field(default_factory=set)
     #: Explicit ``module=`` override, if any.
     module_override: str | None = None
 
@@ -71,15 +104,84 @@ class FilePragmas:
             return False
         return not codes or code in codes
 
+    def attach_statement_spans(
+            self, spans: Sequence[tuple[int, int]]) -> None:
+        """Extend line waivers over multi-line statement extents.
+
+        ``spans`` is a list of ``(first_line, last_line)`` pairs of
+        simple statements spanning more than one physical line (see
+        :func:`repro.analysis.astutils.statement_spans`).  A waiver on
+        any line of such a statement then covers every line of it, so a
+        ``# parlint: disable=…`` trailing a multi-line call waives the
+        diagnostic anchored at the call's first line (and vice versa).
+        """
+        for lo, hi in spans:
+            gathered: set[str] | None = None
+            for line in range(lo, hi + 1):
+                codes = self.line_disabled.get(line)
+                if codes is None:
+                    continue
+                if gathered is None:
+                    gathered = set(codes)
+                elif not codes or not gathered:
+                    gathered = set()  # bare disable dominates
+                else:
+                    gathered |= codes
+            if gathered is None:
+                continue
+            for line in range(lo, hi + 1):
+                existing = self.line_disabled.get(line)
+                if existing is None:
+                    self.line_disabled[line] = set(gathered)
+                elif not gathered or not existing:
+                    existing.clear()
+                else:
+                    existing |= gathered
+
     def is_worker_def(self, def_line: int) -> bool:
         """Whether a ``def`` at ``def_line`` carries a worker marker.
 
-        The marker may trail the ``def`` line itself or sit on the line
-        directly above it (above any decorators is *not* recognised —
-        keep the marker adjacent to the ``def``).
+        Legacy single-line probe; prefer :meth:`has_worker_marker` with
+        :func:`repro.analysis.astutils.def_anchor_lines`, which also
+        recognises markers around decorators and multi-line signatures.
         """
         return def_line in self.worker_lines \
             or (def_line - 1) in self.worker_lines
+
+    def has_worker_marker(self, anchor_lines: Iterable[int]) -> bool:
+        """Whether any of a def's anchor lines carries ``worker``."""
+        return any(line in self.worker_lines for line in anchor_lines)
+
+    def borrowed_params(self,
+                        anchor_lines: Iterable[int]) -> set[str] | None:
+        """Parameter names a def's ``borrowed`` marker names.
+
+        Returns ``None`` when the def carries no marker, the empty set
+        when the marker names no parameters (= all parameters are
+        borrowed), the named subset otherwise.
+        """
+        found: set[str] | None = None
+        for line in anchor_lines:
+            names = self.borrowed_lines.get(line)
+            if names is None:
+                continue
+            if not names:
+                return set()
+            found = (found or set()) | names
+        return found
+
+    def is_returns_borrowed(self, anchor_lines: Iterable[int]) -> bool:
+        """Whether a def's anchor lines carry ``returns-borrowed``."""
+        return any(line in self.returns_borrowed_lines
+                   for line in anchor_lines)
+
+    def forced_ownership(self, line: int) -> str | None:
+        """``"owned"``/``"borrowed"`` assertion on an assignment line."""
+        if line in self.owned_lines:
+            return "owned"
+        if line in self.borrowed_lines:
+            return "borrowed"
+        return None
 
 
 def _split_codes(text: str) -> set[str]:
@@ -114,6 +216,18 @@ def parse_pragmas(source: str) -> FilePragmas:
                 pragmas.hot_path = True
             elif name == "worker":
                 pragmas.worker_lines.add(lineno)
+            elif name == "borrowed":
+                names = _split_codes(value)
+                existing = pragmas.borrowed_lines.setdefault(lineno, names)
+                if existing is not names:
+                    if not names or not existing:
+                        existing.clear()  # bare marker = all params
+                    else:
+                        existing.update(names)
+            elif name == "returns-borrowed":
+                pragmas.returns_borrowed_lines.add(lineno)
+            elif name == "owned":
+                pragmas.owned_lines.add(lineno)
             elif name == "module" and value:
                 pragmas.module_override = value
     return pragmas

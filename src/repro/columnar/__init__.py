@@ -19,6 +19,7 @@ from repro.columnar.buffers import (
     pack_validity,
     unpack_validity,
 )
+from repro.columnar import guard
 from repro.columnar.ops import concat_buffers, slice_buffers, take_buffers
 from repro.columnar.table import Column, Table, concat_tables
 from repro.columnar.serialize import (
@@ -32,6 +33,7 @@ __all__ = [
     "DataType",
     "Field",
     "Schema",
+    "guard",
     "BufferColumn",
     "ValidityBitmap",
     "pack_validity",

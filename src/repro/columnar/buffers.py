@@ -102,6 +102,22 @@ class BufferColumn:
     def is_variable_width(self) -> bool:
         return self.offsets is not None
 
+    @property
+    def readonly(self) -> bool:
+        """Whether any backing buffer is marked non-writeable.
+
+        True for zero-copy columns handed out under the read-only guard
+        (:mod:`repro.columnar.guard`) and for columns wrapping foreign
+        buffers (``np.frombuffer`` of ``bytes``).  Materialisation
+        points (``concat_buffers``) use this to decide when "return the
+        input" must become "return a fresh owned copy".
+        """
+        if not self.values.flags.writeable \
+                or not self.validity.flags.writeable:
+            return True
+        return self.offsets is not None \
+            and not self.offsets.flags.writeable
+
     def validity_mask(self) -> np.ndarray:
         """The validity bitmap as a ``(length,)`` boolean mask."""
         return unpack_validity(self.validity, self.length)

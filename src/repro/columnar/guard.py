@@ -1,0 +1,75 @@
+"""Runtime enforcement of the zero-copy borrowing discipline.
+
+The static side of the ownership story is the parlint dataflow tier
+(PPR6xx): an AST analysis proving no borrowed view is mutated or
+escapes.  This module is the dynamic side: when the guard is enabled,
+every zero-copy buffer the columnar layer hands out — ``slice_buffers``
+views, the fused convert path's CSS slices and adopted value vectors,
+``column_view`` pairs, worker shard views — is marked read-only
+(``ndarray.flags.writeable = False``), so any write the analysis missed
+raises ``ValueError: assignment destination is read-only`` at the exact
+offending line instead of silently corrupting sibling columns.
+
+The guard is off by default (zero overhead beyond one branch per
+hand-out).  The parity test suites enable it for every run via an
+autouse fixture, which makes "fused output == copying output" a
+statement tested *under* the borrowing discipline, not merely alongside
+it.
+
+Enabling
+--------
+* :func:`enable` / :func:`disable` — process-local switch.
+* ``REPRO_READONLY_GUARD=1`` in the environment — read once at import,
+  which is how the switch reaches ``spawn``-ed pool workers (a module
+  global set in the parent does not).
+
+:func:`protect` never mutates the array it is given: a writable input
+comes back as a fresh read-only *view* (same memory), so enabling the
+guard cannot flip flags on buffers the caller owns.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+__all__ = ["enable", "disable", "enabled", "protect"]
+
+_ENV_VAR = "REPRO_READONLY_GUARD"
+
+_enabled = os.environ.get(_ENV_VAR, "") not in ("", "0", "false", "off")
+
+
+def enable() -> None:
+    """Turn the read-only guard on for this process."""
+    global _enabled
+    _enabled = True
+
+
+def disable() -> None:
+    """Turn the read-only guard off for this process."""
+    global _enabled
+    _enabled = False
+
+
+def enabled() -> bool:
+    """Whether handed-out zero-copy buffers are being marked read-only."""
+    return _enabled
+
+
+def protect(array: np.ndarray | None) -> np.ndarray | None:
+    """Return ``array`` read-only when the guard is on, untouched when off.
+
+    A writable array comes back as a read-only view of the same memory
+    (the input's own flags are never modified); a read-only array and
+    ``None`` pass through.  No-op (identity) while the guard is
+    disabled, so the hot path pays one branch.
+    """
+    if not _enabled or array is None:
+        return array
+    if array.flags.writeable:
+        view = array.view()
+        view.setflags(write=False)
+        return view
+    return array

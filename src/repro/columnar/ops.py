@@ -22,6 +22,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.columnar.buffers import BufferColumn, pack_validity
+from repro.columnar.guard import protect
 from repro.errors import ColumnarError
 from repro.scan import exclusive_sum
 
@@ -78,9 +79,9 @@ def slice_buffers(column: BufferColumn, start: int,
         validity = pack_validity(column.validity_mask()[start:stop])
     if column.offsets is None:
         return BufferColumn(stop - start, validity,
-                            column.values[start:stop])
-    return BufferColumn(stop - start, validity, column.values,
-                        column.offsets[start:stop + 1])
+                            protect(column.values[start:stop]))
+    return BufferColumn(stop - start, validity, protect(column.values),
+                        protect(column.offsets[start:stop + 1]))
 
 
 def concat_buffers(parts: Sequence[BufferColumn]) -> BufferColumn:
@@ -94,7 +95,16 @@ def concat_buffers(parts: Sequence[BufferColumn]) -> BufferColumn:
     if not parts:
         raise ColumnarError("concat_buffers needs at least one part")
     if len(parts) == 1:
-        return parts[0]
+        part = parts[0]
+        if not part.readonly:
+            return part
+        # Concat is a materialisation point: callers treat its result as
+        # owned and writable, so a read-only zero-copy part (a guarded
+        # slice, a frombuffer wrap) must be laundered into fresh buffers
+        # rather than passed through.
+        return BufferColumn(
+            part.length, part.validity.copy(), part.values.copy(),
+            None if part.offsets is None else part.offsets.copy())
     variable = parts[0].offsets is not None
     if any((p.offsets is not None) != variable for p in parts):
         raise ColumnarError("cannot concatenate fixed- and variable-"

@@ -84,6 +84,7 @@ def _checked_u64(value: int, what: str) -> bytes:
 def _column_wire_buffers(column: Column
                          ) -> tuple[np.ndarray, np.ndarray | None,
                                     np.ndarray]:
+    # parlint: returns-borrowed -- wire buffers alias the column by design
     """The (validity, offsets, values) triple as written to disk.
 
     Zero-copy sliced columns view a larger shared values buffer through

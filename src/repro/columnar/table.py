@@ -119,11 +119,11 @@ class Column:
         return self._buffers
 
     @property
-    def data(self) -> np.ndarray:
+    def data(self) -> np.ndarray:  # parlint: returns-borrowed
         return self._buffers.values
 
     @property
-    def offsets(self) -> np.ndarray | None:
+    def offsets(self) -> np.ndarray | None:  # parlint: returns-borrowed
         return self._buffers.offsets
 
     def __len__(self) -> int:

@@ -32,6 +32,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.columnar.buffers import ValidityBitmap
+from repro.columnar.guard import protect
 from repro.columnar.schema import DataType, Field
 from repro.columnar.table import Column
 from repro.core.css import ColumnIndex
@@ -127,6 +128,7 @@ _VECTOR_PARSERS = {
 def _vector_parse(field: Field, buf: np.ndarray, offsets: np.ndarray,
                   lengths: np.ndarray
                   ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    # parlint: borrowed=buf -- may be a CSS slice on the fused path
     """Run the type-appropriate vector parser."""
     dtype = field.dtype
     if dtype is DataType.DECIMAL:
@@ -142,6 +144,7 @@ def _vector_parse(field: Field, buf: np.ndarray, offsets: np.ndarray,
 def _scalar_parse_into(field: Field, buf: np.ndarray, offsets: np.ndarray,
                        lengths: np.ndarray, which: np.ndarray,
                        values: np.ndarray, ok: np.ndarray) -> None:
+    # parlint: borrowed=buf -- values/ok are the caller's owned outputs
     """Scalar-parse the fields selected by ``which`` into values/ok."""
     for i in np.flatnonzero(which):  # parlint: disable=PPR401 -- scalar fallback for fields the vector parsers decline; off the default path
         lo = int(offsets[i])
@@ -162,6 +165,7 @@ def convert_column(field: Field, css: np.ndarray, index: ColumnIndex,
                    options: ParseOptions,
                    convert_stats: ConvertStats | None = None
                    ) -> tuple[Column, CollaborationStats]:
+    # parlint: borrowed=css -- a view of the partition's shared CSS
     """Convert one column's CSS into a typed :class:`Column`.
 
     Parameters
@@ -283,7 +287,9 @@ def convert_column(field: Field, css: np.ndarray, index: ColumnIndex,
                 column=None, record=int(out_rows[first]),
                 text=text.decode("utf-8", errors="replace"))
         if fused_fixed:
-            data = values
+            # The parse result is adopted as the column's data buffer
+            # zero-copy; under the guard it leaves this frame read-only.
+            data = protect(values)
             validity = ok
         else:
             data[out_rows[ok]] = values[ok]
@@ -306,6 +312,7 @@ def _fused_string_column(field: Field, css: np.ndarray,
                          out_rows: np.ndarray, num_rows: int,
                          default,
                          null_rows: np.ndarray) -> Column | None:
+    # parlint: borrowed=css returns-borrowed -- the Column wraps a CSS slice
     """Zero-copy string column: the value buffer is a slice of the CSS.
 
     Preconditions checked by the caller: fields tile a contiguous CSS
@@ -320,7 +327,7 @@ def _fused_string_column(field: Field, css: np.ndarray,
                      if isinstance(default, str) else None)
     if default_bytes:
         return None
-    values = css[int(starts[0]):int(starts[-1] + lengths[-1])]
+    values = protect(css[int(starts[0]):int(starts[-1] + lengths[-1])])
     row_lengths = np.zeros(num_rows, dtype=np.int64)
     row_lengths[out_rows] = lengths
     offsets = np.zeros(num_rows + 1, dtype=np.int64)
@@ -340,6 +347,7 @@ def _convert_string_column(field: Field, css: np.ndarray,
                            out_rows: np.ndarray, num_rows: int,
                            default,
                            null_rows: np.ndarray | None = None) -> Column:
+    # parlint: borrowed=css -- read-only source; data/offsets are fresh
     """Assemble a variable-width column: offsets buffer + data buffer."""
     if null_rows is None:
         null_rows = np.empty(0, dtype=np.int64)

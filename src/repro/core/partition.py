@@ -38,6 +38,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.columnar.guard import protect
 from repro.errors import ParseError
 from repro.scan.numpy_scan import exclusive_sum
 
@@ -189,10 +190,13 @@ class PartitionResult:
         return self.field_bounds is not None
 
     def column_css(self, column: int) -> np.ndarray:
+        # parlint: returns-borrowed -- zero-copy slice of the shared CSS
         """Column ``c``'s concatenated symbol string."""
         lo = int(self.column_offsets[column])
         hi = int(self.column_offsets[column + 1])
-        return self.css[lo:hi]
+        # Views of a read-only array are read-only, so protecting here
+        # also covers column_view's values (it slices this result).
+        return protect(self.css[lo:hi])
 
     def column_record_tags(self, column: int) -> np.ndarray:
         lo = int(self.column_offsets[column])
@@ -221,6 +225,7 @@ class PartitionResult:
                 self.field_lengths[lo:hi])
 
     def column_view(self, column: int) -> tuple[np.ndarray, np.ndarray]:
+        # parlint: returns-borrowed -- values aliases self.css by design
         """Column ``c``'s CSS as an Arrow-style ``(values, offsets)`` pair.
 
         ``values`` is a zero-copy view of :attr:`css`; ``offsets`` is the

@@ -241,6 +241,7 @@ class ConvertedOutput:
 
 
 def as_input_array(data: bytes | bytearray | np.ndarray) -> np.ndarray:
+    # parlint: returns-borrowed -- frombuffer view of the caller's bytes
     """Coerce parser input to the uint8 array the pipeline operates on."""
     if isinstance(data, np.ndarray):
         if data.dtype != np.uint8:

@@ -58,6 +58,7 @@ from itertools import repeat
 
 import numpy as np
 
+from repro.columnar.guard import protect
 from repro.core.options import TaggingImpl
 from repro.core.chunking import chunk_groups
 from repro.core.context import compute_transition_vectors
@@ -111,7 +112,7 @@ def _pack_obs(tracer: Tracer | None, metrics: MetricsRegistry | None,
     return os.getpid(), snapshot_spans(tracer), metrics.to_dict()
 
 
-# parlint: worker -- runs in pool processes; must stay pure and picklable
+# parlint: worker returns-borrowed -- pool-side; raw aliases the shm block
 def _open_shard(shard) -> tuple[np.ndarray, object]:
     """Materialise a worker's shard bytes.
 
@@ -129,7 +130,7 @@ def _open_shard(shard) -> tuple[np.ndarray, object]:
     name, total, lo, hi = shard
     handle = shared_memory.SharedMemory(name=name)
     raw = np.ndarray((total,), dtype=np.uint8, buffer=handle.buf)[lo:hi]
-    return raw, handle
+    return protect(raw), handle
 
 
 # parlint: worker -- runs in pool processes; must stay pure and picklable
@@ -423,7 +424,7 @@ class ShardedExecutor(Executor):
                 shm = shared_memory.SharedMemory(create=True,
                                                  size=int(raw.size))
                 np.ndarray(raw.shape, dtype=np.uint8, buffer=shm.buf)[:] \
-                    = raw
+                    = raw  # parlint: disable=PPR601 -- filling a segment this frame just created and owns
                 descriptors = [(shm.name, int(raw.size), lo, hi)
                                for lo, hi in bounds]
                 return shm, descriptors

@@ -1,0 +1,78 @@
+"""Corpus: borrowed zero-copy views escaping their frame.
+
+Expected diagnostics:
+
+* PPR604 — a borrowed view returned without a ``returns-borrowed``
+  contract (plain, tuple and yield forms, plus a view laundered through
+  ``np.asarray``).
+* PPR605 — a closure and a lambda capturing a borrowed name.
+* PPR606 — a borrowed view cached on ``self``.
+* ``view_handout`` (marked ``returns-borrowed``), its caller storing
+  locally, and ``copies_escape_fine`` must stay silent.
+"""
+
+import numpy as np
+
+__all__ = [
+    "leak_return",
+    "leak_tuple_return",
+    "leak_yield",
+    "leak_through_asarray",
+    "leak_closure",
+    "leak_lambda",
+    "CacheLeak",
+    "view_handout",
+    "copies_escape_fine",
+]
+
+
+def leak_return(column, slice_buffers):
+    view = slice_buffers(column, 0, 8)
+    return view                                           # PPR604
+
+
+def leak_tuple_return(part):
+    values, offsets = part.column_view(0)
+    return values, offsets.copy()                         # PPR604
+
+
+def leak_yield(parts, slice_buffers):
+    for part in parts:
+        yield slice_buffers(part, 0, 4)                   # PPR604
+
+
+# parlint: borrowed=buf
+def leak_through_asarray(buf):
+    return np.asarray(buf[2:6])                           # PPR604
+
+
+def leak_closure(column, slice_buffers):
+    view = slice_buffers(column, 0, 8)
+
+    def reader(i):
+        return view[i]                                    # PPR605
+
+    return reader
+
+
+def leak_lambda(part):
+    css = part.column_css(0)
+    return lambda i: css[i]                               # PPR605
+
+
+class CacheLeak:
+    def remember(self, column, slice_buffers):
+        self.cached = slice_buffers(column, 0, 8)         # PPR606
+        return None
+
+
+# parlint: returns-borrowed -- corpus: the documented view hand-out
+def view_handout(column, slice_buffers):
+    return slice_buffers(column, 0, 8)
+
+
+def copies_escape_fine(column, slice_buffers):
+    view = slice_buffers(column, 0, 8)
+    local = view            # local aliasing alone is not an escape
+    total = int(local.sum())
+    return view.copy(), total

@@ -1,0 +1,95 @@
+"""Corpus: mutations of borrowed zero-copy buffer views.
+
+Expected diagnostics:
+
+* PPR601 — subscript store through a ``slice_buffers`` alias, augmented
+  assignment through a borrowed parameter, attribute store through a
+  borrowed view, and a loop-carried alias mutated after rebinding.
+* PPR602 — ``sort()`` on a ``.values`` read, ``fill()`` on a view-of-a-
+  view (``reshape``), ``byteswap(inplace=True)``, and ``setflags``
+  re-enabling write on a borrowed view.
+* PPR603 — a ``column_view`` result used as an ``out=`` target (plain
+  and tuple forms).
+* The waived store in ``deliberate_scratch_write`` and the fancy-indexed
+  (owned-copy) paths in ``owned_copies_are_fine`` must stay silent.
+"""
+
+import numpy as np
+
+__all__ = [
+    "clobber_slice",
+    "clobber_param",
+    "clobber_flags",
+    "loop_carried_alias",
+    "inplace_methods",
+    "reenable_write",
+    "out_targets",
+    "deliberate_scratch_write",
+    "owned_copies_are_fine",
+]
+
+
+def clobber_slice(column, slice_buffers):
+    view = slice_buffers(column, 0, 8)
+    view[0] = 0                                           # PPR601
+    return None
+
+
+# parlint: borrowed=css
+def clobber_param(css):
+    chunk = css[4:12]
+    chunk[:] = 0                                          # PPR601
+    css += 1                                              # PPR601
+    return None
+
+
+def clobber_flags(table):
+    data = table.data
+    data.flags.writeable = True                           # PPR601
+    return None
+
+
+def loop_carried_alias(parts, slice_buffers):
+    view = None
+    for part in parts:
+        if view is not None:
+            view[:] = 0                                   # PPR601
+        view = slice_buffers(part, 0, 4)
+    return None
+
+
+def inplace_methods(column):
+    values = column.values
+    values.sort()                                         # PPR602
+    values.reshape(-1).fill(0)                            # PPR602
+    values.byteswap(inplace=True)                         # PPR602
+    return None
+
+
+def reenable_write(part):
+    css = part.column_css(0)
+    css.setflags(write=True)                              # PPR602
+    return None
+
+
+def out_targets(part):
+    values, offsets = part.column_view(0)
+    np.cumsum(values, out=values)                         # PPR603
+    np.divmod(offsets, 2, out=(offsets, offsets))         # PPR603
+    return None
+
+
+def deliberate_scratch_write(column, slice_buffers):
+    view = slice_buffers(column, 0, 8)
+    view[0] = 0  # parlint: disable=PPR601 -- corpus: waiver must silence
+    return None
+
+
+# parlint: borrowed=css
+def owned_copies_are_fine(css, rows):
+    gathered = css[rows]        # fancy indexing copies: owned
+    gathered[0] = 1
+    owned = css.copy()
+    owned.sort()
+    np.cumsum(owned, out=owned)
+    return owned

@@ -1,0 +1,57 @@
+"""Corpus: pragma placement around decorators and multi-line statements.
+
+Regression cases for two placement bugs:
+
+* a def-level marker (``worker``, ``borrowed``) on the line above a
+  *decorator* used to be invisible — the scanner only probed the ``def``
+  line and the line above it.  ``decorated_worker`` must therefore be
+  audited (PPR303 on its clock read) and ``decorated_borrowed`` must
+  have its parameter tracked (PPR601 on the store).
+* a ``disable=`` waiver trailing any physical line of a multi-line
+  statement used to miss diagnostics anchored to a *different* line of
+  the same statement.  ``multiline_waived`` must stay silent;
+  ``multiline_flagged`` is the unwaived control (PPR601).
+"""
+
+import time
+
+__all__ = [
+    "identity",
+    "decorated_worker",
+    "decorated_borrowed",
+    "multiline_waived",
+    "multiline_flagged",
+]
+
+
+def identity(func):
+    return func
+
+
+# parlint: worker
+@identity
+def decorated_worker(shard):
+    return shard, time.time()                             # PPR303
+
+
+# parlint: borrowed=css
+@identity
+def decorated_borrowed(css):
+    css[0] = 0                                            # PPR601
+    return None
+
+
+# parlint: borrowed=css
+def multiline_waived(css, zeros):
+    css[0:4] = zeros(
+        4
+    )  # parlint: disable=PPR601 -- corpus: waiver on the last line of a multi-line statement
+    return None
+
+
+# parlint: borrowed=css
+def multiline_flagged(css, zeros):
+    css[0:4] = zeros(                                     # PPR601
+        4
+    )
+    return None

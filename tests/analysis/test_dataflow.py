@@ -1,0 +1,245 @@
+"""Unit tests for the buffer-ownership dataflow engine.
+
+Each test lints a small synthetic module and asserts on the raw
+:class:`~repro.analysis.dataflow.DataflowEvent` stream — the checkers'
+PPR6xx mapping is covered by the corpus tests in ``test_parlint.py``.
+"""
+
+import textwrap
+
+from repro.analysis.dataflow import analyse_module
+from repro.analysis.driver import load_module
+
+
+def events_for(tmp_path, source):
+    path = tmp_path / "mod.py"
+    path.write_text(textwrap.dedent(source))
+    return analyse_module(load_module(path))
+
+
+def kinds(events):
+    return [e.kind for e in events]
+
+
+class TestBorrowSources:
+    def test_borrow_call_then_store(self, tmp_path):
+        events = events_for(tmp_path, """
+            def f(column, slice_buffers):
+                view = slice_buffers(column, 0, 4)
+                view[0] = 1
+        """)
+        assert kinds(events) == ["subscript-store"]
+        assert events[0].name == "view"
+        assert "slice_buffers" in events[0].origin
+
+    def test_borrowed_attribute_read(self, tmp_path):
+        events = events_for(tmp_path, """
+            def f(column):
+                column.values[0] = 1
+        """)
+        assert kinds(events) == ["subscript-store"]
+
+    def test_borrowed_param_pragma(self, tmp_path):
+        events = events_for(tmp_path, """
+            # parlint: borrowed=css
+            def f(css, out):
+                css[0] = 1
+                out[0] = 1
+        """)
+        assert kinds(events) == ["subscript-store"]
+        assert events[0].line == 4
+
+    def test_bare_borrowed_marks_all_params(self, tmp_path):
+        events = events_for(tmp_path, """
+            # parlint: borrowed
+            def f(a, b):
+                a[0] = 1
+                b[0] = 1
+        """)
+        assert kinds(events) == ["subscript-store", "subscript-store"]
+
+    def test_ndarray_over_foreign_buffer(self, tmp_path):
+        events = events_for(tmp_path, """
+            import numpy as np
+
+            def f(shm):
+                raw = np.ndarray((8,), dtype=np.uint8, buffer=shm.buf)
+                raw[0] = 1
+        """)
+        assert kinds(events) == ["subscript-store"]
+
+
+class TestPropagationAndLaundering:
+    def test_basic_slice_propagates(self, tmp_path):
+        events = events_for(tmp_path, """
+            # parlint: borrowed=css
+            def f(css):
+                chunk = css[2:6]
+                chunk[:] = 0
+        """)
+        assert kinds(events) == ["subscript-store"]
+
+    def test_view_call_propagates(self, tmp_path):
+        events = events_for(tmp_path, """
+            # parlint: borrowed=css
+            def f(css):
+                flat = css.reshape(-1)
+                flat[0] = 1
+        """)
+        assert kinds(events) == ["subscript-store"]
+
+    def test_fancy_indexing_launders(self, tmp_path):
+        events = events_for(tmp_path, """
+            # parlint: borrowed=css
+            def f(css, rows):
+                gathered = css[rows]
+                gathered[0] = 1
+        """)
+        assert events == []
+
+    def test_copy_launders(self, tmp_path):
+        events = events_for(tmp_path, """
+            # parlint: borrowed=css
+            def f(css):
+                owned = css.copy()
+                owned[0] = 1
+                owned.sort()
+                return owned
+        """)
+        assert events == []
+
+    def test_owned_pragma_clears_inferred_borrow(self, tmp_path):
+        events = events_for(tmp_path, """
+            def f(column, take_buffers):
+                fresh = take_buffers(column, 3)  # parlint: owned -- gather copies
+                fresh[0] = 1
+        """)
+        assert events == []
+
+    def test_unpacking_borrow_source_taints_targets(self, tmp_path):
+        events = events_for(tmp_path, """
+            def f(part):
+                values, offsets = part.column_view(0)
+                offsets[0] = 1
+        """)
+        assert kinds(events) == ["subscript-store"]
+
+    def test_rebinding_kills_borrow(self, tmp_path):
+        events = events_for(tmp_path, """
+            import numpy as np
+
+            def f(column, slice_buffers):
+                view = slice_buffers(column, 0, 4)
+                view = np.zeros(4)
+                view[0] = 1
+        """)
+        assert events == []
+
+
+class TestMutationKinds:
+    def test_augassign_and_out_kwarg(self, tmp_path):
+        events = events_for(tmp_path, """
+            import numpy as np
+
+            # parlint: borrowed=buf
+            def f(buf):
+                buf += 1
+                np.cumsum(buf, out=buf)
+        """)
+        assert kinds(events) == ["augassign", "out-kwarg"]
+
+    def test_inplace_method_registry(self, tmp_path):
+        events = events_for(tmp_path, """
+            # parlint: borrowed=buf
+            def f(buf):
+                buf.fill(0)
+                buf.byteswap()            # not in-place without the kwarg
+                buf.byteswap(inplace=False)
+                buf.byteswap(inplace=True)
+                buf.setflags(write=False)  # tightening is fine
+                buf.setflags(write=True)
+        """)
+        assert kinds(events) == ["inplace-method", "inplace-method",
+                                 "inplace-method"]
+
+    def test_store_of_borrowed_into_owned_subscript_is_fine(self, tmp_path):
+        # NumPy copies on ``owned[a:b] = view`` — column_view's own
+        # ``offsets[:-1] = starts`` pattern must not be flagged.
+        events = events_for(tmp_path, """
+            import numpy as np
+
+            # parlint: borrowed=starts
+            def f(starts):
+                offsets = np.empty(starts.size + 1)
+                offsets[:-1] = starts
+                return offsets
+        """)
+        assert events == []
+
+
+class TestEscapes:
+    def test_return_and_contract(self, tmp_path):
+        events = events_for(tmp_path, """
+            # parlint: borrowed=css
+            def leaky(css):
+                return css[0:4]
+
+            # parlint: borrowed=css returns-borrowed
+            def contracted(css):
+                return css[0:4]
+        """)
+        assert kinds(events) == ["return"]
+        assert events[0].function == "leaky"
+
+    def test_local_returns_borrowed_taints_callers(self, tmp_path):
+        events = events_for(tmp_path, """
+            # parlint: borrowed=css returns-borrowed
+            def handout(css):
+                return css[0:4]
+
+            def caller(css2):
+                view = handout(css2)
+                view[0] = 1
+        """)
+        assert kinds(events) == ["subscript-store"]
+        assert events[0].function == "caller"
+
+    def test_closure_capture(self, tmp_path):
+        events = events_for(tmp_path, """
+            def f(column, slice_buffers):
+                view = slice_buffers(column, 0, 4)
+                def g(i):
+                    return view[i]
+                return g
+        """)
+        assert kinds(events) == ["closure"]
+
+    def test_attribute_store_escape(self, tmp_path):
+        events = events_for(tmp_path, """
+            class C:
+                def cache(self, column, slice_buffers):
+                    self.view = slice_buffers(column, 0, 4)
+        """)
+        assert kinds(events) == ["store-escape"]
+
+
+class TestLoops:
+    def test_loop_carried_alias(self, tmp_path):
+        events = events_for(tmp_path, """
+            def f(parts, slice_buffers):
+                view = None
+                for part in parts:
+                    if view is not None:
+                        view[:] = 0
+                    view = slice_buffers(part, 0, 4)
+        """)
+        assert kinds(events) == ["subscript-store"]
+
+    def test_no_duplicate_events_from_loop_rewalk(self, tmp_path):
+        events = events_for(tmp_path, """
+            def f(parts, slice_buffers):
+                for part in parts:
+                    view = slice_buffers(part, 0, 4)
+                    view[0] = 1
+        """)
+        assert kinds(events) == ["subscript-store"]

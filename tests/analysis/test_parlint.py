@@ -51,6 +51,26 @@ class TestCorpus:
         codes = codes_in(CORPUS / "bad_no_all.py")
         assert "PPR504" in codes
 
+    def test_buffer_mutation(self):
+        codes = codes_in(CORPUS / "bad_buffer_mutation.py")
+        assert codes.count("PPR601") == 5, \
+            "five mutation sites flagged, the waived one silent"
+        assert codes.count("PPR602") == 4
+        assert codes.count("PPR603") == 2
+        assert not [c for c in codes if not c.startswith("PPR6")]
+
+    def test_buffer_escape(self):
+        codes = codes_in(CORPUS / "bad_buffer_escape.py")
+        assert codes.count("PPR604") == 4, \
+            "returns-borrowed hand-out and copies stay silent"
+        assert codes.count("PPR605") == 2
+        assert codes.count("PPR606") == 1
+
+    def test_pragma_placement(self):
+        codes = codes_in(CORPUS / "pragma_placement.py")
+        assert codes == ["PPR303", "PPR601", "PPR601"], \
+            "markers above decorators honoured; multi-line waiver silent"
+
     def test_corpus_fails_via_cli(self):
         out = io.StringIO()
         assert main([str(CORPUS)], out=out) == 1
@@ -138,6 +158,29 @@ class TestDriver:
         keys = [(d.path, d.line, d.code) for d in diags]
         assert keys == sorted(keys)
 
+    def test_select_keeps_only_matching_codes(self):
+        out = io.StringIO()
+        assert main([str(CORPUS / "bad_hot_loop.py")],
+                    select="PPR4", out=out) == 1
+        out = io.StringIO()
+        assert main([str(CORPUS / "bad_hot_loop.py")],
+                    select="PPR5,PPR6", out=out) == 0
+        assert "0 finding(s)" in out.getvalue()
+
+    def test_ignore_drops_matching_codes(self):
+        out = io.StringIO()
+        assert main([str(CORPUS / "bad_hot_loop.py")],
+                    ignore="PPR401", out=out) == 0
+
+    def test_github_format(self):
+        out = io.StringIO()
+        assert main([str(CORPUS / "bad_no_all.py")],
+                    output_format="github", out=out) == 1
+        line = out.getvalue().splitlines()[0]
+        assert line.startswith("::error file=")
+        assert ",line=" in line
+        assert "PPR504" in line
+
     def test_module_name_inference(self):
         info = load_module(SRC / "repro" / "core" / "stages.py")
         assert info.module == "repro.core.stages"
@@ -145,14 +188,15 @@ class TestDriver:
 
 
 class TestRegistry:
-    def test_five_checkers_registered(self):
+    def test_seven_checkers_registered(self):
         names = {c.name for c in all_checkers()}
         assert names == {"stage-contract", "operator-laws", "mp-safety",
-                         "hot-loops", "api-hygiene"}
+                         "hot-loops", "api-hygiene", "buffer-mutation",
+                         "buffer-escape"}
 
     def test_codes_are_unique_and_documented(self):
         codes = all_codes()
-        assert len(codes) == 14
+        assert len(codes) == 20
         for code, summary in codes.items():
             assert code.startswith("PPR")
             assert summary

@@ -1,0 +1,155 @@
+"""Tests for the read-only guard and readonly-flag propagation.
+
+The runtime twin of the parlint dataflow tier: with the guard enabled,
+every zero-copy buffer handed out by the columnar layer must be
+non-writeable, writes through it must raise, and materialisation points
+(``concat_buffers``) must launder read-only parts into fresh owned
+buffers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.columnar import guard
+from repro.columnar.buffers import BufferColumn, pack_validity
+from repro.columnar.ops import concat_buffers, slice_buffers, take_buffers
+
+
+@pytest.fixture
+def guarded():
+    was = guard.enabled()
+    guard.enable()
+    yield
+    if not was:
+        guard.disable()
+
+
+@pytest.fixture
+def unguarded():
+    # Force-off: the core/kernels suites enable the guard session-wide,
+    # and suite ordering must not change what these tests see.
+    was = guard.enabled()
+    guard.disable()
+    yield
+    if was:
+        guard.enable()
+
+
+def fixed(values):
+    values = np.asarray(values, dtype=np.int64)
+    return BufferColumn(values.size, pack_validity(
+        np.ones(values.size, dtype=bool)), values)
+
+
+def variable(strings):
+    payload = b"".join(s.encode() for s in strings)
+    lengths = [len(s.encode()) for s in strings]
+    offsets = np.concatenate([[0], np.cumsum(lengths)]).astype(np.int64)
+    return BufferColumn(len(strings), pack_validity(
+        np.ones(len(strings), dtype=bool)),
+        np.frombuffer(payload, dtype=np.uint8).copy(), offsets)
+
+
+class TestProtect:
+    def test_disabled_guard_is_identity(self, unguarded):
+        arr = np.zeros(4)
+        assert guard.protect(arr) is arr
+        assert arr.flags.writeable
+
+    def test_protect_returns_readonly_view(self, guarded):
+        arr = np.arange(8)
+        view = guard.protect(arr)
+        assert not view.flags.writeable
+        assert np.shares_memory(view, arr)
+        # The caller's own array is untouched.
+        assert arr.flags.writeable
+        with pytest.raises(ValueError):
+            view[0] = 1
+
+    def test_protect_passes_through_none_and_readonly(self, guarded):
+        assert guard.protect(None) is None
+        frozen = np.arange(4)
+        frozen.setflags(write=False)
+        assert guard.protect(frozen) is frozen
+
+
+class TestSliceHandout:
+    def test_slice_views_are_readonly_under_guard(self, guarded):
+        column = variable(["alpha", "beta", "gamma"])
+        view = slice_buffers(column, 1, 3)
+        assert np.shares_memory(view.values, column.values)
+        assert not view.values.flags.writeable
+        assert not view.offsets.flags.writeable
+        assert view.readonly
+        with pytest.raises(ValueError):
+            view.values[0] = 0
+        # The source column's buffers stay writable.
+        assert column.values.flags.writeable
+        assert not column.readonly
+
+    def test_slice_views_stay_writable_without_guard(self, unguarded):
+        column = fixed([1, 2, 3, 4])
+        view = slice_buffers(column, 1, 3)
+        assert np.shares_memory(view.values, column.values)
+        assert view.values.flags.writeable
+        assert not view.readonly
+
+    def test_take_is_owned_even_under_guard(self, guarded):
+        column = variable(["alpha", "beta"])
+        taken = take_buffers(column, np.array([1, 0]))
+        assert not np.shares_memory(taken.values, column.values)
+        assert taken.values.flags.writeable
+        assert not taken.readonly
+
+
+class TestConcatLaunders:
+    def test_single_writable_part_passes_through(self):
+        column = fixed([1, 2, 3])
+        assert concat_buffers([column]) is column
+
+    def test_single_readonly_part_is_copied_fresh(self, guarded):
+        column = variable(["alpha", "beta", "gamma"])
+        view = slice_buffers(column, 0, 3)
+        assert view.readonly
+        fresh = concat_buffers([view])
+        assert not fresh.readonly
+        assert fresh.values.flags.writeable
+        assert fresh.offsets.flags.writeable
+        assert not np.shares_memory(fresh.values, column.values)
+        assert not np.shares_memory(fresh.offsets, column.offsets)
+        assert fresh.values.tobytes() == view.values.tobytes()
+        assert fresh.offsets.tolist() == view.offsets.tolist()
+        fresh.values[0] = 0  # writable: must not raise
+
+    def test_single_readonly_fixed_part_is_copied(self, guarded):
+        column = fixed([1, 2, 3, 4])
+        view = slice_buffers(column, 0, 4)
+        fresh = concat_buffers([view])
+        assert not np.shares_memory(fresh.values, column.values)
+        assert fresh.values.flags.writeable
+        assert fresh.offsets is None
+
+    def test_multi_part_concat_is_owned_under_guard(self, guarded):
+        column = variable(["alpha", "beta", "gamma", "delta"])
+        parts = [slice_buffers(column, 0, 2), slice_buffers(column, 2, 4)]
+        merged = concat_buffers(parts)
+        assert not merged.readonly
+        assert not np.shares_memory(merged.values, column.values)
+        assert int(merged.offsets[0]) == 0
+
+
+class TestReadonlyFlag:
+    def test_frombuffer_of_bytes_is_readonly(self):
+        column = BufferColumn(
+            3, pack_validity(np.ones(3, dtype=bool)),
+            np.frombuffer(b"abc", dtype=np.uint8),
+            np.array([0, 1, 2, 3], dtype=np.int64))
+        assert column.readonly
+
+    def test_any_readonly_buffer_marks_the_column(self):
+        offsets = np.array([0, 1, 2], dtype=np.int64)
+        offsets.setflags(write=False)
+        column = BufferColumn(
+            2, pack_validity(np.ones(2, dtype=bool)),
+            np.frombuffer(b"ab", dtype=np.uint8).copy(), offsets)
+        assert column.readonly

@@ -1,0 +1,30 @@
+"""Core suite: run under the zero-copy read-only guard.
+
+Every test in this directory executes with
+:mod:`repro.columnar.guard` enabled, so the zero-copy buffers the fused
+convert/partition paths hand out are non-writeable — a latent mutation
+of a borrowed view fails loudly here instead of corrupting a parity
+comparison silently.  The environment variable propagates the switch to
+``spawn``-ed pool workers.
+"""
+
+import os
+
+import pytest
+
+from repro.columnar import guard
+
+
+@pytest.fixture(autouse=True, scope="session")
+def readonly_guard():
+    was_enabled = guard.enabled()
+    had_env = os.environ.get("REPRO_READONLY_GUARD")
+    os.environ["REPRO_READONLY_GUARD"] = "1"
+    guard.enable()
+    yield
+    if had_env is None:
+        os.environ.pop("REPRO_READONLY_GUARD", None)
+    else:
+        os.environ["REPRO_READONLY_GUARD"] = had_env
+    if not was_enabled:
+        guard.disable()

@@ -1,0 +1,27 @@
+"""Kernel suite: run under the zero-copy read-only guard.
+
+Mirrors ``tests/core/conftest.py`` — the kernel parity tests exercise
+the same fused buffer hand-outs, so they too run with
+:mod:`repro.columnar.guard` enabled.
+"""
+
+import os
+
+import pytest
+
+from repro.columnar import guard
+
+
+@pytest.fixture(autouse=True, scope="session")
+def readonly_guard():
+    was_enabled = guard.enabled()
+    had_env = os.environ.get("REPRO_READONLY_GUARD")
+    os.environ["REPRO_READONLY_GUARD"] = "1"
+    guard.enable()
+    yield
+    if had_env is None:
+        os.environ.pop("REPRO_READONLY_GUARD", None)
+    else:
+        os.environ["REPRO_READONLY_GUARD"] = had_env
+    if not was_enabled:
+        guard.disable()
