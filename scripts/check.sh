@@ -163,4 +163,67 @@ assert all(r["zero_copy_columns"] > 0 for r in fused), fused
 print("columnar bench smoke:", len(doc["path_rows"]), "path rows")
 EOF
 
+# Serve smoke: start the ingest service on an ephemeral port, hit it
+# with concurrent clients (one oversized request that must bounce at
+# admission with a per-tenant reject), require the served tables to be
+# bit-identical to a direct parse, then shut down cleanly via SIGTERM.
+python - "$OBS_TMP" <<'EOF'
+import pathlib, re, signal, subprocess, sys, threading
+
+tmp = sys.argv[1]
+data = pathlib.Path(tmp, "smoke.csv").read_bytes()
+
+server = subprocess.Popen(
+    [sys.executable, "-m", "repro", "serve", "--port", "0",
+     "--max-request-mb", "1"],
+    stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+banner = server.stdout.readline()
+port = int(re.search(r":(\d+) ", banner).group(1))
+
+from repro.columnar.serialize import write_feather
+from repro.core.parser import ParPaRawParser
+from repro.errors import AdmissionError
+from repro.serve import RemoteClient
+
+expected = write_feather(ParPaRawParser().parse(data).table)
+failures = []
+
+def good_client(name):
+    try:
+        table = RemoteClient("127.0.0.1", port, tenant=name).parse(data)
+        if write_feather(table) != expected:
+            failures.append(f"{name}: payload not bit-identical")
+    except Exception as error:
+        failures.append(f"{name}: {error!r}")
+
+def oversized_client():
+    try:
+        RemoteClient("127.0.0.1", port, tenant="big").parse(
+            b"x" * (1024 * 1024 + 1))
+        failures.append("oversized request was accepted")
+    except AdmissionError as error:
+        if error.reason != "oversized":
+            failures.append(f"wrong reject reason: {error.reason}")
+    except Exception as error:
+        failures.append(f"oversized: wrong error {error!r}")
+
+threads = [threading.Thread(target=good_client, args=(f"t{i}",))
+           for i in range(2)] + [threading.Thread(target=oversized_client)]
+for t in threads: t.start()
+for t in threads: t.join(60)
+
+status = RemoteClient("127.0.0.1", port).status()
+assert status["requests"]["completed"] == 2, status["requests"]
+assert status["requests"]["rejected"] == 1, status["requests"]
+assert status["tenants"]["big"]["rejects"] == 1, status["tenants"]
+
+server.send_signal(signal.SIGTERM)
+out, _ = server.communicate(timeout=60)
+assert server.returncode == 0, (server.returncode, out)
+assert "drained cleanly" in out, out
+assert not failures, failures
+print("serve smoke: 3 concurrent clients, 1 admission reject, "
+      "bit-identical payloads, clean drain")
+EOF
+
 python -m pytest "$@"

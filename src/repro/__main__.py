@@ -10,7 +10,12 @@ Subcommands:
   end-to-end streaming time for a given workload shape;
 * ``lint [PATHS...]`` — run the parlint static-analysis checkers
   (stage contracts, scan-operator laws, multiprocess safety, hot-path
-  vectorisation, API hygiene; see ``docs/PARLINT.md``).
+  vectorisation, API hygiene; see ``docs/PARLINT.md``);
+* ``serve`` — run the multi-tenant ingest service: a socket front end
+  multiplexing concurrent parse requests onto one shared warm executor
+  (see ``docs/SERVICE.md``);
+* ``batches`` / ``checkhealth`` — query a running ``serve`` instance
+  for its recent request history / health flags.
 
 ``--workers N`` (parse/infer) runs the stage pipeline on the sharded
 multiprocess executor; ``--timings`` (parse) prints the per-stage
@@ -30,6 +35,9 @@ Examples::
     python -m repro simulate --dataset yelp --size-mb 512 --chunk 31
     python -m repro simulate --trace schedule.json
     python -m repro lint src --format json
+    python -m repro serve --port 7654 --workers 4
+    python -m repro batches --port 7654
+    python -m repro checkhealth --port 7654 --full
 """
 
 from __future__ import annotations
@@ -243,6 +251,78 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+
+    from repro.serve import IngestServer, IngestService, ServiceConfig
+
+    config = ServiceConfig(
+        workers=args.workers,
+        dispatchers=args.dispatchers,
+        queue_capacity=args.queue_capacity,
+        max_request_bytes=args.max_request_mb * MB,
+        default_timeout=args.request_timeout,
+        default_options=_options_from_args(args),
+    )
+    service = IngestService(config)
+    server = IngestServer(service, host=args.host, port=args.port,
+                          own_service=True)
+    print(f"repro serve listening on {server.host}:{server.port} "
+          f"(workers={config.workers}, "
+          f"dispatchers={config.dispatchers}, "
+          f"queue={config.queue_capacity})", flush=True)
+
+    def _terminate(signum, frame):
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _terminate)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        print("repro serve draining...", flush=True)
+        server.close()
+        print("repro serve drained cleanly", flush=True)
+    return 0
+
+
+def _remote_status(args: argparse.Namespace) -> dict | None:
+    from repro.serve import RemoteClient
+    try:
+        return RemoteClient(args.host, args.port).status()
+    except OSError as error:
+        print(f"cannot reach a serve instance at "
+              f"{args.host}:{args.port}: {error}", file=sys.stderr)
+        return None
+
+
+def cmd_batches(args: argparse.Namespace) -> int:
+    from repro.serve.status import render_batches, render_status
+    status = _remote_status(args)
+    if status is None:
+        return 1
+    if args.full:
+        print(render_status(status))
+        print()
+    print(render_batches(status, limit=args.limit))
+    return 0
+
+
+def cmd_checkhealth(args: argparse.Namespace) -> int:
+    from repro.serve.status import health_flags, render_checkhealth, \
+        render_status
+    status = _remote_status(args)
+    if status is None:
+        return 1
+    if args.full:
+        print(render_status(status))
+        print()
+    print(render_checkhealth(status))
+    return 1 if any(severity == "error"
+                    for severity, _ in health_flags(status)) else 0
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis import main as lint_main
     return lint_main(args.paths, output_format=args.format,
@@ -333,6 +413,48 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--metrics", action="store_true",
                        help="print schedule busy-time/overlap gauges")
     p_sim.set_defaults(func=cmd_simulate)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the multi-tenant ingest service")
+    add_common(p_serve)
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=7654,
+                         help="listen port (0 = pick an ephemeral port, "
+                              "printed at startup)")
+    p_serve.add_argument("--dispatchers", type=_positive_int, default=2,
+                         metavar="N",
+                         help="dispatcher threads pulling from the "
+                              "admission queue")
+    p_serve.add_argument("--queue-capacity", type=_positive_int,
+                         default=64, metavar="N",
+                         help="admission queue bound; a full queue "
+                              "rejects with a retry-after hint")
+    p_serve.add_argument("--max-request-mb", type=_positive_int,
+                         default=64, metavar="MB",
+                         help="largest request body accepted")
+    p_serve.add_argument("--request-timeout", type=float, default=None,
+                         metavar="SECONDS",
+                         help="default per-request deadline "
+                              "(default: none)")
+    p_serve.set_defaults(func=cmd_serve)
+
+    def add_remote(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--host", default="127.0.0.1")
+        p.add_argument("--port", type=int, default=7654)
+        p.add_argument("--full", action="store_true",
+                       help="also print the full service status report")
+
+    p_batches = sub.add_parser(
+        "batches", help="recent request history of a serve instance")
+    add_remote(p_batches)
+    p_batches.add_argument("--limit", type=_positive_int, default=20,
+                           help="batches to show (newest first)")
+    p_batches.set_defaults(func=cmd_batches)
+
+    p_health = sub.add_parser(
+        "checkhealth", help="health flags of a serve instance")
+    add_remote(p_health)
+    p_health.set_defaults(func=cmd_checkhealth)
 
     p_lint = sub.add_parser(
         "lint", help="run the parlint static-analysis checkers")

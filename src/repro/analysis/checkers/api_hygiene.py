@@ -52,6 +52,13 @@ ALLOWED_LAYER_IMPORTS: dict[str, frozenset[str]] = {
                                   "repro.kernels",
                                   "repro.core", "repro.exec",
                                   "repro.obs"}),
+    # The service sits at the top of the stack: it may orchestrate
+    # everything below it, and nothing below may import it back.
+    "repro.serve": frozenset({"repro.scan", "repro.columnar",
+                              "repro.dfa", "repro.gpusim",
+                              "repro.kernels", "repro.core",
+                              "repro.exec", "repro.obs",
+                              "repro.streaming"}),
     "repro.baselines": frozenset({"repro.scan", "repro.columnar",
                                   "repro.dfa", "repro.gpusim",
                                   "repro.core"}),

@@ -8,6 +8,7 @@ being able to discriminate specific failure modes.
 from __future__ import annotations
 
 __all__ = [
+    "AdmissionError",
     "CapacityError",
     "ColumnarError",
     "ConversionError",
@@ -15,8 +16,10 @@ __all__ = [
     "DialectError",
     "ExecutorError",
     "ParseError",
+    "ProtocolError",
     "ReproError",
     "SchemaError",
+    "ServeError",
     "SimulationError",
     "StreamingError",
 ]
@@ -97,8 +100,48 @@ class SimulationError(ReproError):
 
 
 class StreamingError(ReproError):
-    """The streaming pipeline was misconfigured or violated a dependency."""
+    """The streaming pipeline was misconfigured or violated a dependency.
+
+    Carries byte-offset diagnostics when the failure is positional — e.g.
+    the carry-over growing past ``max_carry_bytes`` records where in the
+    stream the runaway (typically an unterminated quoted field) began.
+    """
+
+    def __init__(self, message: str, *, byte_offset: int | None = None,
+                 carry_bytes: int | None = None):
+        super().__init__(message)
+        #: Absolute stream offset where the offending region begins
+        #: (the first byte of the unflushable carry), if known.
+        self.byte_offset = byte_offset
+        #: Size of the carry-over at the time of failure, if known.
+        self.carry_bytes = carry_bytes
 
 
 class ExecutorError(ReproError):
     """An execution backend was used after being closed, or misconfigured."""
+
+
+class ServeError(ReproError):
+    """The ingest service was misconfigured, misused, or shut down."""
+
+
+class AdmissionError(ServeError):
+    """The ingest service refused to enqueue a request (backpressure).
+
+    ``retry_after`` is the server's backoff hint in seconds when the
+    rejection is transient (a full admission queue); ``None`` means the
+    request can never be admitted as-is (e.g. an oversized body).
+    """
+
+    def __init__(self, message: str, *, reason: str = "rejected",
+                 retry_after: float | None = None):
+        super().__init__(message)
+        #: Machine-readable rejection reason (``queue-full``,
+        #: ``oversized``, ``closed``).
+        self.reason = reason
+        #: Suggested client backoff in seconds, if the reject is transient.
+        self.retry_after = retry_after
+
+
+class ProtocolError(ServeError):
+    """A serve wire frame was malformed (bad magic, truncation, limits)."""

@@ -50,7 +50,9 @@ Two hot-path economies on top of the schedule:
 
 from __future__ import annotations
 
+import multiprocessing
 import os
+import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
 from contextlib import nullcontext
@@ -87,6 +89,28 @@ _GRID_STAGES = ("prune", "chunk", "stv", "scan")
 
 #: Reusable no-op context for the unobserved worker path.
 _NO_SPAN = nullcontext()
+
+
+def _pool_context():
+    """A thread-safe start method for the worker pool.
+
+    The ingest service drives one shared executor from several
+    dispatcher threads, so pool workers may be created while other
+    threads are mid-parse.  Plain ``fork`` would snapshot whatever locks
+    those threads hold (numpy internals, the kernel-table cache,
+    logging) into the child, which then deadlocks on first use.
+    ``forkserver`` forks from a clean single-threaded server process
+    instead; preloading this module there keeps per-worker startup
+    cheap (numpy and repro are imported once, in the server).  Platforms
+    without ``forkserver`` fall back to the default start method —
+    ``spawn`` there, which is equally thread-safe.
+    """
+    try:
+        ctx = multiprocessing.get_context("forkserver")
+    except ValueError:  # pragma: no cover - platform dependent
+        return None
+    ctx.set_forkserver_preload(["repro.exec.sharded"])
+    return ctx
 
 
 # -- worker tasks (module-level: picklable under every start method) ---------
@@ -286,14 +310,20 @@ class ShardedExecutor(Executor):
         self.use_processes = bool(use_processes)
         self.shared_input = bool(shared_input)
         self._pool: ProcessPoolExecutor | None = None
+        # Guards lazy pool creation/teardown: the ingest service drives
+        # one shared executor from several dispatcher threads, and an
+        # unlocked check-then-create would build (and leak) a second
+        # pool under that race.
+        self._pool_lock = threading.Lock()
 
     # -- lifecycle ---------------------------------------------------------
 
     def close(self) -> None:
         super().close()
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
 
     def __del__(self):  # pragma: no cover - GC timing dependent
         try:
@@ -518,6 +548,8 @@ class ShardedExecutor(Executor):
         """An ordered ``map`` over shards: the pool's, or the builtin."""
         if not self.use_processes or self.workers == 1 or num_shards <= 1:
             return lambda fn, *iters: list(map(fn, *iters))
-        if self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=self.workers)
-        return self._pool.map
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.workers, mp_context=_pool_context())
+            return self._pool.map

@@ -1,0 +1,56 @@
+"""The multi-tenant ingest service: the parser running as a system.
+
+ROADMAP item 1 ("millions of users"): this package promotes the
+library-object parsers into a long-running front end.  Many concurrent
+parse requests — from in-process callers or socket clients — are
+multiplexed onto **one shared warm executor**: a single
+:class:`~repro.exec.ShardedExecutor` whose process pool, shared-memory
+shipping and process-wide kernel-table cache are reused across requests
+instead of being rebuilt per call.  From the second request of a dialect
+on, the strided tables are cache hits and the pool is already spawned.
+
+Pieces:
+
+* :class:`~repro.serve.service.IngestService` — admission queue with
+  priorities and backpressure, dispatcher threads, per-request deadlines
+  and cancellation, per-tenant :mod:`repro.obs` metrics, graceful drain;
+* :class:`~repro.serve.client.Client` — the in-process API (one-shot
+  ``parse``, async ``submit`` tickets, incremental ``stream`` sessions);
+* :mod:`repro.serve.protocol` + :class:`~repro.serve.server.IngestServer`
+  — a framed socket protocol (tables travel in the Feather framing of
+  :mod:`repro.columnar.serialize`) behind ``python -m repro serve``, with
+  :class:`~repro.serve.client.RemoteClient` as the wire client;
+* :mod:`repro.serve.status` — the operability surface: batch history and
+  health reports behind ``python -m repro batches`` / ``checkhealth``.
+
+See ``docs/SERVICE.md`` for the architecture and protocol, and
+``docs/OBSERVABILITY.md`` for the ``serve.*`` metric names.
+"""
+
+from repro.errors import AdmissionError, ProtocolError, ServeError
+from repro.serve.client import Client, RemoteClient
+from repro.serve.server import IngestServer
+from repro.serve.service import (
+    IngestService,
+    ServiceConfig,
+    TenantPolicy,
+    Ticket,
+)
+from repro.serve.status import render_batches, render_checkhealth, \
+    render_status
+
+__all__ = [
+    "IngestService",
+    "ServiceConfig",
+    "TenantPolicy",
+    "Ticket",
+    "Client",
+    "RemoteClient",
+    "IngestServer",
+    "ServeError",
+    "AdmissionError",
+    "ProtocolError",
+    "render_status",
+    "render_batches",
+    "render_checkhealth",
+]

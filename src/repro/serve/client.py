@@ -1,0 +1,167 @@
+"""Clients for the ingest service: in-process and over the wire.
+
+:class:`Client` wraps an :class:`~repro.serve.service.IngestService`
+living in the same process — zero serialisation, full API (tickets,
+streaming sessions, custom-DFA options).  :class:`RemoteClient` speaks
+the :mod:`repro.serve.protocol` framing to an
+:class:`~repro.serve.server.IngestServer`, mapping wire rejections back
+to the same exception types the in-process path raises, so calling code
+is indifferent to which side of a socket the service lives on:
+
+* ``status: rejected`` → :class:`~repro.errors.AdmissionError` (with the
+  server's ``reason`` and ``retry_after`` backoff hint);
+* ``status: timeout`` → :class:`TimeoutError`;
+* ``status: error`` → :class:`~repro.errors.ServeError`.
+
+A remote ``parse`` returns the decoded
+:class:`~repro.columnar.table.Table` (the wire ships the table in
+Feather framing, not the full in-memory :class:`ParseResult`).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+
+from repro.columnar.serialize import read_feather
+from repro.core.options import ParseOptions
+from repro.errors import AdmissionError, ProtocolError, ServeError
+from repro.serve.protocol import options_to_wire, read_frame, write_frame
+from repro.serve.service import IngestService, StreamSession, Ticket
+
+__all__ = ["Client", "RemoteClient"]
+
+
+class Client:
+    """The in-process client: a thin veneer over :class:`IngestService`.
+
+    Exists so calling code written against a client object can swap in a
+    :class:`RemoteClient` without restructuring; it also pins a default
+    tenant, which the raw service API makes you repeat per call.
+    """
+
+    def __init__(self, service: IngestService, tenant: str = "default"):
+        self.service = service
+        self.tenant = tenant
+
+    def parse(self, data: bytes, *, options: ParseOptions | None = None,
+              priority: int | None = None, timeout: float | None = None):
+        return self.service.parse(data, tenant=self.tenant,
+                                  options=options, priority=priority,
+                                  timeout=timeout)
+
+    def submit(self, data: bytes, *, options: ParseOptions | None = None,
+               priority: int | None = None,
+               timeout: float | None = None) -> Ticket:
+        return self.service.submit(data, tenant=self.tenant,
+                                   options=options, priority=priority,
+                                   timeout=timeout)
+
+    def stream(self, *, options: ParseOptions | None = None
+               ) -> StreamSession:
+        return self.service.open_stream(tenant=self.tenant,
+                                        options=options)
+
+    def status(self) -> dict:
+        return self.service.status()
+
+
+class RemoteClient:
+    """A wire client: one connection per request, no state between calls.
+
+    Deliberately simple — the server multiplexes many connections onto
+    one service, so clients gain nothing from connection pooling beyond
+    a saved localhost handshake.
+    """
+
+    def __init__(self, host: str, port: int, tenant: str = "default",
+                 connect_timeout: float = 10.0):
+        self.host = host
+        self.port = port
+        self.tenant = tenant
+        self.connect_timeout = connect_timeout
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _roundtrip(self, header: dict, body: bytes = b"",
+                   timeout: float | None = None) -> tuple[dict, bytes]:
+        # The socket deadline covers the whole exchange; the server
+        # additionally enforces the request's own deadline server-side.
+        budget = self.connect_timeout if timeout is None \
+            else self.connect_timeout + timeout
+        with socket.create_connection((self.host, self.port),
+                                      timeout=budget) as conn:
+            with conn.makefile("rwb") as stream:
+                write_frame(stream, header, body)
+                return read_frame(stream)
+
+    @staticmethod
+    def _raise_for_status(header: dict) -> None:
+        status = header.get("status")
+        if status == "ok":
+            return
+        message = header.get("error", "request failed")
+        if status == "rejected":
+            raise AdmissionError(message,
+                                 reason=header.get("reason", "rejected"),
+                                 retry_after=header.get("retry_after"))
+        if status == "timeout":
+            raise TimeoutError(message)
+        raise ServeError(message)
+
+    # -- API ---------------------------------------------------------------
+
+    def parse(self, data: bytes, *, options: ParseOptions | None = None,
+              priority: int | None = None, timeout: float | None = None):
+        """Parse ``data`` remotely; returns the decoded ``Table``.
+
+        Raises the same exceptions the in-process path would:
+        :class:`AdmissionError` on rejection (check ``retry_after``),
+        :class:`TimeoutError` past the deadline, :class:`ServeError` on
+        server-side failure.
+        """
+        header = {"op": "parse", "tenant": self.tenant}
+        if options is not None:
+            header["options"] = options_to_wire(options)
+        if priority is not None:
+            header["priority"] = priority
+        if timeout is not None:
+            header["timeout"] = timeout
+        reply, body = self._roundtrip(header, data, timeout=timeout)
+        self._raise_for_status(reply)
+        return read_feather(body)
+
+    def parse_info(self, data: bytes, *,
+                   options: ParseOptions | None = None,
+                   priority: int | None = None,
+                   timeout: float | None = None) -> tuple[dict, object]:
+        """Like :meth:`parse` but also returns the response header
+        (``records``/``rows``/``rejected_records`` counts)."""
+        header = {"op": "parse", "tenant": self.tenant}
+        if options is not None:
+            header["options"] = options_to_wire(options)
+        if priority is not None:
+            header["priority"] = priority
+        if timeout is not None:
+            header["timeout"] = timeout
+        reply, body = self._roundtrip(header, data, timeout=timeout)
+        self._raise_for_status(reply)
+        return reply, read_feather(body)
+
+    def status(self) -> dict:
+        """The remote service's status dict (see ``status.py``)."""
+        reply, body = self._roundtrip({"op": "status"})
+        self._raise_for_status(reply)
+        try:
+            return json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ProtocolError(
+                f"malformed status payload: {error}") from None
+
+    def ping(self) -> bool:
+        """``True`` iff the server answers the ping op."""
+        try:
+            reply, _ = self._roundtrip({"op": "ping"})
+        except (OSError, ProtocolError):
+            return False
+        return reply.get("status") == "ok"

@@ -1,0 +1,212 @@
+"""The socket front end: framed protocol requests into an IngestService.
+
+A :class:`IngestServer` binds a TCP socket (``port=0`` picks an
+ephemeral port, reported by :attr:`IngestServer.port`) and serves the
+:mod:`repro.serve.protocol` framing: each connection may issue any
+number of frames back to back; the connection closes on EOF, on a
+protocol violation, or when the server drains.
+
+The server thread pool is connection-handling only — actual parsing is
+multiplexed through the shared :class:`~repro.serve.service.IngestService`
+admission queue, so socket concurrency and parse concurrency are
+independently bounded (many idle connections cost threads, not pool
+workers; many hot connections hit admission backpressure and receive
+retry-after rejects instead of piling onto the executor).
+
+``python -m repro serve`` wraps this in a process: it prints the bound
+address, serves until SIGINT/SIGTERM, then drains and exits 0.
+"""
+
+from __future__ import annotations
+
+import json
+import socketserver
+import threading
+
+from repro.columnar.serialize import write_feather
+from repro.errors import AdmissionError, ProtocolError, ReproError
+from repro.serve.protocol import options_from_wire, read_frame, write_frame
+from repro.serve.service import IngestService
+
+__all__ = ["IngestServer"]
+
+#: Sockets idle longer than this are dropped (a dead peer must not pin a
+#: handler thread forever).
+CONNECTION_TIMEOUT = 60.0
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    timeout = CONNECTION_TIMEOUT
+
+    def handle(self) -> None:  # pragma: no cover - exercised via sockets
+        server: "_Server" = self.server  # type: ignore[assignment]
+        while True:
+            # Clean EOF between frames ends the connection silently; a
+            # closure mid-frame surfaces as a ProtocolError below.
+            probe = self.rfile.read(1)
+            if not probe:
+                return
+            try:
+                header, body = _read_rest(self.rfile, probe,
+                                          server.max_body)
+            except ProtocolError as error:
+                _safe_write(self.wfile,
+                            {"status": "error", "error": str(error)})
+                return
+            if not server.ingest.handle(header, body, self.wfile):
+                return
+
+
+def _read_rest(stream, probe: bytes, max_body: int):
+    """Finish reading a frame whose first byte was already consumed."""
+
+    class _Stitched:
+        def __init__(self):
+            self._probe = probe
+
+        def read(self, count):
+            if self._probe:
+                head, self._probe = self._probe, b""
+                rest = stream.read(count - len(head)) \
+                    if count > len(head) else b""
+                return head + (rest or b"")
+            return stream.read(count)
+
+    return read_frame(_Stitched(), max_body=max_body)
+
+
+def _safe_write(stream, header: dict, body: bytes = b"") -> None:
+    try:
+        write_frame(stream, header, body)
+    except OSError:
+        pass
+
+
+class IngestServer:
+    """TCP server multiplexing protocol frames into an ingest service.
+
+    Parameters
+    ----------
+    service:
+        The :class:`~repro.serve.service.IngestService` handling the
+        requests (owned by the caller; :meth:`close` only shuts the
+        server down unless ``own_service=True``).
+    host / port:
+        Bind address; ``port=0`` (default) picks an ephemeral port.
+    own_service:
+        When set, :meth:`close` also drains and closes the service —
+        the CLI uses this so one ``close()`` tears the whole system
+        down.
+    """
+
+    def __init__(self, service: IngestService, host: str = "127.0.0.1",
+                 port: int = 0, own_service: bool = False):
+        self.service = service
+        self.own_service = own_service
+        self._server = _Server((host, port), _Handler, self)
+        self._thread: threading.Thread | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def host(self) -> str:
+        return self._server.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._server.server_address[1]
+
+    def start(self) -> "IngestServer":
+        """Serve in a background thread; returns self (chainable)."""
+        if self._thread is not None:
+            return self
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-serve-accept", daemon=True)
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until :meth:`close`."""
+        self._server.serve_forever()
+
+    def close(self, drain: bool = True) -> None:
+        """Stop accepting, close the socket, optionally drain the service."""
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+        if self.own_service:
+            self.service.close(drain=drain)
+
+    def __enter__(self) -> "IngestServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- request handling --------------------------------------------------
+
+    def handle(self, header: dict, body: bytes, wfile) -> bool:
+        """Serve one decoded frame; ``False`` closes the connection."""
+        op = header.get("op")
+        if op == "ping":
+            _safe_write(wfile, {"status": "ok", "server": "repro-serve"})
+            return True
+        if op == "status":
+            payload = json.dumps(self.service.status()).encode("utf-8")
+            _safe_write(wfile, {"status": "ok"}, payload)
+            return True
+        if op == "parse":
+            self._handle_parse(header, body, wfile)
+            return True
+        _safe_write(wfile, {"status": "error",
+                            "error": f"unknown op {op!r}"})
+        return False
+
+    def _handle_parse(self, header: dict, body: bytes, wfile) -> None:
+        try:
+            options = options_from_wire(header.get("options"))
+            result = self.service.parse(
+                body,
+                tenant=str(header.get("tenant", "default")),
+                options=options,
+                priority=None if header.get("priority") is None
+                else int(header["priority"]),
+                timeout=None if header.get("timeout") is None
+                else float(header["timeout"]))
+        except AdmissionError as error:
+            _safe_write(wfile, {
+                "status": "rejected",
+                "reason": error.reason,
+                "retry_after": error.retry_after,
+                "error": str(error),
+            })
+            return
+        except TimeoutError as error:
+            _safe_write(wfile, {"status": "timeout", "error": str(error)})
+            return
+        except (ReproError, ValueError) as error:
+            _safe_write(wfile, {"status": "error", "error": str(error)})
+            return
+        _safe_write(wfile, {
+            "status": "ok",
+            "records": result.num_records,
+            "rows": result.num_rows,
+            "rejected_records": result.rejected_records,
+        }, write_feather(result.table))
+
+
+class _Server(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, address, handler, ingest: IngestServer):
+        self.ingest = ingest
+        # Oversized bodies should reach admission and earn a proper
+        # per-tenant "rejected/oversized" response; only grossly over
+        # the service ceiling is cut off at the framing layer.
+        self.max_body = \
+            ingest.service.config.max_request_bytes * 2 + 1024
+        super().__init__(address, handler)

@@ -1,0 +1,614 @@
+"""The multi-tenant ingest service core.
+
+One :class:`IngestService` owns one **warm executor** — by default a
+:class:`~repro.exec.ShardedExecutor` whose process pool, shared-memory
+input shipping and kernel-table cache persist across requests — and
+multiplexes every request onto it:
+
+* **admission** — a bounded priority queue.  A full queue rejects with
+  :class:`~repro.errors.AdmissionError` carrying a ``retry_after`` hint
+  (backpressure: the client backs off instead of the service buffering
+  without limit).  Oversized bodies and submissions after shutdown are
+  rejected outright.
+* **dispatch** — a small pool of dispatcher threads pulls requests in
+  priority order and runs them through the shared executor.  Parsing
+  releases the GIL into the worker processes on the sharded path, so a
+  handful of dispatchers keeps the pool busy without oversubscribing it.
+* **deadlines & cancellation** — every request may carry a timeout.  A
+  request whose deadline lapses while queued is never started; one that
+  finishes past its deadline resolves to timeout (the result is
+  discarded).  :meth:`Ticket.cancel` withdraws queued work.  All state
+  transitions race through one atomic resolver, so a request settles
+  exactly once.
+* **observability** — per-tenant ``serve.*`` counters/histograms and a
+  bounded batch history feed ``python -m repro batches``/``checkhealth``
+  (see :mod:`repro.serve.status` and ``docs/OBSERVABILITY.md``).
+* **drain** — :meth:`IngestService.close` stops admission, lets queued
+  work finish (or cancels it with ``drain=False``), joins dispatchers
+  and closes the owned executor, releasing pool processes and
+  shared-memory segments.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.core.options import ParseOptions
+from repro.core.parser import ParPaRawParser
+from repro.core.result import ParseResult
+from repro.errors import AdmissionError, ServeError
+from repro.exec import SerialExecutor, ShardedExecutor
+from repro.kernels import cache_info
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_TRACER, Tracer
+from repro.streaming import StreamingParser
+from repro.streaming.stream_parser import DEFAULT_MAX_CARRY_BYTES
+
+__all__ = ["IngestService", "ServiceConfig", "TenantPolicy", "Ticket",
+           "StreamSession", "QUEUED", "RUNNING", "DONE", "FAILED",
+           "TIMEOUT", "CANCELLED"]
+
+#: Ticket states.  Strings (not an Enum) so they serialise verbatim into
+#: status dicts and wire headers.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+TIMEOUT = "timeout"
+CANCELLED = "cancelled"
+
+_TERMINAL = frozenset({DONE, FAILED, TIMEOUT, CANCELLED})
+
+
+@dataclass(frozen=True)
+class TenantPolicy:
+    """Per-tenant admission limits and defaults.
+
+    ``None`` fields inherit the service-wide default from
+    :class:`ServiceConfig`.
+    """
+
+    #: Default priority for the tenant's requests (lower runs first).
+    priority: int = 0
+    #: Largest request body the tenant may submit.
+    max_request_bytes: int | None = None
+    #: Carry-over bound for the tenant's streaming sessions.
+    max_carry_bytes: int | None = None
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Everything configurable about an :class:`IngestService`."""
+
+    #: Worker processes for the shared executor; ``1`` runs serial.
+    workers: int = 1
+    #: Dispatcher threads pulling from the admission queue.
+    dispatchers: int = 2
+    #: Admission queue capacity; a full queue rejects with retry-after.
+    queue_capacity: int = 64
+    #: Service-wide request body ceiling.
+    max_request_bytes: int = 64 * 1024 * 1024
+    #: Service-wide streaming carry-over bound.
+    max_carry_bytes: int = DEFAULT_MAX_CARRY_BYTES
+    #: Default per-request timeout in seconds (``None`` = no deadline).
+    default_timeout: float | None = None
+    #: Base of the retry-after hint handed out on queue-full rejects.
+    retry_after: float = 0.05
+    #: Parse options used when a request carries none.
+    default_options: ParseOptions | None = None
+    #: Per-tenant overrides.
+    tenants: dict[str, TenantPolicy] = field(default_factory=dict)
+    #: Finished requests kept in the batch history ring.
+    history: int = 256
+    #: ``False`` runs the sharded schedule inline (tests/debugging).
+    use_processes: bool = True
+
+    def policy(self, tenant: str) -> TenantPolicy:
+        return self.tenants.get(tenant, _DEFAULT_POLICY)
+
+
+_DEFAULT_POLICY = TenantPolicy()
+
+
+class Ticket:
+    """A submitted request: state, result, and the settle-once contract.
+
+    All transitions go through :meth:`_resolve`, which lets exactly one
+    terminal state win — a result arriving after the deadline, a cancel
+    racing a dispatcher, and a timeout racing completion all settle
+    deterministically.
+    """
+
+    def __init__(self, request_id: int, tenant: str, priority: int,
+                 deadline: float | None, input_bytes: int):
+        self.id = request_id
+        self.tenant = tenant
+        self.priority = priority
+        #: Monotonic deadline (``None`` = no timeout).
+        self.deadline = deadline
+        self.input_bytes = input_bytes
+        self.state = QUEUED
+        self.result_value: ParseResult | None = None
+        self.error: BaseException | None = None
+        self._done = threading.Event()
+        self._lock = threading.Lock()
+        #: Set by the service while the request runs (diagnostics).
+        self.started_at: float | None = None
+
+    # -- state machine -----------------------------------------------------
+
+    def _resolve(self, state: str, result: ParseResult | None = None,
+                 error: BaseException | None = None) -> bool:
+        """Move to a terminal state; ``False`` if already settled."""
+        with self._lock:
+            if self.state in _TERMINAL:
+                return False
+            self.state = state
+            self.result_value = result
+            self.error = error
+        self._done.set()
+        return True
+
+    def _begin(self) -> bool:
+        """Dispatcher claim: QUEUED -> RUNNING, or ``False`` if settled."""
+        with self._lock:
+            if self.state != QUEUED:
+                return False
+            self.state = RUNNING
+            self.started_at = time.monotonic()
+            return True
+
+    def _expired(self, now: float | None = None) -> bool:
+        if self.deadline is None:
+            return False
+        return (time.monotonic() if now is None else now) >= self.deadline
+
+    # -- caller API --------------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        return self.state in _TERMINAL
+
+    def cancel(self) -> bool:
+        """Withdraw the request; ``True`` if it never ran (nor will)."""
+        return self._resolve(CANCELLED,
+                             error=ServeError("request cancelled"))
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until settled (or ``timeout``); enforces the deadline.
+
+        When the request's own deadline lapses first, the waiter settles
+        the ticket as :data:`TIMEOUT` — a dispatcher still chewing on it
+        will find the ticket settled and discard its result.  ``False``
+        means only the caller's wait budget lapsed; the request is still
+        in flight.
+        """
+        wait_until = None if timeout is None \
+            else time.monotonic() + timeout
+        while not self._done.is_set():
+            now = time.monotonic()
+            if self.deadline is not None and now >= self.deadline:
+                self._resolve(TIMEOUT, error=TimeoutError(
+                    f"request {self.id} missed its deadline"))
+                return True
+            if wait_until is not None and now >= wait_until:
+                return False
+            horizons = [h for h in (self.deadline, wait_until)
+                        if h is not None]
+            self._done.wait(min(horizons) - now if horizons else None)
+        return True
+
+    def result(self, timeout: float | None = None) -> ParseResult:
+        """The parse result; raises the failure for unhappy outcomes."""
+        if not self.wait(timeout):
+            raise TimeoutError(
+                f"request {self.id} not finished within the wait timeout")
+        if self.state == DONE:
+            assert self.result_value is not None
+            return self.result_value
+        assert self.error is not None
+        raise self.error
+
+
+class StreamSession:
+    """An incremental parse bound to the service's shared executor.
+
+    The in-process analogue of a chunked upload: :meth:`feed` partitions
+    as they arrive, :meth:`finish` for the combined table.  Sessions use
+    the tenant's carry bound and per-partition admission size checks, and
+    account into the same per-tenant metrics as one-shot requests.
+    Feeds run on the caller's thread (ordering within a session is the
+    caller's, as it must be) but share the warm executor — and therefore
+    the kernel-table cache and worker pool — with everything else.
+    """
+
+    def __init__(self, service: "IngestService", tenant: str,
+                 options: ParseOptions, max_carry_bytes: int | None,
+                 max_partition_bytes: int):
+        self._service = service
+        self.tenant = tenant
+        self._max_partition_bytes = max_partition_bytes
+        self._stream = StreamingParser(
+            options, executor=service._executor,
+            tracer=service.tracer, metrics=service.metrics,
+            max_carry_bytes=max_carry_bytes)
+
+    def feed(self, partition: bytes) -> int:
+        service = self._service
+        if service.closing:
+            raise ServeError("service is shutting down")
+        if len(partition) > self._max_partition_bytes:
+            service._count_reject(self.tenant, "oversized")
+            raise AdmissionError(
+                f"stream partition of {len(partition)} bytes exceeds the "
+                f"tenant limit of {self._max_partition_bytes}",
+                reason="oversized")
+        records = self._stream.feed(partition)
+        service._account_stream(self.tenant, len(partition), records)
+        return records
+
+    def finish(self):
+        table = self._stream.finish()
+        self._service._record_stream_batch(self)
+        return table
+
+    @property
+    def records_parsed(self) -> int:
+        return self._stream.records_parsed
+
+    @property
+    def bytes_fed(self) -> int:
+        return self._stream.bytes_fed
+
+
+class IngestService:
+    """Multi-tenant parse front end over one shared warm executor."""
+
+    def __init__(self, config: ServiceConfig | None = None,
+                 executor=None, tracer: Tracer = NULL_TRACER,
+                 metrics: MetricsRegistry | None = None):
+        self.config = config if config is not None else ServiceConfig()
+        self.tracer = tracer
+        #: The service always keeps real metrics: status/checkhealth and
+        #: the wire ``status`` op are built from them.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        if executor is not None:
+            self._executor = executor
+            self._owns_executor = False
+        elif self.config.workers > 1:
+            self._executor = ShardedExecutor(
+                workers=self.config.workers,
+                use_processes=self.config.use_processes)
+            self._owns_executor = True
+        else:
+            self._executor = SerialExecutor()
+            self._owns_executor = True
+        self._queue: queue.PriorityQueue = queue.PriorityQueue(
+            maxsize=self.config.queue_capacity)
+        self._seq = itertools.count()
+        self._ids = itertools.count(1)
+        self._lock = threading.Lock()
+        self._closing = False
+        self._closed = False
+        self._warm = False
+        self._started = time.monotonic()
+        self._started_wall = time.time()
+        self._batches: deque[dict] = deque(maxlen=self.config.history)
+        self._dispatchers = [
+            threading.Thread(target=self._dispatch,
+                             name=f"repro-serve-dispatch-{i}", daemon=True)
+            for i in range(max(1, self.config.dispatchers))]
+        for thread in self._dispatchers:
+            thread.start()
+
+    # -- admission ---------------------------------------------------------
+
+    def submit(self, data: bytes, *, tenant: str = "default",
+               options: ParseOptions | None = None,
+               priority: int | None = None,
+               timeout: float | None = None) -> Ticket:
+        """Admit one parse request; returns its :class:`Ticket`.
+
+        Raises :class:`~repro.errors.AdmissionError` when the request
+        cannot be queued: service shutting down (``closed``), body over
+        the tenant's size limit (``oversized``), or admission queue full
+        (``queue-full``, with a ``retry_after`` backoff hint).
+        """
+        if self.closing:
+            raise AdmissionError("service is shutting down",
+                                 reason="closed")
+        policy = self.config.policy(tenant)
+        limit = policy.max_request_bytes \
+            if policy.max_request_bytes is not None \
+            else self.config.max_request_bytes
+        size = len(data)
+        if size > limit:
+            self._count_reject(tenant, "oversized")
+            raise AdmissionError(
+                f"request body of {size} bytes exceeds the limit of "
+                f"{limit} bytes for tenant {tenant!r}", reason="oversized")
+        if options is None:
+            options = self.config.default_options
+        if priority is None:
+            priority = policy.priority
+        if timeout is None:
+            timeout = self.config.default_timeout
+        deadline = None if timeout is None \
+            else time.monotonic() + timeout
+        ticket = Ticket(next(self._ids), tenant, int(priority), deadline,
+                        size)
+        entry = (ticket.priority, next(self._seq), ticket, data, options)
+        try:
+            self._queue.put_nowait(entry)
+        except queue.Full:
+            depth = self._queue.qsize()
+            retry_after = self.config.retry_after \
+                * (1.0 + depth / max(1, len(self._dispatchers)))
+            self._count_reject(tenant, "queue_full")
+            raise AdmissionError(
+                f"admission queue full ({depth} queued); retry in "
+                f"{retry_after:.3f}s", reason="queue-full",
+                retry_after=retry_after) from None
+        self.metrics.count("serve.requests")
+        self.metrics.count(f"serve.tenant.{tenant}.requests")
+        self.metrics.gauge("serve.queue.depth", self._queue.qsize())
+        return ticket
+
+    def parse(self, data: bytes, *, tenant: str = "default",
+              options: ParseOptions | None = None,
+              priority: int | None = None,
+              timeout: float | None = None) -> ParseResult:
+        """Submit and wait: the one-call request path."""
+        return self.submit(data, tenant=tenant, options=options,
+                           priority=priority, timeout=timeout).result()
+
+    def open_stream(self, *, tenant: str = "default",
+                    options: ParseOptions | None = None) -> StreamSession:
+        """Open an incremental parse session for ``tenant``.
+
+        Streaming requires a schema (see :class:`StreamingParser`); the
+        session inherits the tenant's ``max_carry_bytes`` and per-feed
+        size limit.
+        """
+        if self.closing:
+            raise AdmissionError("service is shutting down",
+                                 reason="closed")
+        if options is None:
+            options = self.config.default_options
+        policy = self.config.policy(tenant)
+        carry = policy.max_carry_bytes \
+            if policy.max_carry_bytes is not None \
+            else self.config.max_carry_bytes
+        limit = policy.max_request_bytes \
+            if policy.max_request_bytes is not None \
+            else self.config.max_request_bytes
+        self.metrics.count(f"serve.tenant.{tenant}.streams")
+        return StreamSession(self, tenant, options, carry, limit)
+
+    # -- dispatch ----------------------------------------------------------
+
+    def _dispatch(self) -> None:
+        while True:
+            entry = self._queue.get()
+            ticket = entry[2]
+            if ticket is None:          # shutdown sentinel
+                self._queue.task_done()
+                return
+            self.metrics.gauge("serve.queue.depth", self._queue.qsize())
+            try:
+                self._run(ticket, entry[3], entry[4])
+            finally:
+                self._queue.task_done()
+
+    def _run(self, ticket: Ticket, data: bytes,
+             options: ParseOptions | None) -> None:
+        if ticket._expired():
+            # The waiter may have settled the timeout already; either
+            # way this entry reaches dispatch exactly once, so account
+            # for it here.
+            ticket._resolve(TIMEOUT, error=TimeoutError(
+                f"request {ticket.id} timed out in the queue"))
+            self._finish_accounting(ticket, 0, 0.0)
+            return
+        if not ticket._begin():
+            # Cancelled (or timed out by a waiter) while queued.
+            self._finish_accounting(ticket, 0, 0.0)
+            return
+        start = time.monotonic()
+        try:
+            parser = ParPaRawParser(options, executor=self._executor,
+                                    tracer=self.tracer,
+                                    metrics=self.metrics)
+            if self.tracer.enabled:
+                with self.tracer.span("serve:request", tenant=ticket.tenant,
+                                      request=ticket.id,
+                                      priority=ticket.priority):
+                    result = parser.parse(data)
+            else:
+                result = parser.parse(data)
+        except Exception as error:
+            if ticket._resolve(FAILED, error=error):
+                self._finish_accounting(ticket, 0,
+                                        time.monotonic() - start)
+            return
+        self._warm = True
+        elapsed = time.monotonic() - start
+        if ticket._expired():
+            ticket._resolve(TIMEOUT, error=TimeoutError(
+                f"request {ticket.id} finished after its deadline"))
+            self._finish_accounting(ticket, 0, elapsed)
+            return
+        if ticket._resolve(DONE, result=result):
+            self._finish_accounting(ticket, result.num_rows, elapsed)
+        else:
+            # A racing cancel/timeout settled the ticket first; the
+            # completed work is discarded.
+            self._finish_accounting(ticket, 0, elapsed)
+
+    # -- accounting --------------------------------------------------------
+
+    def _count_reject(self, tenant: str, kind: str) -> None:
+        self.metrics.count("serve.admission.rejects")
+        self.metrics.count(f"serve.admission.rejects.{kind}")
+        self.metrics.count(f"serve.tenant.{tenant}.rejects")
+
+    def _account_stream(self, tenant: str, nbytes: int,
+                        records: int) -> None:
+        self.metrics.count(f"serve.tenant.{tenant}.bytes", nbytes)
+        self.metrics.count(f"serve.tenant.{tenant}.records", records)
+
+    def _record_stream_batch(self, session: StreamSession) -> None:
+        with self._lock:
+            self._batches.append({
+                "id": next(self._ids),
+                "tenant": session.tenant,
+                "outcome": "stream",
+                "bytes": session.bytes_fed,
+                "records": session.records_parsed,
+                "seconds": 0.0,
+                "finished_at": time.time(),
+            })
+
+    def _finish_accounting(self, ticket: Ticket, records: int,
+                           seconds: float) -> None:
+        outcome = ticket.state
+        self.metrics.count(f"serve.requests.{outcome}")
+        tenant = ticket.tenant
+        if outcome == DONE:
+            self.metrics.count(f"serve.tenant.{tenant}.bytes",
+                               ticket.input_bytes)
+            self.metrics.count(f"serve.tenant.{tenant}.records", records)
+            self.metrics.observe("serve.request.seconds", seconds)
+            self.metrics.observe(f"serve.tenant.{tenant}.seconds", seconds)
+        with self._lock:
+            self._batches.append({
+                "id": ticket.id,
+                "tenant": tenant,
+                "outcome": outcome,
+                "bytes": ticket.input_bytes,
+                "records": records,
+                "seconds": seconds,
+                "finished_at": time.time(),
+            })
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def closing(self) -> bool:
+        return self._closing or self._closed
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def executor(self):
+        """The shared warm executor (for tests and advanced callers)."""
+        return self._executor
+
+    def status(self) -> dict:
+        """A JSON-friendly snapshot of the whole service (see status.py)."""
+        counters = dict(self.metrics.counters)
+        requests = {
+            "submitted": counters.get("serve.requests", 0),
+            "completed": counters.get("serve.requests.done", 0),
+            "failed": counters.get("serve.requests.failed", 0),
+            "timeout": counters.get("serve.requests.timeout", 0),
+            "cancelled": counters.get("serve.requests.cancelled", 0),
+            "rejected": counters.get("serve.admission.rejects", 0),
+        }
+        tenants: dict[str, dict] = {}
+        prefix = "serve.tenant."
+        for key, value in counters.items():
+            if not key.startswith(prefix):
+                continue
+            tenant, metric = key[len(prefix):].rsplit(".", 1)
+            tenants.setdefault(tenant, {})[metric] = value
+        for name, summary in self.metrics.histograms.items():
+            if name.startswith(prefix) and name.endswith(".seconds"):
+                tenant = name[len(prefix):-len(".seconds")]
+                count, total = summary[0], summary[1]
+                tenants.setdefault(tenant, {})["mean_seconds"] = \
+                    total / count if count else 0.0
+        state = "closed" if self._closed else \
+            "draining" if self._closing else "running"
+        with self._lock:
+            batches = list(self._batches)
+        return {
+            "state": state,
+            "uptime_seconds": time.monotonic() - self._started,
+            "started_at": self._started_wall,
+            "workers": self.config.workers,
+            "dispatchers": len(self._dispatchers),
+            "executor": type(self._executor).__name__,
+            "warm": self._warm,
+            "queue": {"depth": self._queue.qsize(),
+                      "capacity": self.config.queue_capacity},
+            "requests": requests,
+            "tenants": tenants,
+            "kernel_cache": cache_info(),
+            "batches": batches,
+        }
+
+    # -- shutdown ----------------------------------------------------------
+
+    def close(self, drain: bool = True,
+              timeout: float | None = None) -> None:
+        """Stop admission and shut down; idempotent.
+
+        ``drain=True`` (the default) lets already-queued requests run to
+        completion before dispatchers exit; ``drain=False`` cancels all
+        queued work first.  The owned executor — pool processes and any
+        shared-memory segments with it — is closed once dispatchers are
+        gone, so nothing leaks.
+        """
+        with self._lock:
+            if self._closing:
+                already = True
+            else:
+                already, self._closing = False, True
+        if not already:
+            start = time.monotonic()
+            if not drain:
+                self._cancel_queued()
+            # Sentinels sort after every admitted priority, so queued
+            # work drains before any dispatcher sees one.
+            for _ in self._dispatchers:
+                self._queue.put((float("inf"), next(self._seq), None,
+                                 b"", None))
+            for thread in self._dispatchers:
+                thread.join(timeout)
+            # A submit that raced the closing flag may have slipped an
+            # entry in behind the sentinels; settle it rather than leave
+            # its waiter hanging.
+            self._cancel_queued()
+            if self._owns_executor:
+                self._executor.close()
+            self.metrics.observe("serve.drain.seconds",
+                                 time.monotonic() - start)
+            self._closed = True
+
+    def _cancel_queued(self) -> None:
+        """Settle every request still sitting in the admission queue."""
+        while True:
+            try:
+                entry = self._queue.get_nowait()
+            except queue.Empty:
+                return
+            ticket = entry[2]
+            if ticket is not None and ticket._resolve(
+                    CANCELLED, error=ServeError(
+                        "request cancelled by service shutdown")):
+                self._finish_accounting(ticket, 0, 0.0)
+            self._queue.task_done()
+
+    def __enter__(self) -> "IngestService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

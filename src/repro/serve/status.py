@@ -1,0 +1,168 @@
+"""Operability reports for the ingest service.
+
+The service keeps a bounded batch history (one record per finished
+request) and exposes a :meth:`~repro.serve.service.IngestService.status`
+dict; this module renders that dict as the three operator-facing text
+reports behind the CLI:
+
+* ``python -m repro batches`` — recent request history (id, tenant,
+  outcome, bytes, records, latency), newest first;
+* ``python -m repro checkhealth`` — health flags derived from the same
+  status dict (queue pressure, rejects, failures, executor state);
+* the full ``render_status`` report printed by both on ``--full``.
+
+All three work from the plain status dict, so they render identically
+for an in-process service and for a remote one queried over the wire
+(the ``status`` op ships the same dict as JSON).
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["render_status", "render_batches", "render_checkhealth",
+           "health_flags", "QUEUE_PRESSURE_THRESHOLD"]
+
+#: Queue occupancy (depth / capacity) above which checkhealth warns.
+QUEUE_PRESSURE_THRESHOLD = 0.8
+
+
+def _fmt_bytes(n: float) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(n) < 1024 or unit == "GiB":
+            return f"{n:.0f} {unit}" if unit == "B" else f"{n:.1f} {unit}"
+        n /= 1024
+    return f"{n:.1f} GiB"
+
+
+def _fmt_age(seconds: float) -> str:
+    if seconds < 120:
+        return f"{seconds:.0f}s ago"
+    if seconds < 7200:
+        return f"{seconds / 60:.0f}m ago"
+    return f"{seconds / 3600:.1f}h ago"
+
+
+def render_status(status: dict) -> str:
+    """The full service status report (one string, newline-joined)."""
+    queue = status["queue"]
+    requests = status["requests"]
+    cache = status.get("kernel_cache", {})
+    lines = [
+        "ingest service status",
+        f"  state:     {status['state']}",
+        f"  uptime:    {status['uptime_seconds']:.1f} s",
+        f"  executor:  {status['executor']} "
+        f"(workers={status['workers']}, warm={status['warm']})",
+        f"  queue:     {queue['depth']}/{queue['capacity']} queued, "
+        f"{status['dispatchers']} dispatchers",
+        "  requests:  "
+        + ", ".join(f"{requests.get(k, 0)} {k}"
+                    for k in ("submitted", "completed", "failed",
+                              "timeout", "cancelled", "rejected")),
+        f"  kernel-table cache: {cache.get('entries', 0)} entries, "
+        f"{cache.get('hits', 0)} hits / {cache.get('misses', 0)} misses "
+        f"({cache.get('evictions', 0)} evictions)",
+    ]
+    tenants = status.get("tenants", {})
+    if tenants:
+        lines.append("  tenants:")
+        lines.append(f"    {'tenant':<16} {'requests':>8} {'rejects':>8} "
+                     f"{'bytes':>10} {'records':>10} {'mean ms':>9}")
+        for name in sorted(tenants):
+            t = tenants[name]
+            mean_ms = t.get("mean_seconds", 0.0) * 1e3
+            lines.append(
+                f"    {name:<16} {t.get('requests', 0):>8} "
+                f"{t.get('rejects', 0):>8} "
+                f"{_fmt_bytes(t.get('bytes', 0)):>10} "
+                f"{t.get('records', 0):>10} {mean_ms:>9.2f}")
+    return "\n".join(lines)
+
+
+def render_batches(status: dict, limit: int = 20) -> str:
+    """Recent request history, newest first (Snippet-3 ``batches`` style)."""
+    batches = status.get("batches", [])
+    if not batches:
+        return "no batches recorded yet"
+    now = time.time()
+    lines = [f"{'batch':>6}  {'tenant':<14} {'outcome':<9} {'bytes':>10} "
+             f"{'records':>9} {'ms':>9}  {'finished':<10}"]
+    for record in list(reversed(batches))[:limit]:
+        lines.append(
+            f"{record['id']:>6}  {record['tenant']:<14} "
+            f"{record['outcome']:<9} {_fmt_bytes(record['bytes']):>10} "
+            f"{record['records']:>9} {record['seconds'] * 1e3:>9.2f}  "
+            f"{_fmt_age(now - record['finished_at']):<10}")
+    remaining = len(batches) - limit
+    if remaining > 0:
+        lines.append(f"... ({remaining} older batches retained)")
+    return "\n".join(lines)
+
+
+def health_flags(status: dict) -> list[tuple[str, str]]:
+    """``(severity, message)`` pairs; severity is ``ok``/``warn``/``error``.
+
+    The empty-problem case still yields explicit ``ok`` lines, so the
+    report always says what was checked.
+    """
+    flags: list[tuple[str, str]] = []
+    queue = status["queue"]
+    requests = status["requests"]
+
+    if status["state"] != "running":
+        flags.append(("error", f"service is {status['state']}"))
+    else:
+        flags.append(("ok", "service is running"))
+
+    capacity = max(1, queue["capacity"])
+    occupancy = queue["depth"] / capacity
+    if occupancy >= QUEUE_PRESSURE_THRESHOLD:
+        flags.append(("warn",
+                      f"admission queue at {occupancy:.0%} capacity "
+                      f"({queue['depth']}/{queue['capacity']}) — clients "
+                      f"will start seeing retry-after rejects"))
+    else:
+        flags.append(("ok",
+                      f"admission queue at {occupancy:.0%} capacity"))
+
+    rejected = requests.get("rejected", 0)
+    if rejected:
+        flags.append(("warn", f"{rejected} requests rejected at admission "
+                              f"(backpressure engaged)"))
+    else:
+        flags.append(("ok", "no admission rejects"))
+
+    failed = requests.get("failed", 0)
+    if failed:
+        flags.append(("warn", f"{failed} requests failed"))
+    else:
+        flags.append(("ok", "no failed requests"))
+
+    timeouts = requests.get("timeout", 0)
+    if timeouts:
+        flags.append(("warn", f"{timeouts} requests timed out"))
+
+    cache = status.get("kernel_cache", {})
+    evictions = cache.get("evictions", 0)
+    if evictions:
+        flags.append(("warn",
+                      f"kernel-table cache evicted {evictions} entries — "
+                      f"more live dialects than MAX_CACHED_TABLES; "
+                      f"tables are being rebuilt"))
+    else:
+        flags.append(("ok", "kernel-table cache within capacity"))
+    return flags
+
+
+def render_checkhealth(status: dict) -> str:
+    """The ``checkhealth`` report: one line per flag, worst first."""
+    order = {"error": 0, "warn": 1, "ok": 2}
+    flags = sorted(health_flags(status), key=lambda f: order[f[0]])
+    worst = flags[0][0] if flags else "ok"
+    lines = [f"ingest service health: "
+             f"{'OK' if worst == 'ok' else worst.upper()}"]
+    for severity, message in flags:
+        marker = {"ok": " ok ", "warn": "WARN", "error": "FAIL"}[severity]
+        lines.append(f"  [{marker}] {message}")
+    return "\n".join(lines)

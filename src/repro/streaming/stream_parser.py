@@ -28,7 +28,15 @@ from repro.obs.metrics import NULL_METRICS, MetricsRegistry
 from repro.obs.trace import NULL_TRACER, Tracer
 from repro.utils.timing import StepTimer
 
-__all__ = ["StreamingParser"]
+__all__ = ["StreamingParser", "DEFAULT_MAX_CARRY_BYTES"]
+
+#: Default ceiling for the §4.4 carry-over.  An unterminated quoted field
+#: makes every subsequent partition extend the carry instead of flushing
+#: it — each ``feed`` then re-tags the whole carry from byte 0 (quadratic
+#: work) and the buffer grows until memory runs out.  The default is
+#: generous (far larger than any sane record); long-running services set
+#: a tighter per-tenant bound.
+DEFAULT_MAX_CARRY_BYTES = 256 * 1024 * 1024
 
 
 class StreamingParser:
@@ -50,11 +58,22 @@ class StreamingParser:
     ``tracer``/``metrics`` attach :mod:`repro.obs` sinks — every partition
     adds one ``partition:<i>`` span enclosing its boundary search and
     parse, on the same timeline as the per-stage spans underneath.
+
+    ``max_carry_bytes`` bounds the carry-over: when no record boundary has
+    been seen for that many bytes (the signature of an unterminated quoted
+    field) :meth:`feed` raises :class:`~repro.errors.StreamingError` with
+    byte-offset diagnostics instead of growing — and re-tagging — the
+    carry without limit.  ``None`` disables the bound.
+
+    When the parser creates its own default executor (``executor=None``)
+    it owns it: :meth:`close` releases it, and :meth:`parse_file` closes
+    it on every path.  An explicitly passed executor stays caller-owned.
     """
 
     def __init__(self, options: ParseOptions | None = None,
                  executor=None, tracer: Tracer = NULL_TRACER,
-                 metrics: MetricsRegistry = NULL_METRICS):
+                 metrics: MetricsRegistry = NULL_METRICS,
+                 max_carry_bytes: int | None = DEFAULT_MAX_CARRY_BYTES):
         self.options = options if options is not None else ParseOptions()
         if self.options.schema is None:
             raise StreamingError(
@@ -64,12 +83,16 @@ class StreamingParser:
             raise StreamingError(
                 "row/record skipping is defined on whole inputs; apply it "
                 "before streaming")
+        if max_carry_bytes is not None and max_carry_bytes <= 0:
+            raise StreamingError("max_carry_bytes must be positive or None")
         self._parser = ParPaRawParser(self.options, executor=executor,
                                       tracer=tracer, metrics=metrics)
         self._executor = self._parser.executor
+        self._owns_executor = executor is None
         self._dfa = self.options.resolved_dfa()
         self.tracer = tracer
         self.metrics = metrics
+        self.max_carry_bytes = max_carry_bytes
         self._carry = b""
         self._tables: list[Table] = []
         self._finished = False
@@ -77,6 +100,8 @@ class StreamingParser:
         self.carry_sizes: list[int] = []
         #: Records parsed so far.
         self.records_parsed = 0
+        #: Total bytes consumed by feed() so far (diagnostics).
+        self.bytes_fed = 0
         self._partitions_fed = 0
 
     # -- streaming ---------------------------------------------------------
@@ -95,6 +120,7 @@ class StreamingParser:
 
     def _feed(self, partition: bytes) -> int:
         data = self._carry + bytes(partition)
+        self.bytes_fed += len(partition)
         if not data:
             return 0
         split = self._last_record_boundary(data)
@@ -103,12 +129,26 @@ class StreamingParser:
         if self.metrics.enabled:
             self.metrics.count("stream.partitions")
             self.metrics.observe("stream.carry.bytes", len(self._carry))
+        self._check_carry_bound()
         if not complete:
             return 0
         result = self._parser.parse(complete)
         self._tables.append(result.table)
         self.records_parsed += result.num_rows
         return result.num_rows
+
+    def _check_carry_bound(self) -> None:
+        if self.max_carry_bytes is None \
+                or len(self._carry) <= self.max_carry_bytes:
+            return
+        carry = len(self._carry)
+        start = self.bytes_fed - carry
+        raise StreamingError(
+            f"carry-over grew to {carry} bytes without a record boundary "
+            f"(max_carry_bytes={self.max_carry_bytes}); no record ends in "
+            f"stream bytes [{start}, {self.bytes_fed}) — typically an "
+            f"unterminated quoted field opened at or after byte {start}",
+            byte_offset=start, carry_bytes=carry)
 
     @classmethod
     def parse_file(cls, path, options: ParseOptions,
@@ -124,28 +164,49 @@ class StreamingParser:
         if partition_bytes <= 0:
             raise StreamingError("partition_bytes must be positive")
         stream = cls(options, executor=executor)
-        with open(path, "rb") as handle:
-            while True:
-                partition = handle.read(partition_bytes)
-                if not partition:
-                    break
-                stream.feed(partition)
-        return stream.finish()
+        try:
+            with open(path, "rb") as handle:
+                while True:
+                    partition = handle.read(partition_bytes)
+                    if not partition:
+                        break
+                    stream.feed(partition)
+            return stream.finish()
+        finally:
+            # The stream owns its executor only when none was passed in;
+            # close() is a no-op for caller-owned executors.
+            stream.close()
 
     def finish(self) -> Table:
-        """Flush the final carry-over and return the combined table."""
+        """Flush the final carry-over and return the combined table.
+
+        The stream is marked finished only once the flush succeeds: a
+        :class:`~repro.errors.ParseError` while parsing the final carry
+        leaves the carry (and the stream) intact, so the caller can
+        retry ``finish()`` — or feed more bytes — instead of losing the
+        tail of the stream.
+        """
         if self._finished:
             raise StreamingError("finish() called twice")
-        self._finished = True
         if self._carry:
             result = self._parser.parse(self._carry)
             self._tables.append(result.table)
             self.records_parsed += result.num_rows
             self._carry = b""
+        self._finished = True
         if not self._tables:
             empty = self._parser.parse(b"")
             return empty.table
         return concat_tables(self._tables)
+
+    def close(self) -> None:
+        """Release the executor if this stream created it; idempotent.
+
+        Caller-provided executors are never touched — the stream only
+        owns what it implicitly built (the ``executor=None`` default).
+        """
+        if self._owns_executor:
+            self._executor.close()
 
     # -- internals ------------------------------------------------------------
 

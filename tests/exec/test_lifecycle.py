@@ -67,6 +67,94 @@ class TestContextManager:
         assert ex.closed
 
 
+class TestParseFileOwnership:
+    """StreamingParser.parse_file must not leak implicitly created
+    executors: the default-executor pool it builds when ``executor=None``
+    is closed on every path (success and failure)."""
+
+    @pytest.fixture()
+    def created(self, monkeypatch):
+        """Record every default executor parse_file implicitly creates."""
+        from repro.core import parser as parser_module
+        instances = []
+        original = parser_module._default_executor_factory
+
+        def recording_factory():
+            executor = original()
+            instances.append(executor)
+            return executor
+
+        monkeypatch.setattr(parser_module, "_default_executor_factory",
+                            recording_factory)
+        return instances
+
+    def _csv(self, tmp_path, data=b"a,b\n1,2\n3,4\n"):
+        path = tmp_path / "stream.csv"
+        path.write_bytes(data)
+        return path
+
+    def test_parse_file_closes_owned_executor(self, tmp_path, created):
+        from repro import ParseOptions, Schema
+        from repro.streaming import StreamingParser
+        options = ParseOptions(schema=Schema.all_strings(2))
+        table = StreamingParser.parse_file(self._csv(tmp_path), options,
+                                           partition_bytes=5)
+        assert table.num_rows == 3
+        assert created, "parse_file should have built a default executor"
+        assert all(ex.closed for ex in created), \
+            "implicitly created executors must be closed"
+
+    def test_parse_file_closes_owned_executor_on_error(self, tmp_path,
+                                                       created):
+        from repro import ParseOptions, Schema
+        from repro.errors import StreamingError
+        from repro.streaming import StreamingParser
+        # An unterminated quote overflows a tiny carry bound mid-file;
+        # the owned executor must still be released.
+        path = self._csv(tmp_path, b'a,"' + b"x" * 64)
+        options = ParseOptions(schema=Schema.all_strings(2))
+
+        class TinyCarryStream(StreamingParser):
+            def __init__(self, *args, **kwargs):
+                kwargs["max_carry_bytes"] = 8
+                super().__init__(*args, **kwargs)
+
+        with pytest.raises(StreamingError):
+            TinyCarryStream.parse_file(path, options, partition_bytes=16)
+        assert created and all(ex.closed for ex in created)
+
+    def test_parse_file_leaves_caller_executor_open(self, tmp_path,
+                                                    created):
+        from repro import ParseOptions, Schema
+        from repro.streaming import StreamingParser
+        options = ParseOptions(schema=Schema.all_strings(2))
+        with SerialExecutor() as executor:
+            StreamingParser.parse_file(self._csv(tmp_path), options,
+                                       partition_bytes=5,
+                                       executor=executor)
+            assert not executor.closed, \
+                "parse_file must not close a caller-owned executor"
+        assert not created, "no default executor should be built"
+
+
+class TestConcurrentUse:
+    def test_concurrent_parses_share_one_pool(self):
+        # Several threads (the ingest service's dispatchers) racing the
+        # lazy pool creation must end up with exactly one pool and
+        # correct results.
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ShardedExecutor(workers=2, shard_bytes=4,
+                             use_processes=True) as ex:
+            parser = ParPaRawParser(executor=ex)
+            with ThreadPoolExecutor(max_workers=6) as threads:
+                results = list(threads.map(
+                    lambda _: parser.parse(DATA).num_rows, range(12)))
+            assert results == [3] * 12
+            assert ex._pool is not None
+        assert ex._pool is None
+
+
 class TestReuse:
     def test_executor_survives_multiple_parses(self, executor):
         parser = ParPaRawParser(executor=executor)

@@ -1,5 +1,10 @@
 """The process-wide table cache: keying, LRU behaviour, observability."""
 
+import random
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
 import pytest
 
 from repro.dfa import Dialect, dialect_dfa, rfc4180_dfa
@@ -69,6 +74,135 @@ def test_lru_eviction(padded, monkeypatch):
     assert info["evictions"] == 1
     get_tables(padded, 1)          # still cached
     assert cache_info()["hits"] == 2
+
+
+def _same_tables(a, b) -> bool:
+    """Content equality: the cache may legitimately hand out distinct
+    objects for one key (duplicate-build race), never different tables."""
+    return (a.k == b.k
+            and np.array_equal(a.transitions, b.transitions)
+            and np.array_equal(a.emissions, b.emissions))
+
+
+class TestConcurrentHammer:
+    """The cache under the serve workload: many threads, mixed dialects.
+
+    The ingest service's dispatcher threads all call ``get_tables``
+    concurrently with whatever dialect each tenant brought; these tests
+    hammer that path and check the three things that matter: every call
+    gets the *right* table, the hit/miss/eviction accounting stays
+    consistent, and the duplicate-build race stays benign.
+    """
+
+    DIALECTS = [
+        Dialect.csv(),
+        Dialect.tsv(),
+        Dialect(delimiter=b";"),
+        Dialect(delimiter=b"|", quote=None),
+        Dialect(delimiter=b",", comment=b"#"),
+        Dialect(delimiter=b":", quote=b"'"),
+    ]
+
+    def _corpus(self, strides=(1, 2)):
+        """``(key, dfa, k, reference_tables)`` for every (dialect, k).
+
+        Distinct dialects may share a key: the fingerprint is
+        *behavioural* over symbol groups, and e.g. ``;``-delimited
+        quoted data drives the same group-level automaton as CSV (only
+        the byte→group map differs, and that lives outside the tables).
+        Such sharing is correct — the references per shared key are
+        identical — so accounting assertions count distinct keys.
+        """
+        corpus = []
+        for dialect in self.DIALECTS:
+            dfa = dialect_dfa(dialect).with_padding_group()
+            for k in strides:
+                corpus.append((
+                    (dfa_fingerprint(dfa), k), dfa, k,
+                    build_tables(dfa, k)))
+        return corpus
+
+    @staticmethod
+    def _distinct_keys(corpus):
+        return {key for key, _, _, _ in corpus}
+
+    def test_hammer_mixed_dialects_accounting_consistent(self):
+        corpus = self._corpus()
+        calls_per_thread = 40
+        threads = 8
+
+        def hammer(seed):
+            rng = random.Random(seed)
+            wrong = 0
+            for _ in range(calls_per_thread):
+                _, dfa, k, reference = rng.choice(corpus)
+                if not _same_tables(get_tables(dfa, k), reference):
+                    wrong += 1
+            return wrong
+
+        with ThreadPoolExecutor(max_workers=threads) as pool:
+            wrong = sum(pool.map(hammer, range(threads)))
+        assert wrong == 0
+
+        info = cache_info()
+        total = threads * calls_per_thread
+        keys = self._distinct_keys(corpus)
+        # Every call is exactly one hit or one miss...
+        assert info["hits"] + info["misses"] == total
+        # ...each distinct key was built at least once (a duplicate-build
+        # race may build it more than once, which is benign)...
+        assert info["misses"] >= len(keys)
+        # ...and entries tracks inserts minus evictions, except that a
+        # racing duplicate insert overwrites in place (no size change).
+        assert info["entries"] == len(keys) <= cache_module.MAX_CACHED_TABLES
+        assert info["evictions"] == 0
+        assert info["misses"] - info["evictions"] >= info["entries"]
+
+    def test_duplicate_build_race_is_benign(self, padded):
+        threads = 8
+        barrier = threading.Barrier(threads)
+        results = []
+
+        def build():
+            barrier.wait()   # maximise the chance of a genuine race
+            return get_tables(padded, 2)
+
+        with ThreadPoolExecutor(max_workers=threads) as pool:
+            results = list(pool.map(lambda _: build(), range(threads)))
+
+        reference = build_tables(padded, 2)
+        assert all(_same_tables(t, reference) for t in results)
+        info = cache_info()
+        assert info["hits"] + info["misses"] == threads
+        assert 1 <= info["misses"] <= threads
+        assert info["entries"] == 1
+        # Later lookups converge on one cached object.
+        assert get_tables(padded, 2) is get_tables(padded, 2)
+
+    def test_eviction_pressure_never_serves_the_wrong_table(
+            self, monkeypatch):
+        monkeypatch.setattr(cache_module, "MAX_CACHED_TABLES", 3)
+        corpus = self._corpus(strides=(1, 2))   # 6 distinct keys > capacity
+        calls_per_thread = 60
+        threads = 6
+
+        def hammer(seed):
+            rng = random.Random(1000 + seed)
+            wrong = 0
+            for _ in range(calls_per_thread):
+                _, dfa, k, reference = rng.choice(corpus)
+                if not _same_tables(get_tables(dfa, k), reference):
+                    wrong += 1
+            return wrong
+
+        with ThreadPoolExecutor(max_workers=threads) as pool:
+            wrong = sum(pool.map(hammer, range(threads)))
+        assert wrong == 0
+
+        info = cache_info()
+        assert info["evictions"] > 0
+        assert info["entries"] <= 3
+        assert info["hits"] + info["misses"] == threads * calls_per_thread
 
 
 def test_metrics_record_cache_traffic(padded):

@@ -1,0 +1,373 @@
+"""The ingest service core: admission, dispatch, deadlines, drain."""
+
+import threading
+import time
+
+import pytest
+
+from repro.columnar.schema import Schema
+from repro.core.options import ParseOptions
+from repro.core.parser import ParPaRawParser
+from repro.errors import AdmissionError, ServeError, StreamingError
+from repro.kernels import clear_cache
+from repro.serve.service import (
+    CANCELLED,
+    DONE,
+    IngestService,
+    ServiceConfig,
+    TenantPolicy,
+    TIMEOUT,
+)
+from repro.serve.status import health_flags, render_batches, \
+    render_checkhealth, render_status
+
+DATA = b"a,b,c\n1,2,3\n4,5,6\n7,8,9\n"
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+@pytest.fixture()
+def service():
+    svc = IngestService(ServiceConfig(workers=1))
+    yield svc
+    svc.close()
+
+
+class TestParsePath:
+    def test_parse_matches_direct_parser(self, service):
+        direct = ParPaRawParser().parse(DATA)
+        served = service.parse(DATA)
+        assert served.table.to_pylist() == direct.table.to_pylist()
+        assert served.num_rows == direct.num_rows
+
+    def test_submit_ticket_lifecycle(self, service):
+        ticket = service.submit(DATA)
+        result = ticket.result(timeout=30)
+        assert ticket.state == DONE
+        assert ticket.done
+        assert result.num_rows == 4
+
+    def test_parse_failure_propagates(self, service):
+        from repro.core.options import ColumnCountPolicy
+        from repro.errors import ParseError
+        strict = ParseOptions(
+            column_count_policy=ColumnCountPolicy.STRICT)
+        with pytest.raises(ParseError):
+            # Ragged input under the strict policy fails inside the
+            # dispatcher; the ticket re-raises for the waiter.
+            service.parse(b"1,2\n3\n", options=strict)
+        status = service.status()
+        assert status["requests"]["failed"] == 1
+
+    def test_requests_from_many_threads(self, service):
+        direct = ParPaRawParser().parse(DATA).table.to_pylist()
+        errors = []
+
+        def worker():
+            try:
+                for _ in range(5):
+                    assert service.parse(DATA).table.to_pylist() == direct
+            except Exception as error:   # pragma: no cover
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert service.status()["requests"]["completed"] == 30
+
+
+class TestAdmission:
+    def test_oversized_request_rejected(self):
+        with IngestService(ServiceConfig(max_request_bytes=8)) as svc:
+            with pytest.raises(AdmissionError) as info:
+                svc.parse(b"x" * 100)
+            assert info.value.reason == "oversized"
+            status = svc.status()
+            assert status["requests"]["rejected"] == 1
+            assert status["tenants"]["default"]["rejects"] == 1
+
+    def test_tenant_size_limit_overrides_default(self):
+        config = ServiceConfig(
+            max_request_bytes=1024,
+            tenants={"small": TenantPolicy(max_request_bytes=4)})
+        with IngestService(config) as svc:
+            svc.parse(DATA)                       # default tenant: fine
+            with pytest.raises(AdmissionError):
+                svc.parse(DATA, tenant="small")   # same body, tighter cap
+            status = svc.status()
+            assert status["tenants"]["small"]["rejects"] == 1
+            assert status["tenants"]["default"].get("rejects", 0) == 0
+
+    def test_queue_full_rejects_with_retry_after(self):
+        # One dispatcher blocked on a slow request + a full queue behind
+        # it forces the queue-full path deterministically.
+        config = ServiceConfig(workers=1, dispatchers=1, queue_capacity=1)
+        svc = IngestService(config)
+        release = threading.Event()
+        originals = []
+
+        def slow_parse(data):
+            release.wait(30)
+            return originals[0](data)
+
+        try:
+            import repro.serve.service as service_module
+            original_parser = service_module.ParPaRawParser
+
+            class SlowParser(original_parser):
+                def parse(self, data):
+                    release.wait(30)
+                    return super().parse(data)
+
+            service_module.ParPaRawParser = SlowParser
+            try:
+                blocker = svc.submit(DATA)       # occupies the dispatcher
+                time.sleep(0.05)
+                queued = svc.submit(DATA)        # fills the queue
+                with pytest.raises(AdmissionError) as info:
+                    svc.submit(DATA)             # bounces
+                assert info.value.reason == "queue-full"
+                assert info.value.retry_after > 0
+            finally:
+                service_module.ParPaRawParser = original_parser
+                release.set()
+            assert blocker.result(timeout=30).num_rows == 4
+            assert queued.result(timeout=30).num_rows == 4
+        finally:
+            release.set()
+            svc.close()
+
+    def test_submit_after_close_rejected(self):
+        svc = IngestService(ServiceConfig())
+        svc.close()
+        with pytest.raises(AdmissionError) as info:
+            svc.submit(DATA)
+        assert info.value.reason == "closed"
+
+
+class TestDeadlinesAndCancel:
+    def test_expired_in_queue_never_runs(self):
+        svc = IngestService(ServiceConfig(dispatchers=1))
+        import repro.serve.service as service_module
+        original_parser = service_module.ParPaRawParser
+        release = threading.Event()
+
+        class SlowParser(original_parser):
+            def parse(self, data):
+                release.wait(30)
+                return super().parse(data)
+
+        service_module.ParPaRawParser = SlowParser
+        try:
+            blocker = svc.submit(DATA)
+            time.sleep(0.05)
+            doomed = svc.submit(DATA, timeout=0.01)
+            with pytest.raises(TimeoutError):
+                doomed.result(timeout=30)
+            assert doomed.state == TIMEOUT
+        finally:
+            service_module.ParPaRawParser = original_parser
+            release.set()
+            blocker.result(timeout=30)
+            svc.close()
+        assert svc.status()["requests"]["timeout"] == 1
+
+    def test_cancel_queued_request(self):
+        svc = IngestService(ServiceConfig(dispatchers=1))
+        import repro.serve.service as service_module
+        original_parser = service_module.ParPaRawParser
+        release = threading.Event()
+
+        class SlowParser(original_parser):
+            def parse(self, data):
+                release.wait(30)
+                return super().parse(data)
+
+        service_module.ParPaRawParser = SlowParser
+        try:
+            blocker = svc.submit(DATA)
+            time.sleep(0.05)
+            victim = svc.submit(DATA)
+            assert victim.cancel()
+            assert victim.state == CANCELLED
+            assert not victim.cancel()           # settle-once
+            with pytest.raises(ServeError, match="cancelled"):
+                victim.result(timeout=30)
+        finally:
+            service_module.ParPaRawParser = original_parser
+            release.set()
+            blocker.result(timeout=30)
+            svc.close()
+
+    def test_wait_budget_is_absolute(self, service):
+        # A wait budget shorter than the request must give up on time,
+        # not be restarted by wakeups.
+        import repro.serve.service as service_module
+        original_parser = service_module.ParPaRawParser
+        release = threading.Event()
+
+        class SlowParser(original_parser):
+            def parse(self, data):
+                release.wait(30)
+                return super().parse(data)
+
+        service_module.ParPaRawParser = SlowParser
+        try:
+            ticket = service.submit(DATA)
+            start = time.monotonic()
+            assert ticket.wait(timeout=0.1) is False
+            assert time.monotonic() - start < 5
+        finally:
+            service_module.ParPaRawParser = original_parser
+            release.set()
+        ticket.result(timeout=30)
+
+
+class TestStreams:
+    def test_stream_session_accounts_per_tenant(self, service):
+        options = ParseOptions(schema=Schema.all_strings(2))
+        session = service.open_stream(tenant="edge", options=options)
+        session.feed(b"a,b\nc,")
+        session.feed(b"d\ne,f\n")
+        table = session.finish()
+        assert table.num_rows == 3
+        status = service.status()
+        tenant = status["tenants"]["edge"]
+        assert tenant["streams"] == 1
+        assert tenant["bytes"] == len(b"a,b\nc,") + len(b"d\ne,f\n")
+        assert tenant["records"] == 3
+        assert status["batches"][-1]["outcome"] == "stream"
+
+    def test_stream_oversized_partition_rejected(self):
+        config = ServiceConfig(
+            tenants={"small": TenantPolicy(max_request_bytes=4)})
+        with IngestService(config) as svc:
+            session = svc.open_stream(
+                tenant="small",
+                options=ParseOptions(schema=Schema.all_strings(1)))
+            with pytest.raises(AdmissionError) as info:
+                session.feed(b"long,partition\n")
+            assert info.value.reason == "oversized"
+            assert svc.status()["tenants"]["small"]["rejects"] == 1
+
+    def test_stream_carry_bound_from_tenant_policy(self):
+        config = ServiceConfig(
+            tenants={"tight": TenantPolicy(max_carry_bytes=8)})
+        with IngestService(config) as svc:
+            session = svc.open_stream(
+                tenant="tight",
+                options=ParseOptions(schema=Schema.all_strings(1)))
+            with pytest.raises(StreamingError):
+                session.feed(b'"unterminated quote ')
+
+
+class TestStatusAndReports:
+    def test_status_shape(self, service):
+        service.parse(DATA)
+        status = service.status()
+        assert status["state"] == "running"
+        assert status["warm"] is True
+        assert status["queue"]["capacity"] == 64
+        assert status["requests"]["submitted"] == 1
+        assert status["requests"]["completed"] == 1
+        assert status["kernel_cache"]["misses"] >= 1
+        tenant = status["tenants"]["default"]
+        assert tenant["bytes"] == len(DATA)
+        assert tenant["mean_seconds"] > 0
+        batch = status["batches"][-1]
+        assert batch["outcome"] == DONE and batch["records"] == 4
+
+    def test_renderers_accept_live_status(self, service):
+        service.parse(DATA)
+        status = service.status()
+        assert "ingest service status" in render_status(status)
+        assert "default" in render_batches(status)
+        health = render_checkhealth(status)
+        assert health.startswith("ingest service health: OK")
+        assert all(sev in ("ok", "warn", "error")
+                   for sev, _ in health_flags(status))
+
+    def test_health_flags_warn_on_rejects(self):
+        with IngestService(ServiceConfig(max_request_bytes=4)) as svc:
+            with pytest.raises(AdmissionError):
+                svc.parse(DATA)
+            flags = dict(health_flags(svc.status()))
+            # dict() keeps the last flag per severity; just scan.
+            messages = [m for _, m in health_flags(svc.status())]
+            assert any("rejected" in m for m in messages)
+
+    def test_closed_status_is_error_flagged(self):
+        svc = IngestService(ServiceConfig())
+        svc.close()
+        status = svc.status()
+        assert status["state"] == "closed"
+        assert any(sev == "error" for sev, _ in health_flags(status))
+        assert "FAIL" in render_checkhealth(status)
+
+
+class TestDrain:
+    def test_drain_completes_queued_work(self):
+        svc = IngestService(ServiceConfig(dispatchers=1))
+        tickets = [svc.submit(DATA) for _ in range(5)]
+        svc.close(drain=True)
+        assert all(t.state == DONE for t in tickets)
+        assert svc.closed
+        assert svc.status()["state"] == "closed"
+
+    def test_close_without_drain_cancels_queued(self):
+        svc = IngestService(ServiceConfig(dispatchers=1))
+        import repro.serve.service as service_module
+        original_parser = service_module.ParPaRawParser
+        release = threading.Event()
+
+        class SlowParser(original_parser):
+            def parse(self, data):
+                release.wait(30)
+                return super().parse(data)
+
+        service_module.ParPaRawParser = SlowParser
+        try:
+            running = svc.submit(DATA)
+            time.sleep(0.05)
+            queued = [svc.submit(DATA) for _ in range(3)]
+            closer = threading.Thread(
+                target=lambda: svc.close(drain=False))
+            closer.start()
+            time.sleep(0.05)
+            release.set()
+            closer.join(30)
+        finally:
+            service_module.ParPaRawParser = original_parser
+            release.set()
+        assert running.done
+        assert all(t.state == CANCELLED for t in queued)
+        assert svc.status()["requests"]["cancelled"] == 3
+
+    def test_close_is_idempotent(self):
+        svc = IngestService(ServiceConfig())
+        svc.close()
+        svc.close()
+        assert svc.closed
+
+    def test_drain_closes_owned_executor(self):
+        svc = IngestService(ServiceConfig(workers=1))
+        executor = svc.executor
+        svc.close()
+        assert executor.closed
+
+    def test_caller_executor_survives_close(self):
+        from repro.exec import SerialExecutor
+        executor = SerialExecutor()
+        svc = IngestService(ServiceConfig(), executor=executor)
+        svc.parse(DATA)
+        svc.close()
+        assert not executor.closed
+        executor.close()

@@ -5,7 +5,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro import ParPaRawParser, ParseOptions, Schema, StreamingParser
 from repro.columnar.schema import DataType, Field
-from repro.errors import StreamingError
+from repro.errors import ParseError, StreamingError
 from repro.workloads.yelp import YELP_SCHEMA, generate_yelp_like
 
 csv_like = st.text(alphabet=st.sampled_from(list('ab",\n')),
@@ -81,6 +81,111 @@ class TestCarryOver:
         assert stream.feed(b"") == 0
         stream.feed(b"x\n")
         assert stream.finish().num_rows == 1
+
+
+class TestFinishRetry:
+    def test_failed_flush_preserves_carry_and_allows_retry(self, monkeypatch):
+        # A ParseError while flushing the final carry must not mark the
+        # stream finished: the carry survives and a retry succeeds.
+        options = ParseOptions(schema=Schema.all_strings(2))
+        stream = StreamingParser(options)
+        stream.feed(b"a,b\nc,d")          # 'c,d' held back as carry
+        assert stream._carry == b"c,d"
+
+        real_parse = stream._parser.parse
+        calls = {"n": 0}
+
+        def flaky_parse(data):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise ParseError("transient failure")
+            return real_parse(data)
+
+        monkeypatch.setattr(stream._parser, "parse", flaky_parse)
+        with pytest.raises(ParseError):
+            stream.finish()
+        assert stream._carry == b"c,d", "failed flush must keep the carry"
+        table = stream.finish()            # retry succeeds, no 'called twice'
+        assert table.to_pylist() == [{"col0": "a", "col1": "b"},
+                                     {"col0": "c", "col1": "d"}]
+        with pytest.raises(StreamingError, match="twice"):
+            stream.finish()
+
+    def test_failed_flush_allows_feeding_more(self, monkeypatch):
+        options = ParseOptions(schema=Schema.all_strings(2))
+        stream = StreamingParser(options)
+        stream.feed(b"a,b\nc,")
+        real_parse = stream._parser.parse
+        monkeypatch.setattr(
+            stream._parser, "parse",
+            lambda data: (_ for _ in ()).throw(ParseError("boom")))
+        with pytest.raises(ParseError):
+            stream.finish()
+        monkeypatch.setattr(stream._parser, "parse", real_parse)
+        stream.feed(b"d\n")                # stream still live after failure
+        assert stream.finish().to_pylist() == [
+            {"col0": "a", "col1": "b"}, {"col0": "c", "col1": "d"}]
+
+
+class TestCarryBound:
+    def test_quote_spanning_corpus_trips_the_bound(self):
+        # An unterminated quoted field makes every partition extend the
+        # carry; the bound must fire with byte-offset diagnostics instead
+        # of growing (and re-tagging) the carry forever.
+        options = ParseOptions(schema=Schema.all_strings(2))
+        stream = StreamingParser(options, max_carry_bytes=64)
+        stream.feed(b"ok,1\nok,2\n")       # sane prefix flushes normally
+        flushed = stream.bytes_fed
+        stream.feed(b'bad,"unterminated ')
+        with pytest.raises(StreamingError) as exc_info:
+            for _ in range(10):
+                stream.feed(b"x" * 32)     # quote never closes
+        err = exc_info.value
+        assert err.carry_bytes is not None and err.carry_bytes > 64
+        assert err.byte_offset == flushed, \
+            "diagnostics must point at the first unflushable byte"
+        assert "unterminated quoted field" in str(err)
+        assert str(err.byte_offset) in str(err)
+
+    def test_bound_ignores_multi_partition_records_below_it(self):
+        # Records larger than a partition but below the bound still work.
+        data = b'id,"' + b"x" * 500 + b'"\n2,b\n'
+        options = ParseOptions(schema=Schema.all_strings(2))
+        stream = StreamingParser(options, max_carry_bytes=1024)
+        for i in range(0, len(data), 64):
+            stream.feed(data[i:i + 64])
+        batch = ParPaRawParser(options).parse(data).table
+        assert stream.finish().to_pylist() == batch.to_pylist()
+
+    def test_unbounded_when_none(self):
+        options = ParseOptions(schema=Schema.all_strings(1))
+        stream = StreamingParser(options, max_carry_bytes=None)
+        stream.feed(b'"' + b"y" * 4096)    # would trip any small bound
+        assert stream.records_parsed == 0
+
+    def test_rejects_nonpositive_bound(self):
+        options = ParseOptions(schema=Schema.all_strings(1))
+        with pytest.raises(StreamingError, match="max_carry_bytes"):
+            StreamingParser(options, max_carry_bytes=0)
+
+
+class TestExecutorOwnership:
+    def test_close_releases_owned_default_executor(self):
+        options = ParseOptions(schema=Schema.all_strings(1))
+        stream = StreamingParser(options)
+        assert not stream._executor.closed
+        stream.close()
+        assert stream._executor.closed
+        stream.close()                     # idempotent
+
+    def test_close_leaves_caller_executor_open(self):
+        from repro.exec import SerialExecutor
+        options = ParseOptions(schema=Schema.all_strings(1))
+        with SerialExecutor() as executor:
+            stream = StreamingParser(options, executor=executor)
+            stream.close()
+            assert not executor.closed, \
+                "caller-owned executors must survive stream.close()"
 
 
 class TestApiGuards:
