@@ -35,8 +35,14 @@ echo "parlint corpus smoke: PPR601-606 all caught"
 # Law tier: exhaustive associativity+identity proofs for every
 # registered scan operator (licenses the parallel scans of paper §2).
 python -m pytest tests/analysis/test_operator_laws.py -q
-# Kernel tier: strided sweeps must be bit-identical to unit stride
-# (STVs, emissions, final state, invalid position; both executors).
+# DFA proof tier: minimisation must preserve behaviour for every shipped
+# automaton (equivalence vs the canonical form, idempotence, Hopcroft vs
+# data-parallel engine agreement, registry distinctness, strict
+# inclusion) — what licenses running sweeps on the minimised automaton.
+python -m pytest tests/analysis/test_dfa_proofs.py -q
+# Kernel tier: strided sweeps (uniform k and the mixed-stride k=8 SWAR
+# ladder) must be bit-identical to unit stride (STVs, emissions, final
+# state, invalid position; both executors; minimised and raw automata).
 python -m pytest tests/kernels/test_parity.py -q
 # Partition tier: the field-run strategy must be bit-identical to the
 # stable radix sort (css, record tags, offsets, order) across dialects,
@@ -88,6 +94,50 @@ assert doc["metrics"]["counters"]["records"] == 200, doc["metrics"]
 print("kernels smoke: strided trace valid")
 EOF
 
+# k=8 SWAR smoke: a pipe-delimited unquoted parse minimises to a single
+# state, so the full k=8 ladder fits easily; a sharded --stride 8 run
+# must report stride 8 and the default table budget.
+python - "$OBS_TMP" <<'EOF'
+import sys, pathlib
+rows = b"".join(b"%d|%d.25|item-%d\n" % (i, i, i) for i in range(200))
+pathlib.Path(sys.argv[1], "smoke_pipe.csv").write_bytes(rows)
+EOF
+python -m repro parse "$OBS_TMP/smoke_pipe.csv" --delimiter '|' \
+    --quote '' --no-crlf --stride 8 --workers 2 \
+    --trace "$OBS_TMP/trace_k8.json" --metrics > /dev/null
+python - "$OBS_TMP/trace_k8.json" <<'EOF'
+import json, sys
+from repro.kernels import DEFAULT_TABLE_BUDGET
+from repro.obs import validate_chrome_trace
+doc = json.load(open(sys.argv[1]))
+problems = validate_chrome_trace(doc)
+assert not problems, problems
+assert doc["metrics"]["gauges"]["stage.stv.stride"] == 8.0, doc["metrics"]
+assert doc["metrics"]["gauges"]["kernels.table_budget"] \
+    == float(DEFAULT_TABLE_BUDGET), doc["metrics"]
+assert doc["metrics"]["counters"]["records"] == 200, doc["metrics"]
+print("kernels smoke: k=8 sharded trace valid")
+EOF
+
+# Minimisation proof smoke: the registry-wide proof sweep must be clean,
+# and a shrunken --table-budget must narrow the auto-picked stride.
+python - <<'EOF'
+from repro.analysis.dfaproofs import verify_all
+broken = {s: [str(v) for v in vs] for s, vs in verify_all().items() if vs}
+assert not broken, broken
+print("dfa proofs smoke: registry sweep clean")
+EOF
+python -m repro parse "$OBS_TMP/smoke.csv" --table-budget 1 \
+    --trace "$OBS_TMP/trace_budget.json" --metrics > /dev/null
+python - "$OBS_TMP/trace_budget.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["metrics"]["gauges"]["stage.stv.stride"] == 1.0, doc["metrics"]
+assert doc["metrics"]["gauges"]["kernels.table_budget"] == 1.0, \
+    doc["metrics"]
+print("kernels smoke: shrunken table budget degrades to unit stride")
+EOF
+
 # Partition-strategy smoke: an explicit field-run sharded parse must
 # still produce a valid trace and report the strategy it ran with.
 python -m repro parse "$OBS_TMP/smoke.csv" --partition-strategy field-run \
@@ -128,9 +178,15 @@ python - "$OBS_TMP/bench_kernels.json" <<'EOF'
 import json, sys
 doc = json.load(open(sys.argv[1]))
 strides = {r["stride"] for r in doc["rows"]}
-assert {"1", "2", "4", "auto"} <= strides, strides
-assert all({"workload", "seconds", "mb_per_s"} <= r.keys()
-           for r in doc["rows"])
+assert {"1", "2", "4", "8", "auto"} <= strides, strides
+workloads = {r["workload"] for r in doc["rows"]}
+assert {"yelp", "taxi", "logs"} <= workloads, workloads
+assert all({"workload", "seconds", "mb_per_s", "resolved_stride"}
+           <= r.keys() for r in doc["rows"])
+# The logs automaton minimises to one state: auto must reach k=8 there.
+logs_auto = next(r for r in doc["rows"]
+                 if r["workload"] == "logs" and r["stride"] == "auto")
+assert logs_auto["resolved_stride"] == 8, logs_auto
 print("bench smoke:", len(doc["rows"]), "sweep rows")
 EOF
 

@@ -56,6 +56,7 @@ from repro import (
 from repro.columnar.serialize import serialize_table, write_feather
 from repro.exec import SerialExecutor, ShardedExecutor
 from repro.gpusim.cost_model import PipelineCostModel, WorkloadStats
+from repro.kernels.strided import DEFAULT_TABLE_BUDGET
 from repro.obs import (
     NULL_METRICS,
     NULL_TRACER,
@@ -83,6 +84,9 @@ def _options_from_args(args: argparse.Namespace) -> ParseOptions:
         dialect=_dialect_from_args(args),
         chunk_size=args.chunk,
         kernel_stride=args.stride,
+        kernel_table_budget=getattr(args, "table_budget",
+                                    DEFAULT_TABLE_BUDGET),
+        minimize_dfa=not getattr(args, "no_minimize", False),
         tagging_mode=TaggingMode(args.tagging_mode),
         partition_strategy=None if args.partition_strategy == "auto"
         else PartitionStrategy(args.partition_strategy),
@@ -348,7 +352,17 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--stride", type=_positive_int, default=None,
                        metavar="K",
                        help="symbols per kernel step for the byte-bound "
-                            "sweeps (default: auto; 1 = unit-stride)")
+                            "sweeps: 8/4/2 use precomposed SWAR k-gram "
+                            "tables, 1 forces the unit-stride reference "
+                            "path (default: auto — widest stride whose "
+                            "tables fit the table budget)")
+        p.add_argument("--table-budget", type=_positive_int,
+                       default=DEFAULT_TABLE_BUDGET, metavar="BYTES",
+                       help="byte ceiling for the auto stride picker's "
+                            "precomposed k-gram tables (default: 4 MiB)")
+        p.add_argument("--no-minimize", action="store_true",
+                       help="run sweeps on the raw dialect DFA instead of "
+                            "the canonical minimised automaton")
         p.add_argument("--tagging-mode", default="tagged",
                        choices=[m.value for m in TaggingMode])
         p.add_argument("--partition-strategy", default="auto",

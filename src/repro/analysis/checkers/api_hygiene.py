@@ -38,7 +38,10 @@ ALLOWED_LAYER_IMPORTS: dict[str, frozenset[str]] = {
     # The columnar buffer layer sits just above the scan primitives: its
     # structural ops (offset rebase, gather) are built on exclusive_sum.
     "repro.columnar": frozenset({"repro.scan"}),
-    "repro.dfa": frozenset(),
+    # DFA minimisation's data-parallel partition refinement is scan-shaped
+    # (dense relabelling via inclusive_sum), so the automaton layer may use
+    # the scan primitives; repro.scan remains a leaf and never imports back.
+    "repro.dfa": frozenset({"repro.scan"}),
     "repro.gpusim": frozenset({"repro.dfa"}),
     "repro.kernels": frozenset({"repro.dfa", "repro.obs"}),
     "repro.core": frozenset({"repro.scan", "repro.columnar", "repro.dfa",

@@ -30,11 +30,13 @@ from typing import Iterator
 import numpy as np
 
 from repro.dfa.automaton import Dfa
+from repro.dfa.minimize import Minimization, canonicalize
 from repro.errors import ParseError
 
 __all__ = [
     "Chunking",
     "chunk_groups",
+    "chunk_groups_canonical",
     "utf8_leading_skip",
     "utf16_leading_skip",
     "SymbolReader",
@@ -86,6 +88,30 @@ def chunk_groups(data: np.ndarray, dfa: Dfa,
     chunking = Chunking(input_bytes=n, chunk_size=chunk_size,
                         num_chunks=num_chunks, padding=padding)
     return groups_flat.reshape(num_chunks, chunk_size), chunking, padded_dfa
+
+
+def chunk_groups_canonical(
+        data: np.ndarray, dfa: Dfa, chunk_size: int, minimize: bool = True
+) -> tuple[np.ndarray, Chunking, Dfa, Minimization | None]:
+    """:func:`chunk_groups` over the canonical minimised automaton.
+
+    When ``minimize`` is set, the automaton is canonicalised first
+    (:func:`repro.dfa.minimize.canonicalize` — cached per process) and
+    the chunk grid is built from the canonical ``symbol_groups``, so
+    every downstream sweep runs in the smaller canonical state/group
+    space: smaller stride tables (often unlocking wider strides) and
+    behavioural kernel-cache sharing.  The returned ``Minimization``
+    carries the maps back to the source automaton's state space
+    (``state_rep``) for consumers that report states to the caller —
+    parses are bit-identical either way.  ``minimize=False`` degrades to
+    plain :func:`chunk_groups` with a ``None`` map.
+    """
+    if not minimize:
+        groups, chunking, padded_dfa = chunk_groups(data, dfa, chunk_size)
+        return groups, chunking, padded_dfa, None
+    canon = canonicalize(dfa)
+    groups, chunking, padded_dfa = chunk_groups(data, canon.dfa, chunk_size)
+    return groups, chunking, padded_dfa, canon
 
 
 # -- variable-length symbol boundaries (paper §4.2) -------------------------

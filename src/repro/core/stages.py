@@ -39,7 +39,7 @@ import numpy as np
 
 from repro.columnar.schema import DataType, Field, Schema
 from repro.columnar.table import Table
-from repro.core.chunking import Chunking, chunk_groups
+from repro.core.chunking import Chunking, chunk_groups_canonical
 from repro.core.context import chunk_start_states, compute_transition_vectors
 from repro.core.conversion import CollaborationStats, ConvertStats, \
     convert_column
@@ -61,12 +61,13 @@ from repro.core.typeinfer import infer_column_type
 from repro.core.validation import ValidationReport, apply_column_policy, \
     validate_input
 from repro.dfa.automaton import Dfa
+from repro.dfa.minimize import Minimization
 from repro.errors import ParseError
 from repro.kernels import (
-    compute_emissions_strided,
-    compute_transition_vectors_strided,
-    get_tables,
-    pack_kgrams,
+    compute_emissions_plan,
+    compute_transition_vectors_plan,
+    get_plan,
+    pack_plan,
     resolve_stride,
 )
 from repro.obs.metrics import NULL_METRICS, MetricsRegistry
@@ -136,8 +137,14 @@ class ChunkedInput(RawInput):
     groups: np.ndarray
     #: Grid geometry.
     chunking: Chunking
-    #: The automaton extended with the padding group.
+    #: The automaton extended with the padding group.  When
+    #: ``minimize_dfa`` is on this is the *canonical minimised* automaton
+    #: (plus padding group) and the chunk grid holds canonical group ids.
     padded_dfa: Dfa
+    #: The minimisation that produced the canonical automaton — carries
+    #: the maps back to the source state space; ``None`` when
+    #: ``minimize_dfa`` is off.
+    canon: Minimization | None = field(default=None, kw_only=True)
 
 
 @dataclass
@@ -146,10 +153,12 @@ class ChunkVectors(ChunkedInput):
 
     #: ``(num_chunks, num_states)`` uint8 STVs.
     vectors: np.ndarray
-    #: ``(num_chunks, chunk_size // k)`` packed k-gram indexes, cached by
-    #: :class:`StvStage` so :class:`TagStage` reuses the packing pass of
-    #: the strided kernels; ``None`` on the unit-stride path.
-    packed_kgrams: np.ndarray | None = field(default=None, kw_only=True)
+    #: Packed k-gram indexes keyed by stride (one matrix per distinct
+    #: segment width of the kernel plan), cached by :class:`StvStage` so
+    #: :class:`TagStage` reuses the packing pass of the strided kernels;
+    #: ``None`` on the unit-stride path.
+    packed_kgrams: dict[int, np.ndarray] | None = \
+        field(default=None, kw_only=True)
 
 
 @dataclass
@@ -307,7 +316,14 @@ class PruneStage(Stage):
 
 
 class ChunkStage(Stage):
-    """Cut the input into the chunk grid, one chunk per logical thread."""
+    """Cut the input into the chunk grid, one chunk per logical thread.
+
+    With ``ParseOptions.minimize_dfa`` (the default) the grid is built
+    over the canonical minimised automaton, so every downstream sweep —
+    unit-stride or strided — runs in the smallest equivalent state/group
+    space; :class:`TagStage` maps the final state back to the source
+    automaton before validation.
+    """
 
     name = "chunk"
     timer_step = None
@@ -315,11 +331,12 @@ class ChunkStage(Stage):
     output_type = ChunkedInput
 
     def run(self, ctx, payload: RawInput) -> ChunkedInput:
-        groups, chunking, padded_dfa = chunk_groups(
-            payload.raw, ctx.dfa, ctx.options.chunk_size)
+        groups, chunking, padded_dfa, canon = chunk_groups_canonical(
+            payload.raw, ctx.dfa, ctx.options.chunk_size,
+            minimize=ctx.options.minimize_dfa)
         return ChunkedInput(raw=payload.raw, input_bytes=payload.input_bytes,
                             groups=groups, chunking=chunking,
-                            padded_dfa=padded_dfa)
+                            padded_dfa=padded_dfa, canon=canon)
 
     def record_metrics(self, metrics, payload: ChunkedInput) -> None:
         metrics.count("chunks", payload.chunking.num_chunks)
@@ -341,20 +358,22 @@ class StvStage(Stage):
     output_type = ChunkVectors
 
     def run(self, ctx, payload: ChunkedInput) -> ChunkVectors:
+        budget = ctx.options.kernel_table_budget
         stride = resolve_stride(ctx.options.kernel_stride,
-                                payload.padded_dfa)
+                                payload.padded_dfa, budget)
         packed = None
         if stride > 1:
-            tables = get_tables(payload.padded_dfa, stride, ctx.metrics)
-            packed = pack_kgrams(payload.groups, stride,
-                                 payload.padded_dfa.num_groups)
-            vectors = compute_transition_vectors_strided(payload.groups,
-                                                         tables, packed)
+            plan = get_plan(payload.padded_dfa, stride,
+                            payload.chunking.chunk_size, ctx.metrics)
+            packed = pack_plan(payload.groups, plan)
+            vectors = compute_transition_vectors_plan(payload.groups,
+                                                      plan, packed)
         else:
             vectors = compute_transition_vectors(payload.groups,
                                                  payload.padded_dfa)
         if ctx.metrics.enabled:
             ctx.metrics.gauge("stage.stv.stride", stride)
+            ctx.metrics.gauge("kernels.table_budget", budget)
         return ChunkVectors(**payload.__dict__, vectors=vectors,
                             packed_kgrams=packed)
 
@@ -390,18 +409,25 @@ class TagStage(Stage):
 
     def run(self, ctx, payload: ChunkContexts) -> TaggedInput:
         stride = resolve_stride(ctx.options.kernel_stride,
-                                payload.padded_dfa)
+                                payload.padded_dfa,
+                                ctx.options.kernel_table_budget)
         if stride > 1:
-            tables = get_tables(payload.padded_dfa, stride, ctx.metrics)
+            plan = get_plan(payload.padded_dfa, stride,
+                            payload.chunking.chunk_size, ctx.metrics)
             emissions, final_state, invalid_position = \
-                compute_emissions_strided(payload.groups,
-                                          payload.start_states, tables,
-                                          payload.chunking,
-                                          payload.packed_kgrams)
+                compute_emissions_plan(payload.groups,
+                                       payload.start_states, plan,
+                                       payload.chunking,
+                                       payload.packed_kgrams)
         else:
             emissions, final_state, invalid_position = compute_emissions(
                 payload.groups, payload.start_states, payload.padded_dfa,
                 payload.chunking)
+        if payload.canon is not None:
+            # The sweeps ran in canonical state space; report the final
+            # state as its source-automaton representative so validation
+            # (which speaks the source automaton) reads it directly.
+            final_state = int(payload.canon.state_rep[final_state])
         if ctx.metrics.enabled:
             ctx.metrics.gauge("stage.tag.stride", stride)
         if ctx.options.tagging_impl is TaggingImpl.CHUNKED:

@@ -13,7 +13,9 @@ Entry points:
 * :func:`~repro.dfa.csv.rfc4180_dfa` — the paper's 6-state RFC 4180 CSV DFA;
 * :class:`~repro.dfa.builder.DfaBuilder` — fluent construction of custom
   automata;
-* :mod:`~repro.dfa.logformats` — Common / Extended Log Format automata.
+* :mod:`~repro.dfa.logformats` — Common / Extended Log Format automata;
+* :mod:`~repro.dfa.minimize` — Hopcroft + data-parallel minimisation,
+  canonical forms, and behavioural equivalence/inclusion checking.
 """
 
 from repro.dfa.automaton import Dfa, Emission
@@ -28,6 +30,15 @@ from repro.dfa.transitions import (
     simulate,
 )
 from repro.dfa.compression import group_symbols, CompressedTable
+from repro.dfa.minimize import (
+    Minimization,
+    canonicalize,
+    equivalent,
+    included,
+    is_canonical,
+    minimize,
+)
+from repro.dfa.registry import REGISTERED_AUTOMATA, registered_dfas
 from repro.dfa.utf8 import utf8_validation_dfa, validate_utf8
 from repro.dfa.sniffer import SniffResult, sniff_dialect
 
@@ -50,4 +61,12 @@ __all__ = [
     "validate_utf8",
     "sniff_dialect",
     "SniffResult",
+    "Minimization",
+    "minimize",
+    "canonicalize",
+    "is_canonical",
+    "equivalent",
+    "included",
+    "REGISTERED_AUTOMATA",
+    "registered_dfas",
 ]

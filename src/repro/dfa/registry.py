@@ -1,0 +1,42 @@
+"""Registry of every automaton the distribution ships by name.
+
+The proof tier in :mod:`repro.analysis.dfaproofs` sweeps this table: for
+each shipped automaton it machine-checks that minimisation preserves
+behaviour (:func:`repro.dfa.minimize.equivalent` against the canonical
+form), that canonicalisation is idempotent, that the two partition
+engines (Hopcroft and the data-parallel refinement) agree, and that no
+two distinct entries are behaviourally equivalent — the registry is the
+ground truth for "which dialects exist" that those proofs quantify over.
+
+Factories, not instances: a registry import must stay cheap, and the
+proof tier wants freshly built automata (not canonical-cache aliases).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.dfa.automaton import Dfa
+from repro.dfa.csv import dialect_dfa, rfc4180_dfa
+from repro.dfa.dialects import Dialect
+from repro.dfa.logformats import common_log_format_dfa, extended_log_format_dfa
+
+__all__ = ["REGISTERED_AUTOMATA", "registered_dfas"]
+
+
+#: name -> zero-argument factory for every shipped automaton.  Names are
+#: stable identifiers (used in proof-failure messages and docs).
+REGISTERED_AUTOMATA: dict[str, Callable[[], Dfa]] = {
+    "rfc4180": rfc4180_dfa,
+    "csv": lambda: dialect_dfa(Dialect.csv()),
+    "tsv": lambda: dialect_dfa(Dialect.tsv()),
+    "pipe": lambda: dialect_dfa(Dialect.pipe()),
+    "csv-comments": lambda: dialect_dfa(Dialect.csv_with_comments()),
+    "common-log": common_log_format_dfa,
+    "extended-log": extended_log_format_dfa,
+}
+
+
+def registered_dfas() -> dict[str, Dfa]:
+    """Freshly built ``name -> Dfa`` for every registered automaton."""
+    return {name: factory() for name, factory in REGISTERED_AUTOMATA.items()}

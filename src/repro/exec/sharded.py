@@ -62,18 +62,19 @@ import numpy as np
 
 from repro.columnar.guard import protect
 from repro.core.options import TaggingImpl
-from repro.core.chunking import chunk_groups
+from repro.core.chunking import chunk_groups_canonical
 from repro.core.context import compute_transition_vectors
 from repro.core.stages import PipelineContext, RawInput, TaggedInput
 from repro.core.tagging import build_tag_result, compute_emissions, \
     tag_chunked, tag_global
 from repro.dfa.automaton import Dfa
+from repro.dfa.minimize import canonicalize
 from repro.errors import ParseError
 from repro.exec.base import Executor
 from repro.kernels import (
-    compute_emissions_strided,
-    compute_transition_vectors_strided,
-    get_tables,
+    compute_emissions_plan,
+    compute_transition_vectors_plan,
+    get_plan,
     resolve_stride,
 )
 from repro.obs.metrics import NULL_METRICS, MetricsRegistry
@@ -166,7 +167,8 @@ def _close_shard(handle) -> None:
 
 # parlint: worker -- runs in pool processes; must stay pure and picklable
 def _shard_contexts(shard, dfa: Dfa, chunk_size: int, stride: int = 1,
-                    shard_index: int = 0, observe: bool = False
+                    minimize: bool = True, shard_index: int = 0,
+                    observe: bool = False
                     ) -> tuple[np.ndarray, np.ndarray, tuple | None]:
     """Worker phase 1: shard-local STVs, their scan, and the composite.
 
@@ -175,8 +177,12 @@ def _shard_contexts(shard, dfa: Dfa, chunk_size: int, stride: int = 1,
     shard-entry state to the state entering chunk ``c``) and ``composite``
     maps a shard-entry state to the state after the shard's last byte
     (tail padding uses the identity group, so it never perturbs the
-    composition).  ``obs`` carries the worker's spans/metrics when
-    observing (``None`` otherwise).
+    composition).  With ``minimize`` the sweeps (and hence the returned
+    vectors) live in the *canonical* state space — canonicalisation is a
+    pure function of the automaton, so every worker and the combining
+    parent agree on it without shipping the canonical form around.
+    ``obs`` carries the worker's spans/metrics when observing (``None``
+    otherwise).
     """
     raw, handle = _open_shard(shard)
     try:
@@ -184,11 +190,12 @@ def _shard_contexts(shard, dfa: Dfa, chunk_size: int, stride: int = 1,
         start = time.perf_counter()  # parlint: disable=PPR303 -- obs timing
         with tracer.span("worker:contexts", shard=shard_index,
                          bytes=int(raw.size)) if tracer else _NO_SPAN:
-            groups, _, padded_dfa = chunk_groups(raw, dfa, chunk_size)
+            groups, _, padded_dfa, _canon = chunk_groups_canonical(
+                raw, dfa, chunk_size, minimize)
             if stride > 1:
-                tables = get_tables(padded_dfa, stride,
-                                    metrics or NULL_METRICS)
-                vectors = compute_transition_vectors_strided(groups, tables)
+                plan = get_plan(padded_dfa, stride, chunk_size,
+                                metrics or NULL_METRICS)
+                vectors = compute_transition_vectors_plan(groups, plan)
             else:
                 vectors = compute_transition_vectors(groups, padded_dfa)
             inclusive = scan_transition_vectors(vectors, exclusive=False)
@@ -213,7 +220,8 @@ def _compact_ids(ids: np.ndarray) -> np.ndarray:
 # parlint: worker -- runs in pool processes; must stay pure and picklable
 def _shard_tags(shard, dfa: Dfa, chunk_size: int,
                 start_states: np.ndarray, impl_value: str, stride: int = 1,
-                shard_index: int = 0, observe: bool = False) -> tuple:
+                minimize: bool = True, shard_index: int = 0,
+                observe: bool = False) -> tuple:
     """Worker phase 2: emissions and shard-local record/column tags.
 
     Returns ``(emissions, record_ids, column_ids, final_state,
@@ -222,7 +230,11 @@ def _shard_tags(shard, dfa: Dfa, chunk_size: int,
     summary entries are the shard's record-delimiter count and its
     rel/abs column offset (absolute = field delimiters after the last
     record delimiter; relative = all field delimiters), and ``obs``
-    carries the worker's spans/metrics when observing.
+    carries the worker's spans/metrics when observing.  With
+    ``minimize`` the sweep runs in canonical state space (and
+    ``start_states`` arrive canonical, from phase 1's canonical
+    vectors); the returned ``final_state`` is mapped back to the source
+    automaton, which is what validation speaks.
     """
     raw, handle = _open_shard(shard)
     try:
@@ -230,18 +242,20 @@ def _shard_tags(shard, dfa: Dfa, chunk_size: int,
         start = time.perf_counter()  # parlint: disable=PPR303 -- obs timing
         with tracer.span("worker:tags", shard=shard_index,
                          bytes=int(raw.size)) if tracer else _NO_SPAN:
-            groups, chunking, padded_dfa = chunk_groups(raw, dfa,
-                                                        chunk_size)
+            groups, chunking, padded_dfa, canon = chunk_groups_canonical(
+                raw, dfa, chunk_size, minimize)
             if stride > 1:
-                tables = get_tables(padded_dfa, stride,
-                                    metrics or NULL_METRICS)
+                plan = get_plan(padded_dfa, stride, chunk_size,
+                                metrics or NULL_METRICS)
                 emissions, final_state, invalid_position = \
-                    compute_emissions_strided(groups, start_states,
-                                              tables, chunking)
+                    compute_emissions_plan(groups, start_states,
+                                           plan, chunking)
             else:
                 emissions, final_state, invalid_position = \
                     compute_emissions(groups, start_states, padded_dfa,
                                       chunking)
+            if canon is not None:
+                final_state = int(canon.state_rep[final_state])
             if TaggingImpl(impl_value) is TaggingImpl.CHUNKED:
                 tags = tag_chunked(emissions, final_state, chunking)
             else:
@@ -356,8 +370,14 @@ class ShardedExecutor(Executor):
         raw = payload.raw
         tracer, metrics = ctx.tracer, ctx.metrics
         observe = tracer.enabled or metrics.enabled
+        minimize = options.minimize_dfa
+        # The automaton the workers will actually sweep with: stride
+        # selection must see the same (canonical) state/group counts the
+        # workers' tables will have.
+        run_dfa = canonicalize(ctx.dfa).dfa if minimize else ctx.dfa
         stride = resolve_stride(options.kernel_stride,
-                                ctx.dfa.with_padding_group())
+                                run_dfa.with_padding_group(),
+                                options.kernel_table_budget)
         bounds = self._shard_bounds(int(raw.size), options.chunk_size)
         mapper = self._mapper(len(bounds))
         pooled = self.use_processes and self.workers > 1 and len(bounds) > 1
@@ -374,6 +394,8 @@ class ShardedExecutor(Executor):
             # stride they were handed here, where it is resolved.
             metrics.gauge("stage.stv.stride", stride)
             metrics.gauge("stage.tag.stride", stride)
+            metrics.gauge("kernels.table_budget",
+                          options.kernel_table_budget)
             metrics.gauge("sharded.input.shared_memory",
                           1.0 if shm is not None else 0.0)
 
@@ -384,6 +406,7 @@ class ShardedExecutor(Executor):
                                            repeat(ctx.dfa),
                                            repeat(options.chunk_size),
                                            repeat(stride),
+                                           repeat(minimize),
                                            range(len(bounds)),
                                            repeat(observe)))
             for _, _, obs in contexts:
@@ -402,7 +425,10 @@ class ShardedExecutor(Executor):
                                            for _, composite, _ in contexts])
                     entering = scan_transition_vectors(composites,
                                                        exclusive=True)
-                    entering_states = entering[:, ctx.dfa.start_state]
+                    # Composites live in the workers' (canonical when
+                    # minimising) state space; index with that space's
+                    # start state.
+                    entering_states = entering[:, run_dfa.start_state]
                     start_states = [
                         local_scan[:, int(state)].astype(np.uint8)
                         for (local_scan, _, _), state
@@ -418,6 +444,7 @@ class ShardedExecutor(Executor):
                         start_states,
                         repeat(options.tagging_impl.value),
                         repeat(stride),
+                        repeat(minimize),
                         range(len(bounds)),
                         repeat(observe)))
                     tags, invalid_position = self._merge_tags(

@@ -21,33 +21,49 @@ from repro.kernels.cache import (
     cache_info,
     clear_cache,
     dfa_fingerprint,
+    get_plan,
     get_tables,
 )
 from repro.kernels.strided import (
     DEFAULT_TABLE_BUDGET,
     SUPPORTED_STRIDES,
+    KernelPlan,
     StridedTables,
+    build_plan,
     build_tables,
+    compute_emissions_plan,
     compute_emissions_strided,
+    compute_transition_vectors_plan,
     compute_transition_vectors_strided,
     pack_kgrams,
+    pack_plan,
     pick_stride,
+    plan_nbytes,
+    plan_segments,
     resolve_stride,
     table_nbytes,
 )
 
 __all__ = [
     "StridedTables",
+    "KernelPlan",
     "SUPPORTED_STRIDES",
     "DEFAULT_TABLE_BUDGET",
     "build_tables",
+    "build_plan",
     "table_nbytes",
+    "plan_nbytes",
+    "plan_segments",
     "pick_stride",
     "resolve_stride",
     "pack_kgrams",
+    "pack_plan",
     "compute_transition_vectors_strided",
+    "compute_transition_vectors_plan",
     "compute_emissions_strided",
+    "compute_emissions_plan",
     "get_tables",
+    "get_plan",
     "cache_info",
     "clear_cache",
     "dfa_fingerprint",

@@ -14,10 +14,15 @@ exactly once per process:
   its first shard and reuses them for every later shard and parse that
   the pool schedules onto it.
 
-The fingerprint hashes the tables that define the automaton's *behaviour*
-(transitions, emissions, invalid sink) rather than using object identity,
-so equal dialects share cache entries across independently constructed
-:class:`~repro.dfa.automaton.Dfa` instances.
+The fingerprint is *behavioural*: it hashes the canonical minimised form
+(:func:`repro.dfa.minimize.canonicalize`) of the automaton, so not just
+independently constructed but *structurally different yet behaviourally
+equivalent* automata — a sniffer-built CSV DFA with redundant states vs
+the :mod:`repro.dfa.dialects` builder's — map to the same fingerprint.
+Canonical automata (which is what the pipeline feeds through here when
+``ParseOptions.minimize_dfa`` is on) share one entry per behaviour
+class; a non-canonical automaton still gets correct tables for its own
+state numbering through a structural sub-key.
 
 Cache traffic is observable through :mod:`repro.obs`: pass a
 :class:`~repro.obs.metrics.MetricsRegistry` to :func:`get_tables` and it
@@ -34,12 +39,15 @@ import time
 from collections import OrderedDict
 
 from repro.dfa.automaton import Dfa
-from repro.kernels.strided import StridedTables, build_tables
+from repro.dfa.minimize import canonicalize
+from repro.kernels.strided import KernelPlan, StridedTables, build_plan, \
+    build_tables
 from repro.obs.metrics import NULL_METRICS, MetricsRegistry
 
 __all__ = [
     "dfa_fingerprint",
     "get_tables",
+    "get_plan",
     "cache_info",
     "clear_cache",
     "MAX_CACHED_TABLES",
@@ -51,13 +59,13 @@ __all__ = [
 MAX_CACHED_TABLES = 16
 
 _lock = threading.Lock()
-_cache: "OrderedDict[tuple[str, int], StridedTables]" = OrderedDict()
+_cache: "OrderedDict[tuple, StridedTables]" = OrderedDict()
 _hits = 0
 _misses = 0
 _evictions = 0
 
 
-def dfa_fingerprint(dfa: Dfa) -> str:
+def _structural_fingerprint(dfa: Dfa) -> str:
     """Stable digest of everything that shapes the strided tables."""
     digest = hashlib.sha1()
     digest.update(b"%d:%d:%d:%d;" % (
@@ -66,6 +74,40 @@ def dfa_fingerprint(dfa: Dfa) -> str:
     digest.update(dfa.transitions.tobytes())
     digest.update(dfa.emissions.tobytes())
     return digest.hexdigest()
+
+
+def dfa_fingerprint(dfa: Dfa) -> str:
+    """Behavioural digest: the structural fingerprint of the canonical
+    minimised form.
+
+    Behaviourally equivalent automata — same byte-level transitions,
+    emissions, acceptance and invalid detection, however their states
+    and groups are numbered — share a fingerprint, so they share cached
+    tables.  (The digest deliberately ignores ``symbol_groups``: two
+    canonical automata differing only in *which bytes* map to each group
+    — a comma vs a semicolon dialect — run the very same tables, since
+    tables are indexed by group id, never by byte.)
+    """
+    return _structural_fingerprint(canonicalize(dfa).dfa)
+
+
+def _table_key(dfa: Dfa, k: int) -> tuple:
+    """Cache key for ``(dfa, k)``.
+
+    Keyed behaviourally when the automaton's transition structure *is*
+    its canonical form (the pipeline's hot path under ``minimize_dfa``,
+    and any hand-built automaton that happens to be minimal) — those
+    tables are interchangeable across every equivalent automaton with
+    the same structure.  A non-canonical automaton gets a structural
+    sub-key: its tables are indexed by *its* state numbering and must
+    not be handed to a structurally different equivalent automaton.
+    """
+    canonical = canonicalize(dfa).dfa
+    structural = _structural_fingerprint(dfa)
+    behavioural = _structural_fingerprint(canonical)
+    if structural == behavioural:
+        return (behavioural, int(k))
+    return (behavioural, structural, int(k))
 
 
 def get_tables(dfa: Dfa, k: int,
@@ -78,7 +120,7 @@ def get_tables(dfa: Dfa, k: int,
     duplicated work, never an inconsistency).
     """
     global _hits, _misses, _evictions
-    key = (dfa_fingerprint(dfa), int(k))
+    key = _table_key(dfa, k)
     with _lock:
         cached = _cache.get(key)
         if cached is not None:
@@ -102,6 +144,22 @@ def get_tables(dfa: Dfa, k: int,
         metrics.observe("kernels.table_build.seconds", build_seconds)
         metrics.gauge("kernels.table.bytes", tables.nbytes)
     return tables
+
+
+def get_plan(dfa: Dfa, k: int, chunk_size: int,
+             metrics: MetricsRegistry = NULL_METRICS) -> KernelPlan:
+    """The mixed-stride :class:`~repro.kernels.strided.KernelPlan` for
+    ``(dfa, k, chunk_size)``, its per-stride tables served from (and
+    shared through) this cache.
+
+    The plan object itself is cheap (a tuple of segment offsets); only
+    the tables matter, and those are cached per ``(dfa, stride)`` — so a
+    k=8 parse at chunk size 31 and one at chunk size 63 share every
+    table even though their segment decompositions differ.
+    """
+    return build_plan(dfa, k, int(chunk_size),
+                      table_source=lambda d, stride:
+                      get_tables(d, stride, metrics))
 
 
 def cache_info() -> dict[str, int]:

@@ -38,8 +38,16 @@ suite in ``tests/kernels`` proves it over random dialects and inputs.
 The trade-off is table memory: ``G^k`` rows.  :func:`pick_stride`
 selects the largest supported ``k`` whose tables fit a byte budget
 (falling back to ``k = 1``, i.e. the unit-stride path), so small
-automata — CSV needs 7-9 groups including padding — get ``k = 4`` while
-group-rich automata degrade gracefully.
+automata stride wide while group-rich automata degrade gracefully.
+Two refinements push the ceiling to the full ``k = 8`` SWAR word:
+
+* the pipeline minimises the automaton first
+  (:mod:`repro.dfa.minimize`), shrinking both ``G`` and ``S`` — a
+  quote-less no-CR dialect collapses to one state and four groups,
+  whose whole k=8 plan is ~0.7 MB;
+* a :class:`KernelPlan` decomposes the chunk down the supported-stride
+  ladder (``31 = 8+8+8+4+2+1``) instead of finishing ``chunk_size % k``
+  symbols unit-stride, so wide strides help short chunks too.
 """
 
 from __future__ import annotations
@@ -55,21 +63,36 @@ from repro.errors import ParseError
 
 __all__ = [
     "StridedTables",
+    "KernelPlan",
     "SUPPORTED_STRIDES",
     "DEFAULT_TABLE_BUDGET",
     "build_tables",
+    "build_plan",
     "table_nbytes",
+    "plan_nbytes",
+    "plan_segments",
     "pick_stride",
     "resolve_stride",
     "pack_kgrams",
+    "pack_plan",
     "compute_transition_vectors_strided",
+    "compute_transition_vectors_plan",
     "compute_emissions_strided",
+    "compute_emissions_plan",
 ]
 
-#: Strides the auto-picker considers, best first.  Any ``k >= 1`` is
-#: legal to request explicitly; these are the sweet spots for the
-#: paper's 31-byte chunks.
-SUPPORTED_STRIDES: tuple[int, ...] = (4, 2)
+#: Strides whose k emission bytes fit one machine word (SWAR packing).
+_EMISSION_WORD_DTYPES: dict[int, type] = {
+    1: np.uint8, 2: np.uint16, 4: np.uint32, 8: np.uint64,
+}
+
+#: Strides the auto-picker considers, best first — exactly the word
+#: sizes the SWAR emission view supports, so the picker can never select
+#: a stride :func:`build_tables` lacks a packed-word path for (and a new
+#: word size added above is picked up everywhere at once).  Any
+#: ``k >= 1`` is still legal to request explicitly.
+SUPPORTED_STRIDES: tuple[int, ...] = tuple(sorted(
+    (k for k in _EMISSION_WORD_DTYPES if k > 1), reverse=True))
 
 #: Default ceiling for the precomposed tables of one ``(dfa, k)`` pair.
 #: 4 MiB keeps every table well inside L2 — a table that spills out of
@@ -79,11 +102,6 @@ DEFAULT_TABLE_BUDGET = 4 << 20
 #: Hard ceiling for explicitly requested strides: building a table this
 #: large is always a configuration error, not a tuning choice.
 _HARD_TABLE_CAP = 1 << 30
-
-#: Strides whose k emission bytes fit one machine word (SWAR packing).
-_EMISSION_WORD_DTYPES: dict[int, type] = {
-    1: np.uint8, 2: np.uint16, 4: np.uint32, 8: np.uint64,
-}
 
 
 @dataclass(frozen=True)
@@ -133,15 +151,60 @@ def table_nbytes(num_groups: int, num_states: int, k: int) -> int:
     return kgrams * num_states * (1 + k + 2)
 
 
-def pick_stride(dfa: Dfa, budget: int = DEFAULT_TABLE_BUDGET) -> int:
-    """Largest supported stride whose tables fit ``budget`` bytes.
+def _ladder(k: int) -> tuple[int, ...]:
+    """The descending strides a ``k``-stride plan may use: ``k`` itself
+    plus every supported stride below it (the remainder ladder)."""
+    return tuple(sorted({k, *(s for s in SUPPORTED_STRIDES if s < k)},
+                        reverse=True))
 
-    Falls back to ``1`` (the unit-stride path, no tables at all) when
-    even ``k = 2`` would blow the budget — automata with very many
-    symbol groups keep working, just without striding.
+
+def plan_segments(chunk_size: int, k: int
+                  ) -> tuple[tuple[tuple[int, int], ...], int]:
+    """Greedy mixed-stride decomposition of a chunk.
+
+    Returns ``(segments, unit_tail)`` where ``segments`` is a tuple of
+    ``(offset, stride)`` blocks, largest strides first, and ``unit_tail``
+    is the count of trailing symbols finished unit-stride.  E.g. the
+    paper's 31-byte chunk at ``k = 8`` decomposes as ``8+8+8+4+2`` plus a
+    1-byte tail — 6 table steps where uniform k=4 needs 10 — because the
+    remainder after the widest blocks cascades down the supported-stride
+    ladder instead of degrading straight to unit stride.
     """
-    for k in SUPPORTED_STRIDES:  # parlint: disable=PPR401 -- two candidate strides, configuration-time arithmetic only
-        if table_nbytes(dfa.num_groups, dfa.num_states, k) <= budget:
+    if k < 1:
+        raise ParseError("stride must be >= 1")
+    segments: list[tuple[int, int]] = []
+    offset = 0
+    for stride in _ladder(k):  # parlint: disable=PPR401 -- <= len(SUPPORTED_STRIDES)+1 ladder rungs, configuration-time arithmetic only
+        if stride < 2:
+            continue
+        while offset + stride <= chunk_size:  # parlint: disable=PPR401 -- chunk_size // stride blocks, configuration-time arithmetic only
+            segments.append((offset, stride))
+            offset += stride
+    return tuple(segments), chunk_size - offset
+
+
+def plan_nbytes(num_groups: int, num_states: int, k: int) -> int:
+    """Worst-case footprint of every table a ``k``-stride plan can
+    materialise (the ``k`` table plus the whole remainder ladder below
+    it).  Conservative and chunk-size-independent, so the auto-picker's
+    verdict holds for every chunk size."""
+    if k < 2:
+        return 0
+    return sum(table_nbytes(num_groups, num_states, stride)
+               for stride in _ladder(k))
+
+
+def pick_stride(dfa: Dfa, budget: int = DEFAULT_TABLE_BUDGET) -> int:
+    """Largest supported stride whose plan fits ``budget`` bytes.
+
+    Sized against :func:`plan_nbytes` — the whole mixed-stride ladder a
+    plan may build, not just the headline ``k`` table.  Falls back to
+    ``1`` (the unit-stride path, no tables at all) when even ``k = 2``
+    would blow the budget — automata with very many symbol groups keep
+    working, just without striding.
+    """
+    for k in SUPPORTED_STRIDES:  # parlint: disable=PPR401 -- len(SUPPORTED_STRIDES) candidates, configuration-time arithmetic only
+        if plan_nbytes(dfa.num_groups, dfa.num_states, k) <= budget:
             return k
     return 1
 
@@ -383,6 +446,217 @@ def compute_emissions_strided(groups: np.ndarray, start_states: np.ndarray,
                 offset = 0 if chunk < num_chunks else -1
             if offset >= 0:
                 position = chunk * chunk_size + offset
+                if position < chunking.input_bytes:
+                    invalid_position = position
+    return flat, final_state, invalid_position
+
+
+# -- mixed-stride plans ------------------------------------------------------
+
+@dataclass(frozen=True)
+class KernelPlan:
+    """A chunk-shaped execution plan over mixed strides.
+
+    Uniform-``k`` sweeps leave ``chunk_size % k`` symbols to the
+    unit-stride tail — at the paper's 31-byte chunks a uniform k=8 sweep
+    would pay 3 table steps *plus 7 scalar rounds*, no better than k=4.
+    A plan instead decomposes the chunk down the supported-stride ladder
+    (:func:`plan_segments`) and carries one :class:`StridedTables` per
+    distinct stride, so every segment advances by the widest table that
+    still fits.  Built by :func:`build_plan` (or the caching
+    :func:`repro.kernels.cache.get_plan`); immutable and shareable like
+    the tables it wraps.
+    """
+
+    #: The automaton the plan executes (with padding group).
+    dfa: Dfa
+    #: The headline stride the plan was built for.
+    k: int
+    #: The chunk width the segment decomposition is valid for.
+    chunk_size: int
+    #: ``(offset, stride)`` blocks, widest strides first, covering
+    #: ``chunk_size - unit_tail`` symbols.
+    segments: tuple[tuple[int, int], ...]
+    #: Trailing symbols finished by the unit-stride scalar loop.
+    unit_tail: int
+    #: Precomposed tables keyed by stride, one per distinct segment width.
+    tables: dict[int, StridedTables]
+
+    @property
+    def nbytes(self) -> int:
+        """Total footprint of the plan's tables in bytes."""
+        return sum(t.nbytes for t in self.tables.values())
+
+
+def build_plan(dfa: Dfa, k: int, chunk_size: int,
+               table_source=build_tables) -> KernelPlan:
+    """Build the mixed-stride plan for ``(dfa, k, chunk_size)``.
+
+    ``table_source(dfa, stride)`` supplies the per-stride tables —
+    :func:`build_tables` by default; the kernel cache passes its caching
+    getter so plans share tables process-wide.
+    """
+    if k < 2:
+        raise ParseError("plans need a stride >= 2; use the unit-stride "
+                         "sweeps for k = 1")
+    segments, unit_tail = plan_segments(chunk_size, k)
+    strides = sorted({stride for _, stride in segments}, reverse=True)
+    tables = {stride: table_source(dfa, stride) for stride in strides}
+    return KernelPlan(dfa=dfa, k=k, chunk_size=chunk_size,
+                      segments=segments, unit_tail=unit_tail,
+                      tables=tables)
+
+
+def pack_plan(groups: np.ndarray, plan: KernelPlan
+              ) -> dict[int, np.ndarray]:
+    """Packed k-gram indexes for every segment of ``plan``.
+
+    Returns ``{stride: (num_chunks, segments_of_that_stride) int32}``,
+    segment columns in plan order — the mixed-stride analogue of
+    :func:`pack_kgrams`, and like it a handful of vectorised shift-add
+    passes over the whole chunk grid.
+    """
+    if groups.ndim != 2 or groups.shape[1] != plan.chunk_size:
+        raise ValueError("groups do not match the plan's chunk grid")
+    num_groups = plan.dfa.num_groups
+    packed: dict[int, np.ndarray] = {}
+    for stride in plan.tables:  # parlint: disable=PPR401 -- one pass per distinct stride (<= ladder length), each vectorised over the chunk grid
+        offsets = np.array([offset for offset, s in plan.segments
+                            if s == stride])
+        columns = groups[:, offsets[:, None] + np.arange(stride)[None, :]]
+        words = columns[:, :, 0].astype(np.int32)
+        for i in range(1, stride):  # parlint: disable=PPR401 -- stride<=k shift-add passes, each vectorised over the whole chunk grid
+            words *= num_groups
+            words += columns[:, :, i]
+        packed[stride] = words
+    return packed
+
+
+def _segment_columns(plan: KernelPlan):
+    """Yield ``(segment_index, offset, stride, packed_column)`` so the
+    sweeps can walk segments in plan order while indexing the per-stride
+    packed matrices of :func:`pack_plan`."""
+    counters = {stride: 0 for stride in plan.tables}
+    for index, (offset, stride) in enumerate(plan.segments):  # parlint: disable=PPR401 -- bookkeeping over <= ~10 plan segments, not input data
+        column = counters[stride]
+        counters[stride] = column + 1
+        yield index, offset, stride, column
+
+
+def compute_transition_vectors_plan(groups: np.ndarray, plan: KernelPlan,
+                                    packed: dict[int, np.ndarray] | None
+                                    = None) -> np.ndarray:
+    """STVs for all chunks, one table gather per plan segment (cf.
+    :func:`compute_transition_vectors_strided`).
+
+    Bit-identical to the unit-stride sweep for the same reason the
+    uniform sweep is: every per-stride table is the exact composition of
+    the base table over its block, and composition is associative
+    regardless of how the chunk is split.
+    """
+    if groups.ndim != 2:
+        raise ValueError("expected a (num_chunks, chunk_size) matrix")
+    num_chunks, chunk_size = groups.shape
+    if chunk_size != plan.chunk_size:
+        raise ValueError("chunk grid does not match the plan")
+    dfa = plan.dfa
+    vectors = np.broadcast_to(
+        np.arange(dfa.num_states, dtype=np.uint8),
+        (num_chunks, dfa.num_states)).copy()
+    if packed is None:
+        packed = pack_plan(groups, plan)
+    for _, _, stride, column in _segment_columns(plan):  # parlint: disable=PPR401 -- one iteration per plan segment (~chunk_size/k); vectorised over the num_chunks axis
+        vectors = plan.tables[stride].transitions[
+            packed[stride][:, column, None], vectors]
+    transitions = dfa.transitions
+    for j in range(chunk_size - plan.unit_tail, chunk_size):  # parlint: disable=PPR401 -- unit-stride tail of < 2 symbols
+        vectors = transitions[groups[:, j, None], vectors]
+    return vectors
+
+
+def compute_emissions_plan(groups: np.ndarray, start_states: np.ndarray,
+                           plan: KernelPlan, chunking,
+                           packed: dict[int, np.ndarray] | None = None
+                           ) -> tuple[np.ndarray, int, int | None]:
+    """Tagging sweep over a mixed-stride plan (cf.
+    :func:`compute_emissions_strided`).
+
+    Returns the same ``(emissions, final_state, invalid_position)``
+    triple as the unit-stride sweep, bit for bit.  Each segment gathers
+    one SWAR word (every supported stride is a word size) and re-views it
+    as the segment's emission bytes; INV handling generalises the
+    uniform-stride scheme — the hot loop records only segment entry
+    states, and the exact offset is recovered by a scalar replay of the
+    first affected chunk through the per-segment ``first_invalid``
+    tables, then the unit tail, then the next chunk's first symbol.
+    """
+    num_chunks, chunk_size = groups.shape
+    if chunk_size != plan.chunk_size:
+        raise ValueError("chunk grid does not match the plan")
+    dfa = plan.dfa
+    invalid = dfa.invalid_state
+    states = start_states.astype(np.uint8).copy()
+    emissions = np.empty((num_chunks, chunk_size), dtype=np.uint8)
+    if packed is None:
+        packed = pack_plan(groups, plan)
+    entry_states = np.empty((num_chunks, len(plan.segments)),
+                            dtype=np.uint8) if invalid is not None else None
+    for index, offset, stride, column in _segment_columns(plan):  # parlint: disable=PPR401 -- one iteration per plan segment (~chunk_size/k); vectorised over the num_chunks axis
+        tables = plan.tables[stride]
+        kgrams = packed[stride][:, column]
+        if entry_states is not None:
+            entry_states[:, index] = states
+        # One word gather per chunk per segment (§5.3), re-viewed as the
+        # segment's emission bytes in the same native order it was
+        # packed; explicitly requested non-word strides gather bytes.
+        if tables.emission_words is not None:
+            emissions[:, offset:offset + stride] = \
+                tables.emission_words[kgrams, states].view(
+                    np.uint8).reshape(num_chunks, stride)
+        else:
+            emissions[:, offset:offset + stride] = \
+                tables.emissions[kgrams, states]
+        states = tables.transitions[kgrams, states]
+
+    tail_entry = states.copy() if invalid is not None else None
+    tail_start = chunk_size - plan.unit_tail
+    transitions = dfa.transitions
+    emission_table = dfa.emissions
+    for j in range(tail_start, chunk_size):  # parlint: disable=PPR401 -- unit-stride tail of < 2 symbols
+        g = groups[:, j]
+        emissions[:, j] = emission_table[states, g]
+        states = transitions[g, states]
+
+    final_state = int(states[-1])
+    flat = emissions.reshape(-1)[:chunking.input_bytes]
+
+    invalid_position: int | None = None
+    if invalid is not None:
+        bad = np.flatnonzero(states == invalid)   # sink: end == visited
+        if bad.size:
+            chunk = int(bad[0])
+            offset_found = -1
+            for index, offset, stride, column in _segment_columns(plan):  # parlint: disable=PPR401 -- scalar replay of one chunk, one step per plan segment
+                off = int(plan.tables[stride].first_invalid[
+                    packed[stride][chunk, column],
+                    entry_states[chunk, index]])
+                if off >= 0:
+                    offset_found = offset + off
+                    break
+            if offset_found < 0:
+                state = int(tail_entry[chunk])
+                for j in range(tail_start, chunk_size):  # parlint: disable=PPR401 -- scalar replay of one chunk tail, < 2 steps
+                    if state == invalid:
+                        offset_found = j
+                        break
+                    state = int(transitions[groups[chunk, j], state])
+            if offset_found < 0:
+                # Entered the sink on the chunk's very last transition:
+                # the first symbol read in it is the next chunk's first.
+                chunk += 1
+                offset_found = 0 if chunk < num_chunks else -1
+            if offset_found >= 0:
+                position = chunk * chunk_size + offset_found
                 if position < chunking.input_bytes:
                     invalid_position = position
     return flat, final_state, invalid_position

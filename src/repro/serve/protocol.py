@@ -39,6 +39,7 @@ from repro.core.options import ColumnCountPolicy, ParseOptions, \
     PartitionStrategy, TaggingMode
 from repro.dfa.dialects import Dialect
 from repro.errors import ProtocolError, ServeError
+from repro.kernels.strided import DEFAULT_TABLE_BUDGET
 
 __all__ = [
     "MAGIC",
@@ -165,6 +166,8 @@ def options_to_wire(options: ParseOptions) -> dict:
         "strip_carriage_return": dialect.strip_carriage_return,
         "chunk_size": options.chunk_size,
         "kernel_stride": options.kernel_stride,
+        "kernel_table_budget": options.kernel_table_budget,
+        "minimize_dfa": options.minimize_dfa,
         "tagging_mode": options.tagging_mode.value,
         "partition_strategy": None if options.partition_strategy is None
         else options.partition_strategy.value,
@@ -195,6 +198,9 @@ def options_from_wire(spec: dict | None) -> ParseOptions | None:
             chunk_size=int(spec.get("chunk_size", 31)),
             kernel_stride=None if spec.get("kernel_stride") is None
             else int(spec["kernel_stride"]),
+            kernel_table_budget=int(
+                spec.get("kernel_table_budget", DEFAULT_TABLE_BUDGET)),
+            minimize_dfa=bool(spec.get("minimize_dfa", True)),
             tagging_mode=TaggingMode(spec.get("tagging_mode", "tagged")),
             partition_strategy=None if strategy is None
             else PartitionStrategy(strategy),

@@ -214,3 +214,82 @@ def test_metrics_record_cache_traffic(padded):
     assert "kernels.table_build.seconds" in metrics.histograms
     expected = build_tables(padded, 2).nbytes
     assert metrics.gauges["kernels.table.bytes"] == expected
+
+
+def _redundant_rfc4180():
+    """RFC 4180 behaviour, different structure: states declared in a
+    different order plus a duplicate plain-field state (``FLD2``) that
+    minimisation must merge with ``FLD``."""
+    from repro.dfa import DfaBuilder, Emission
+
+    b = DfaBuilder()
+    b.state("EOR", accepting=True)
+    b.state("FLD", accepting=True)
+    b.state("FLD2", accepting=True)     # behavioural twin of FLD
+    b.state("ENC")
+    b.state("EOF", accepting=True)
+    b.state("ESC", accepting=True)
+    b.invalid_state("INV")
+    b.group("EOL", b"\n")
+    b.group("QUOTE", b'"')
+    b.group("DELIM", b",")
+    b.catch_all("OTHER")
+    data, control = Emission.DATA, Emission.CONTROL
+    for state in ("EOR", "FLD", "FLD2", "EOF", "ESC"):
+        b.transition(state, "EOL", "EOR", Emission.RECORD_DELIMITER)
+        b.transition(state, "DELIM", "EOF", Emission.FIELD_DELIMITER)
+    b.transition("EOR", "OTHER", "FLD", data)
+    b.transition("EOR", "QUOTE", "ENC", control)
+    b.transition("EOF", "OTHER", "FLD2", data)   # twin entry point
+    b.transition("EOF", "QUOTE", "ENC", control)
+    for fld in ("FLD", "FLD2"):
+        b.transition(fld, "OTHER", fld, data)
+        b.transition(fld, "QUOTE", "INV", control)
+    b.transition("ENC", "EOL", "ENC", data)
+    b.transition("ENC", "DELIM", "ENC", data)
+    b.transition("ENC", "OTHER", "ENC", data)
+    b.transition("ENC", "QUOTE", "ESC", control)
+    b.transition("ESC", "QUOTE", "ENC", data)
+    b.start("EOR")
+    return b.build()
+
+
+class TestBehaviouralSharing:
+    """Satellite: behaviourally equivalent, structurally different
+    automata share one kernel-cache entry once minimisation folds them
+    onto the same canonical form."""
+
+    def test_equivalent_automata_share_tables(self):
+        from repro.dfa import equivalent
+
+        a = rfc4180_dfa()
+        b = _redundant_rfc4180()
+        assert a.num_states != b.num_states          # structurally apart
+        assert equivalent(a, b)                      # behaviourally equal
+        from repro.dfa.minimize import canonicalize
+        pa = canonicalize(a).dfa.with_padding_group()
+        pb = canonicalize(b).dfa.with_padding_group()
+        assert dfa_fingerprint(pa) == dfa_fingerprint(pb)
+        assert get_tables(pa, 2) is get_tables(pb, 2)
+        assert cache_info() == {"entries": 1, "hits": 1, "misses": 1,
+                                "evictions": 0}
+
+    def test_second_dialect_parse_hits_the_cache(self):
+        """Pipeline-level: parsing with the redundant automaton after the
+        canonical one records only hits — kernels.cache.hits increments,
+        no new tables are built."""
+        from repro import ParPaRawParser, ParseOptions
+
+        data = b"a,b\nc,d\n" * 8
+        first = MetricsRegistry()
+        ParPaRawParser(ParseOptions(dfa=rfc4180_dfa()),
+                       metrics=first).parse(data)
+        assert first.counters.get("kernels.cache.misses", 0) >= 1
+        entries_before = cache_info()["entries"]
+
+        second = MetricsRegistry()
+        ParPaRawParser(ParseOptions(dfa=_redundant_rfc4180()),
+                       metrics=second).parse(data)
+        assert second.counters.get("kernels.cache.hits", 0) >= 1
+        assert second.counters.get("kernels.cache.misses", 0) == 0
+        assert cache_info()["entries"] == entries_before

@@ -9,17 +9,23 @@ index of the first symbol read in the INV sink.
 import numpy as np
 import pytest
 
+from repro import ParPaRawParser, ParseOptions
 from repro.dfa import Dialect, dialect_dfa, rfc4180_dfa
 from repro.errors import ParseError
 from repro.kernels import (
     DEFAULT_TABLE_BUDGET,
     StridedTables,
+    build_plan,
     build_tables,
     pack_kgrams,
     pick_stride,
+    plan_nbytes,
+    plan_segments,
     resolve_stride,
     table_nbytes,
 )
+from repro.kernels.strided import _EMISSION_WORD_DTYPES, SUPPORTED_STRIDES
+from repro.obs import MetricsRegistry
 
 
 def unpack_kgram(kgram: int, k: int, num_groups: int) -> list[int]:
@@ -49,7 +55,7 @@ def padded_csv_dfa():
     return rfc4180_dfa().with_padding_group()
 
 
-@pytest.mark.parametrize("k", [1, 2, 3, 4])
+@pytest.mark.parametrize("k", [1, 2, 3, 4, 8])
 def test_tables_match_scalar_walk(padded_csv_dfa, k):
     dfa = padded_csv_dfa
     tables = build_tables(dfa, k)
@@ -69,7 +75,7 @@ def test_tables_match_scalar_walk(padded_csv_dfa, k):
             assert int(tables.first_invalid[kgram, state]) == first_invalid
 
 
-@pytest.mark.parametrize("k", [1, 2, 4])
+@pytest.mark.parametrize("k", [1, 2, 4, 8])
 def test_emission_words_alias_emission_bytes(padded_csv_dfa, k):
     tables = build_tables(padded_csv_dfa, k)
     words = tables.emission_words
@@ -148,3 +154,93 @@ def test_tables_are_frozen(padded_csv_dfa):
     assert isinstance(tables, StridedTables)
     with pytest.raises(AttributeError):
         tables.k = 3
+
+
+class TestSupportedStrides:
+    """Satellite: the supported strides are derived from one place — the
+    SWAR word-dtype table — and everything that enumerates strides
+    (picker, planner, word views) must stay consistent with it."""
+
+    def test_derived_from_word_dtypes(self):
+        assert SUPPORTED_STRIDES == tuple(sorted(
+            (k for k in _EMISSION_WORD_DTYPES if k > 1), reverse=True))
+        assert SUPPORTED_STRIDES == (8, 4, 2)
+
+    def test_word_views_exist_exactly_for_supported(self, padded_csv_dfa):
+        for k in SUPPORTED_STRIDES:
+            assert build_tables(padded_csv_dfa, k).emission_words \
+                is not None
+        # ...and for no other stride in the practical range.
+        for k in (3, 5, 6, 7):
+            assert build_tables(padded_csv_dfa, k).emission_words is None
+
+    def test_pick_stride_only_returns_supported_or_unit(self,
+                                                        padded_csv_dfa):
+        dfa = padded_csv_dfa
+        for budget in (1, 10_000, 100_000, DEFAULT_TABLE_BUDGET, 1 << 30):
+            assert pick_stride(dfa, budget) in SUPPORTED_STRIDES + (1,)
+
+    def test_plan_segments_use_only_supported_strides(self):
+        for chunk_size in range(1, 70):
+            segments, unit_tail = plan_segments(chunk_size, 8)
+            covered = 0
+            for offset, stride in segments:
+                assert stride in SUPPORTED_STRIDES
+                assert offset == covered
+                covered += stride
+            assert covered + unit_tail == chunk_size
+
+    def test_paper_chunk_decomposition(self):
+        # 31 = 8+8+8+4+2 plus a 1-byte unit tail: 5 table gathers where
+        # uniform k=4 needs 7 (and leaves a 3-byte tail).
+        segments, unit_tail = plan_segments(31, 8)
+        assert segments == ((0, 8), (8, 8), (16, 8), (24, 4), (28, 2))
+        assert unit_tail == 1
+
+    def test_plan_nbytes_covers_the_ladder(self, padded_csv_dfa):
+        g, s = padded_csv_dfa.num_groups, padded_csv_dfa.num_states
+        assert plan_nbytes(g, s, 8) == sum(
+            table_nbytes(g, s, k) for k in (8, 4, 2))
+        assert plan_nbytes(g, s, 2) == table_nbytes(g, s, 2)
+        assert plan_nbytes(g, s, 1) == 0
+
+    def test_build_plan_materialises_the_ladder(self, padded_csv_dfa):
+        plan = build_plan(padded_csv_dfa, 8, 31)
+        assert set(plan.tables) == {8, 4, 2}
+        assert plan.unit_tail == 1
+        assert plan.nbytes == plan_nbytes(
+            padded_csv_dfa.num_groups, padded_csv_dfa.num_states, 8)
+
+
+class TestTableBudgetOption:
+    """Satellite: ``ParseOptions.kernel_table_budget`` reaches the auto
+    stride picker and is observable as a gauge."""
+
+    DATA = b"a,b,c\n" * 40
+
+    def _stride_used(self, options: ParseOptions) -> float:
+        metrics = MetricsRegistry()
+        ParPaRawParser(options, metrics=metrics).parse(self.DATA)
+        return metrics.gauges["stage.stv.stride"], \
+            metrics.gauges["kernels.table_budget"]
+
+    def test_default_budget_is_observable(self):
+        stride, budget = self._stride_used(ParseOptions())
+        assert budget == float(DEFAULT_TABLE_BUDGET)
+        assert stride >= 2
+
+    def test_shrunken_budget_narrows_the_stride(self):
+        wide, _ = self._stride_used(ParseOptions())
+        narrow, budget = self._stride_used(
+            ParseOptions(kernel_table_budget=1))
+        assert budget == 1.0
+        assert narrow == 1.0 < wide
+
+    def test_explicit_stride_ignores_budget(self):
+        stride, _ = self._stride_used(
+            ParseOptions(kernel_stride=2, kernel_table_budget=1))
+        assert stride == 2.0
+
+    def test_budget_must_be_positive(self):
+        with pytest.raises(ParseError):
+            ParseOptions(kernel_table_budget=0)
