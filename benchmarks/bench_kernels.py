@@ -69,8 +69,12 @@ def time_stride(data: bytes, dialect: Dialect, stride: int | None,
     """
     clear_cache()
     metrics = MetricsRegistry()
+    # Explicit strides must bring a budget their table plan fits
+    # (ParseOptions rejects over-budget strides up front); the auto cell
+    # keeps the production default.
+    budget = {} if stride is None else {"kernel_table_budget": 1 << 30}
     parser = ParPaRawParser(ParseOptions(dialect=dialect,
-                                         kernel_stride=stride),
+                                         kernel_stride=stride, **budget),
                             metrics=metrics)
     parser.parse(data)                   # warm-up: builds + caches tables
     resolved = int(metrics.gauges["stage.stv.stride"])

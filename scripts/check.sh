@@ -219,6 +219,69 @@ assert all(r["zero_copy_columns"] > 0 for r in fused), fused
 print("columnar bench smoke:", len(doc["path_rows"]), "path rows")
 EOF
 
+# Planner smoke: a --plan auto CLI parse must emit a valid Chrome trace
+# carrying the plan.* spans and metrics of the decision it made.
+python -m repro parse "$OBS_TMP/smoke.csv" --plan auto \
+    --trace "$OBS_TMP/trace_plan.json" --metrics > /dev/null
+python - "$OBS_TMP/trace_plan.json" <<'EOF'
+import json, sys
+from repro.obs import validate_chrome_trace
+doc = json.load(open(sys.argv[1]))
+problems = validate_chrome_trace(doc)
+assert not problems, problems
+names = {e.get("name") for e in doc["traceEvents"]}
+assert {"plan.probe", "plan.decide", "parse"} <= names, sorted(names)
+assert doc["metrics"]["counters"]["plan.decisions"] == 1, doc["metrics"]
+assert doc["metrics"]["gauges"]["plan.chunk_size"] > 0, doc["metrics"]
+assert doc["metrics"]["counters"]["records"] == 200, doc["metrics"]
+print("planner smoke: --plan auto trace valid, chunk",
+      int(doc["metrics"]["gauges"]["plan.chunk_size"]), "stride",
+      int(doc["metrics"]["gauges"]["plan.kernel_stride"]))
+EOF
+
+# Planner admission smoke: a tenant with a tiny cost budget must bounce
+# at admission (priced by the planner), while the default tenant parses.
+python - "$OBS_TMP" <<'EOF'
+import pathlib, sys
+from repro.errors import AdmissionError
+from repro.serve.service import IngestService, ServiceConfig, TenantPolicy
+
+data = pathlib.Path(sys.argv[1], "smoke.csv").read_bytes()
+config = ServiceConfig(
+    tenants={"tiny": TenantPolicy(max_cost_seconds=1e-12)})
+with IngestService(config) as svc:
+    try:
+        svc.parse(data, tenant="tiny")
+        raise SystemExit("over-budget request was accepted")
+    except AdmissionError as error:
+        assert error.reason == "over-budget", error.reason
+    assert svc.parse(data).num_rows == 200
+    rejects = svc.metrics.counters["serve.admission.rejects.over_budget"]
+    assert rejects == 1, rejects
+print("planner smoke: over-budget tenant rejected at admission")
+EOF
+
+# Plan bench smoke: the auto-vs-fixed sweep must run end to end and
+# embed the chosen plan with its rationale (tiny input; the committed
+# BENCH_plan.json is produced by the full benchmark run).
+python benchmarks/bench_plan.py --bytes 65536 --repeats 1 --rounds 2 \
+    --out "$OBS_TMP/bench_plan.json" > /dev/null
+python - "$OBS_TMP/bench_plan.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+workloads = {r["workload"] for r in doc["rows"]}
+assert {"yelp", "taxi", "logs"} <= workloads, workloads
+autos = [r for r in doc["rows"] if r["config"] == "auto"]
+assert len(autos) == 3, autos
+for row in autos:
+    decision = row["decision"]
+    assert decision["rationale"], row["workload"]
+    assert decision["chosen"]["chunk_size"] == row["chunk"], row
+print("plan bench smoke:", len(doc["rows"]), "cells,",
+      sum(len(r["decision"]["candidates"]) for r in autos),
+      "candidates scored")
+EOF
+
 # Serve smoke: start the ingest service on an ephemeral port, hit it
 # with concurrent clients (one oversized request that must bounce at
 # admission with a per-tenant reject), require the served tables to be

@@ -20,6 +20,8 @@ Main entry points:
   capabilities;
 * :class:`repro.StreamingParser` — incremental parsing with record
   carry-over;
+* :class:`repro.Planner` / ``ParseOptions(plan="auto")`` — the
+  self-tuning configuration planner (:mod:`repro.plan`);
 * :mod:`repro.exec` — pluggable execution backends
   (:class:`repro.SerialExecutor`, :class:`repro.ShardedExecutor`);
 * :mod:`repro.dfa` — custom parsing rules as DFAs;
@@ -50,6 +52,7 @@ from repro.errors import (
     ReproError,
     SchemaError,
 )
+from repro.plan import InputStats, PlanDecision, Planner
 from repro.streaming import StreamingParser
 
 __version__ = "1.0.0"
@@ -64,6 +67,9 @@ __all__ = [
     "PartitionStrategy",
     "ColumnCountPolicy",
     "StreamingParser",
+    "Planner",
+    "PlanDecision",
+    "InputStats",
     "Executor",
     "SerialExecutor",
     "ShardedExecutor",

@@ -31,6 +31,7 @@ Examples::
     python -m repro parse data.csv --delimiter ';' --comment '#' --summary
     python -m repro parse data.csv --workers 4 --timings --summary
     python -m repro parse data.csv --workers 4 --trace out.json --metrics
+    python -m repro parse data.csv --plan auto --summary
     python -m repro infer data.csv
     python -m repro simulate --dataset yelp --size-mb 512 --chunk 31
     python -m repro simulate --trace schedule.json
@@ -92,6 +93,7 @@ def _options_from_args(args: argparse.Namespace) -> ParseOptions:
         else PartitionStrategy(args.partition_strategy),
         infer_types=getattr(args, "infer_types", False),
         column_count_policy=ColumnCountPolicy(args.column_policy),
+        plan=None if getattr(args, "plan", "off") == "off" else args.plan,
     )
 
 
@@ -140,12 +142,30 @@ def _emit_obs(args: argparse.Namespace, tracer, metrics) -> None:
 def cmd_parse(args: argparse.Namespace) -> int:
     with open(args.file, "rb") as handle:
         data = handle.read()
-    executor = _executor_from_args(args)
     tracer, metrics = _obs_from_args(args)
+    options = _options_from_args(args)
+    planner = None
+    if options.plan == "auto":
+        from repro.plan import Planner
+        planner = Planner(tracer=tracer, metrics=metrics)
+        decision = planner.plan(data, options)
+        w = decision.winner
+        print(f"plan: chunk={w.chunk_size} stride={w.stride} "
+              f"partition={w.strategy} workers={decision.workers} "
+              f"({decision.modelled_seconds * 1e3:.2f} ms modelled, "
+              f"fingerprint {decision.fingerprint})")
+        # An explicit --workers wins; otherwise follow the planner.
+        if args.workers == 1 and decision.workers > 1:
+            args.workers = decision.workers
+        # Parse with the decision directly (plan=None) so the parser
+        # does not probe and plan a second time; keeping the planner
+        # attached still feeds the measurement back into its store.
+        options = decision.chosen
+    executor = _executor_from_args(args)
     try:
-        result = ParPaRawParser(_options_from_args(args),
-                                executor=executor, tracer=tracer,
-                                metrics=metrics).parse(data)
+        result = ParPaRawParser(options, executor=executor,
+                                tracer=tracer, metrics=metrics,
+                                planner=planner).parse(data)
     finally:
         executor.close()
     table = result.table
@@ -378,6 +398,11 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="N",
                        help="worker processes for the sharded executor "
                             "(1 = serial, the default)")
+        p.add_argument("--plan", default="off", choices=("off", "auto"),
+                       help="auto = let the self-tuning planner probe "
+                            "the input and pick chunk size, stride and "
+                            "partition strategy with its calibrated "
+                            "cost model (see docs/PLANNER.md)")
 
     p_parse = sub.add_parser("parse", help="parse a file")
     p_parse.add_argument("file")

@@ -55,13 +55,20 @@ ALLOWED_LAYER_IMPORTS: dict[str, frozenset[str]] = {
                                   "repro.kernels",
                                   "repro.core", "repro.exec",
                                   "repro.obs"}),
+    # The planner closes the obs -> gpusim -> options loop: it reads the
+    # cost model and calibrates it with observed timings, and it builds
+    # ParseOptions — but repro.core never imports it back (the parser
+    # reaches the default planner through a registered factory).
+    "repro.plan": frozenset({"repro.scan", "repro.columnar", "repro.dfa",
+                             "repro.gpusim", "repro.kernels",
+                             "repro.core", "repro.obs"}),
     # The service sits at the top of the stack: it may orchestrate
     # everything below it, and nothing below may import it back.
     "repro.serve": frozenset({"repro.scan", "repro.columnar",
                               "repro.dfa", "repro.gpusim",
                               "repro.kernels", "repro.core",
                               "repro.exec", "repro.obs",
-                              "repro.streaming"}),
+                              "repro.streaming", "repro.plan"}),
     "repro.baselines": frozenset({"repro.scan", "repro.columnar",
                                   "repro.dfa", "repro.gpusim",
                                   "repro.core"}),

@@ -29,7 +29,8 @@ from repro.obs.metrics import NULL_METRICS, MetricsRegistry
 from repro.obs.trace import NULL_TRACER, Tracer
 from repro.utils.timing import StepTimer
 
-__all__ = ["ParPaRawParser", "parse_bytes", "set_default_executor_factory"]
+__all__ = ["ParPaRawParser", "parse_bytes", "set_default_executor_factory",
+           "set_default_planner_factory"]
 
 #: Factory invoked when a parser is built without an explicit executor.
 #: ``repro.exec`` registers the :class:`~repro.exec.SerialExecutor` here at
@@ -37,11 +38,22 @@ __all__ = ["ParPaRawParser", "parse_bytes", "set_default_executor_factory"]
 #: pipeline, never the reverse, so ``repro.core`` stays import-clean).
 _default_executor_factory = None
 
+#: Factory invoked when ``options.plan == "auto"`` and no planner was
+#: passed.  ``repro.plan`` registers its process-wide shared planner here
+#: at import time (same inversion as the executor factory).
+_default_planner_factory = None
+
 
 def set_default_executor_factory(factory) -> None:
     """Register the zero-argument factory for the default executor."""
     global _default_executor_factory
     _default_executor_factory = factory
+
+
+def set_default_planner_factory(factory) -> None:
+    """Register the zero-argument factory for the default planner."""
+    global _default_planner_factory
+    _default_planner_factory = factory
 
 
 class _InlineSchedule:
@@ -62,21 +74,22 @@ class _InlineSchedule:
 
 def parse_bytes(data: bytes, options: ParseOptions | None = None,
                 executor=None, tracer: Tracer = NULL_TRACER,
-                metrics: MetricsRegistry = NULL_METRICS,
+                metrics: MetricsRegistry = NULL_METRICS, planner=None,
                 **option_kwargs) -> ParseResult:
     """Parse ``data`` in one call.
 
     ``option_kwargs`` are forwarded to :class:`ParseOptions` when no
     options object is given — e.g. ``parse_bytes(raw, chunk_size=16)``.
     ``executor`` selects the execution backend (default: serial);
-    ``tracer``/``metrics`` attach :mod:`repro.obs` sinks.
+    ``tracer``/``metrics`` attach :mod:`repro.obs` sinks; ``planner``
+    attaches a :class:`repro.plan.Planner` (see :class:`ParPaRawParser`).
     """
     if options is None:
         options = ParseOptions(**option_kwargs)
     elif option_kwargs:
         options = options.with_(**option_kwargs)
     return ParPaRawParser(options, executor=executor, tracer=tracer,
-                          metrics=metrics).parse(data)
+                          metrics=metrics, planner=planner).parse(data)
 
 
 class ParPaRawParser:
@@ -96,6 +109,15 @@ class ParPaRawParser:
         Observability sinks from :mod:`repro.obs`.  The defaults are the
         shared no-op singletons; pass real instances to record spans and
         counters (see ``docs/OBSERVABILITY.md``).
+    planner:
+        Self-tuning planner from :mod:`repro.plan` (duck-typed:
+        ``plan_options``/``observe``).  When ``options.plan == "auto"``
+        the planner re-plans the performance knobs per input before
+        parsing; whenever a planner is attached, every finished parse is
+        fed back through ``observe`` so its calibration store learns the
+        substrate's real stage costs.  ``None`` falls back to the
+        process-wide planner registered by ``repro.plan`` (only when
+        ``plan == "auto"``).
 
     Example
     -------
@@ -109,7 +131,7 @@ class ParPaRawParser:
 
     def __init__(self, options: ParseOptions | None = None,
                  executor=None, tracer: Tracer = NULL_TRACER,
-                 metrics: MetricsRegistry = NULL_METRICS):
+                 metrics: MetricsRegistry = NULL_METRICS, planner=None):
         self.options = options if options is not None else ParseOptions()
         self._dfa = self.options.resolved_dfa()
         if executor is None:
@@ -120,6 +142,10 @@ class ParPaRawParser:
         self.executor = executor
         self.tracer = tracer
         self.metrics = metrics
+        if planner is None and self.options.plan == "auto" \
+                and _default_planner_factory is not None:
+            planner = _default_planner_factory()
+        self.planner = planner
 
     # -- public API ---------------------------------------------------------
 
@@ -128,7 +154,16 @@ class ParPaRawParser:
         timer = StepTimer()
         raw = self._as_array(data)
         tracer, metrics = self.tracer, self.metrics
-        ctx = PipelineContext(options=self.options, dfa=self._dfa,
+        options, dfa = self.options, self._dfa
+        if options.plan == "auto":
+            if self.planner is not None:
+                options = self.planner.plan_options(
+                    raw, options, tracer=tracer, metrics=metrics)
+                dfa = options.resolved_dfa()
+            else:
+                # No planner layer loaded: parse with the knobs as given.
+                options = options.with_(plan=None)
+        ctx = PipelineContext(options=options, dfa=dfa,
                               timer=timer, tracer=tracer, metrics=metrics)
         payload = RawInput(raw=raw, input_bytes=int(raw.size))
         if metrics.enabled:
@@ -138,7 +173,7 @@ class ParPaRawParser:
                 out: ConvertedOutput = self.executor.execute(ctx, payload)
         else:
             out = self.executor.execute(ctx, payload)
-        return ParseResult(
+        result = ParseResult(
             table=out.table,
             num_records=out.num_records,
             num_rows=out.num_rows,
@@ -146,9 +181,12 @@ class ParPaRawParser:
             validation=out.report,
             timer=timer,
             collaboration=out.collaboration,
-            options=self.options,
+            options=options,
             input_bytes=out.input_bytes,
         )
+        if self.planner is not None:
+            self.planner.observe(result, metrics=metrics)
+        return result
 
     # -- helpers -------------------------------------------------------------
 

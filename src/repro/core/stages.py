@@ -644,6 +644,16 @@ class PartitionStage(Stage):
     def run(self, ctx, payload: ValidatedInput) -> PartitionedInput:
         options = ctx.options
         strategy = self.resolve_strategy(options, payload.delim_positions)
+        if strategy is PartitionStrategy.FIELD_RUN \
+                and payload.delim_positions is None:
+            # ParseOptions rejects the known-bad combinations up front;
+            # this guards any future tagging path that drops the
+            # per-delimiter positions an explicit field-run needs.
+            raise ParseError(
+                "partition_strategy='field-run' needs the per-delimiter "
+                "position arrays, but this tagging path did not "
+                "materialise them; use partition_strategy='radix' or "
+                "None (auto)")
         if strategy is PartitionStrategy.FIELD_RUN:
             part = partition_field_runs(payload.data_ext, payload.keep,
                                         payload.col_ids, payload.rec_ids,

@@ -400,6 +400,7 @@ class ShardedExecutor(Executor):
                           1.0 if shm is not None else 0.0)
 
         try:
+            phase_start = time.perf_counter()
             with tracer.span("sharded:contexts", shards=len(bounds)):
                 with ctx.timer.step("parse"):
                     contexts = list(mapper(_shard_contexts, shards,
@@ -409,12 +410,19 @@ class ShardedExecutor(Executor):
                                            repeat(minimize),
                                            range(len(bounds)),
                                            repeat(observe)))
+            if metrics.enabled:
+                # Mirror the serial pipeline's stage.*.seconds histograms
+                # so dashboards and the planner's calibration see the
+                # same names regardless of executor.
+                metrics.observe("stage.stv.seconds",
+                                time.perf_counter() - phase_start)
             for _, _, obs in contexts:
                 self._ingest_obs(tracer, metrics, obs)
             if metrics.enabled:
                 metrics.count("sharded.input.bytes.shipped",
                               shipped_per_phase)
 
+            phase_start = time.perf_counter()
             with tracer.span("sharded:combine", shards=len(bounds)):
                 with ctx.timer.step("scan"):
                     # One composition scan over the shard composites gives
@@ -435,6 +443,10 @@ class ShardedExecutor(Executor):
                         in zip(contexts, entering_states)
                     ]
 
+            if metrics.enabled:
+                metrics.observe("stage.scan.seconds",
+                                time.perf_counter() - phase_start)
+            phase_start = time.perf_counter()
             with tracer.span("sharded:tags", shards=len(bounds)):
                 with ctx.timer.step("tag"):
                     shard_tags = list(mapper(
@@ -451,6 +463,9 @@ class ShardedExecutor(Executor):
                         bounds, shard_tags,
                         run_structured=options.tagging_impl
                         is TaggingImpl.GLOBAL)
+            if metrics.enabled:
+                metrics.observe("stage.tag.seconds",
+                                time.perf_counter() - phase_start)
             for entry in shard_tags:
                 self._ingest_obs(tracer, metrics, entry[8])
             if metrics.enabled:

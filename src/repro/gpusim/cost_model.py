@@ -138,6 +138,20 @@ class StepCosts:
             partition=self.partition + other.partition,
             convert=self.convert + other.convert)
 
+    def scaled(self, factors: dict[str, float]) -> "StepCosts":
+        """A copy with each step multiplied by ``factors`` (default 1.0).
+
+        This is how measured calibration ratios rescale a prediction:
+        ``repro.plan.calibration.CalibrationStore.apply`` builds the
+        factor map from observed/modelled EWMAs.
+        """
+        return StepCosts(
+            parse=self.parse * factors.get("parse", 1.0),
+            scan=self.scan * factors.get("scan", 1.0),
+            tag=self.tag * factors.get("tag", 1.0),
+            partition=self.partition * factors.get("partition", 1.0),
+            convert=self.convert * factors.get("convert", 1.0))
+
 
 @dataclass
 class PipelineCostModel:

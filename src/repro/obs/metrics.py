@@ -96,6 +96,21 @@ class MetricsRegistry:
 
     # -- export ------------------------------------------------------------
 
+    def histogram_totals(self, prefix: str = "",
+                         suffix: str = "") -> dict[str, float]:
+        """Histogram totals keyed by the name between the affixes.
+
+        ``histogram_totals("stage.", ".seconds")`` returns measured
+        seconds per stage — the shape the planner's calibration store
+        ingests (:mod:`repro.plan.calibration`).
+        """
+        totals: dict[str, float] = {}
+        for name, (_, total, _, _) in self.histograms.items():
+            if name.startswith(prefix) and name.endswith(suffix) \
+                    and len(name) > len(prefix) + len(suffix):
+                totals[name[len(prefix):len(name) - len(suffix)]] = total
+        return totals
+
     def to_dict(self) -> dict[str, Any]:
         """Plain-dict snapshot (JSON- and pickle-friendly)."""
         return {

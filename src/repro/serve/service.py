@@ -46,6 +46,7 @@ from repro.exec import SerialExecutor, ShardedExecutor
 from repro.kernels import cache_info
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import NULL_TRACER, Tracer
+from repro.plan import Planner
 from repro.streaming import StreamingParser
 from repro.streaming.stream_parser import DEFAULT_MAX_CARRY_BYTES
 
@@ -79,6 +80,9 @@ class TenantPolicy:
     max_request_bytes: int | None = None
     #: Carry-over bound for the tenant's streaming sessions.
     max_carry_bytes: int | None = None
+    #: Largest estimated parse cost (seconds, priced by the service's
+    #: planner) the tenant may submit; ``None`` = no cost budget.
+    max_cost_seconds: float | None = None
 
 
 @dataclass(frozen=True)
@@ -125,13 +129,16 @@ class Ticket:
     """
 
     def __init__(self, request_id: int, tenant: str, priority: int,
-                 deadline: float | None, input_bytes: int):
+                 deadline: float | None, input_bytes: int,
+                 estimated_cost: float = 0.0):
         self.id = request_id
         self.tenant = tenant
         self.priority = priority
         #: Monotonic deadline (``None`` = no timeout).
         self.deadline = deadline
         self.input_bytes = input_bytes
+        #: Planner-priced parse estimate in seconds (queue drain hints).
+        self.estimated_cost = estimated_cost
         self.state = QUEUED
         self.result_value: ParseResult | None = None
         self.error: BaseException | None = None
@@ -288,6 +295,9 @@ class IngestService:
         else:
             self._executor = SerialExecutor()
             self._owns_executor = True
+        #: One planner per service: request parses feed its calibration
+        #: store, so admission estimates sharpen as the service runs.
+        self._planner = Planner(tracer=self.tracer, metrics=self.metrics)
         self._queue: queue.PriorityQueue = queue.PriorityQueue(
             maxsize=self.config.queue_capacity)
         self._seq = itertools.count()
@@ -316,8 +326,10 @@ class IngestService:
 
         Raises :class:`~repro.errors.AdmissionError` when the request
         cannot be queued: service shutting down (``closed``), body over
-        the tenant's size limit (``oversized``), or admission queue full
-        (``queue-full``, with a ``retry_after`` backoff hint).
+        the tenant's size limit (``oversized``), estimated parse cost
+        over the tenant's budget (``over-budget``), or admission queue
+        full (``queue-full``, with a ``retry_after`` hint scaled by the
+        estimated drain time of the queued work).
         """
         if self.closing:
             raise AdmissionError("service is shutting down",
@@ -338,20 +350,38 @@ class IngestService:
             priority = policy.priority
         if timeout is None:
             timeout = self.config.default_timeout
+        estimated = self._planner.estimate_cost(size, options)
+        if policy.max_cost_seconds is not None \
+                and estimated > policy.max_cost_seconds:
+            self._count_reject(tenant, "over_budget")
+            raise AdmissionError(
+                f"estimated parse cost {estimated:.3f}s exceeds the "
+                f"cost budget of {policy.max_cost_seconds:.3f}s for "
+                f"tenant {tenant!r}; split the request or raise "
+                f"max_cost_seconds", reason="over-budget")
         deadline = None if timeout is None \
             else time.monotonic() + timeout
         ticket = Ticket(next(self._ids), tenant, int(priority), deadline,
-                        size)
+                        size, estimated_cost=estimated)
         entry = (ticket.priority, next(self._seq), ticket, data, options)
         try:
             self._queue.put_nowait(entry)
         except queue.Full:
             depth = self._queue.qsize()
+            # Price the hint by the estimated drain time of what is
+            # actually queued, spread over the dispatchers — a queue of
+            # large requests backs clients off for longer than a queue
+            # of small ones at the same depth.
+            with self._queue.mutex:
+                queued_cost = sum(
+                    e[2].estimated_cost for e in self._queue.queue
+                    if e[2] is not None)
             retry_after = self.config.retry_after \
-                * (1.0 + depth / max(1, len(self._dispatchers)))
+                + queued_cost / max(1, len(self._dispatchers))
             self._count_reject(tenant, "queue_full")
             raise AdmissionError(
-                f"admission queue full ({depth} queued); retry in "
+                f"admission queue full ({depth} queued, estimated "
+                f"{queued_cost:.3f}s of work); retry in "
                 f"{retry_after:.3f}s", reason="queue-full",
                 retry_after=retry_after) from None
         self.metrics.count("serve.requests")
@@ -423,7 +453,8 @@ class IngestService:
         try:
             parser = ParPaRawParser(options, executor=self._executor,
                                     tracer=self.tracer,
-                                    metrics=self.metrics)
+                                    metrics=self.metrics,
+                                    planner=self._planner)
             if self.tracer.enabled:
                 with self.tracer.span("serve:request", tenant=ticket.tenant,
                                       request=ticket.id,
@@ -511,6 +542,11 @@ class IngestService:
         """The shared warm executor (for tests and advanced callers)."""
         return self._executor
 
+    @property
+    def planner(self) -> Planner:
+        """The service's planner (admission pricing + calibration)."""
+        return self._planner
+
     def status(self) -> dict:
         """A JSON-friendly snapshot of the whole service (see status.py)."""
         counters = dict(self.metrics.counters)
@@ -552,6 +588,10 @@ class IngestService:
             "requests": requests,
             "tenants": tenants,
             "kernel_cache": cache_info(),
+            "planner": {
+                "calibration_version": self._planner.store.version,
+                "fingerprints": len(self._planner.store.snapshot()),
+            },
             "batches": batches,
         }
 

@@ -65,6 +65,12 @@ class StreamingParser:
     byte-offset diagnostics instead of growing — and re-tagging — the
     carry without limit.  ``None`` disables the bound.
 
+    ``planner`` attaches a :class:`repro.plan.Planner`: with
+    ``options.plan == "auto"`` every partition is re-planned against the
+    calibration the previous partitions' measured stage timings built up
+    (online adaptation); the boundary search itself always runs with the
+    configured knobs, so partition splits are plan-independent.
+
     When the parser creates its own default executor (``executor=None``)
     it owns it: :meth:`close` releases it, and :meth:`parse_file` closes
     it on every path.  An explicitly passed executor stays caller-owned.
@@ -73,7 +79,8 @@ class StreamingParser:
     def __init__(self, options: ParseOptions | None = None,
                  executor=None, tracer: Tracer = NULL_TRACER,
                  metrics: MetricsRegistry = NULL_METRICS,
-                 max_carry_bytes: int | None = DEFAULT_MAX_CARRY_BYTES):
+                 max_carry_bytes: int | None = DEFAULT_MAX_CARRY_BYTES,
+                 planner=None):
         self.options = options if options is not None else ParseOptions()
         if self.options.schema is None:
             raise StreamingError(
@@ -86,7 +93,9 @@ class StreamingParser:
         if max_carry_bytes is not None and max_carry_bytes <= 0:
             raise StreamingError("max_carry_bytes must be positive or None")
         self._parser = ParPaRawParser(self.options, executor=executor,
-                                      tracer=tracer, metrics=metrics)
+                                      tracer=tracer, metrics=metrics,
+                                      planner=planner)
+        self.planner = self._parser.planner
         self._executor = self._parser.executor
         self._owns_executor = executor is None
         self._dfa = self.options.resolved_dfa()

@@ -84,19 +84,20 @@ class TestStrategyParity:
 
     def test_chunked_tagging_impl(self):
         """The paper-faithful chunked tagger carries no delimiter
-        positions; field-run falls back to boundary detection and must
-        still match radix bit for bit."""
+        positions: an explicit field-run request is rejected up front
+        with an actionable error, and auto resolves to radix with
+        bit-identical partitions."""
+        base = dict(dialect=Dialect(strip_carriage_return=False),
+                    tagging_impl=TaggingImpl.CHUNKED, chunk_size=8)
+        with pytest.raises(ParseError, match="field-run"):
+            ParseOptions(partition_strategy=PartitionStrategy.FIELD_RUN,
+                         **base)
         for data in TRICKY_INPUTS:
-            base = dict(dialect=Dialect(strip_carriage_return=False),
-                        tagging_impl=TaggingImpl.CHUNKED, chunk_size=8)
             radix = partition_result(
                 data, ParseOptions(
                     partition_strategy=PartitionStrategy.RADIX, **base))
-            field_run = partition_result(
-                data, ParseOptions(
-                    partition_strategy=PartitionStrategy.FIELD_RUN,
-                    **base))
-            assert_parts_identical(radix, field_run)
+            auto = partition_result(data, ParseOptions(**base))
+            assert_parts_identical(radix, auto)
 
     @pytest.mark.parametrize("workers,shard_bytes", [(2, 64), (3, 48)])
     def test_sharded_schedule(self, workers, shard_bytes):

@@ -260,7 +260,8 @@ def test_plan_parity_property_k8(data, dialect_index, chunk_size):
     """Property leg for the production path: minimised first (shrinking
     G**8), then swept with the full k=8 ladder."""
     options = ParseOptions(dialect=PLAN_K8_DIALECTS[dialect_index],
-                           chunk_size=chunk_size, kernel_stride=8)
+                           chunk_size=chunk_size, kernel_stride=8,
+                           kernel_table_budget=_K8_RAW_TABLE_CAP)
     baseline = options.with_(kernel_stride=1)
     a = ParPaRawParser(baseline).parse(bytes(data))
     b = ParPaRawParser(options).parse(bytes(data))
@@ -276,7 +277,8 @@ def test_parser_output_identical_across_strides(k):
     baseline = ParseOptions(dialect=Dialect(strip_carriage_return=False),
                             kernel_stride=1)
     strided = ParseOptions(dialect=Dialect(strip_carriage_return=False),
-                           kernel_stride=k)
+                           kernel_stride=k,
+                           kernel_table_budget=_K8_RAW_TABLE_CAP)
     for data in TRICKY_INPUTS:
         a = ParPaRawParser(baseline).parse(data)
         b = ParPaRawParser(strided).parse(data)
@@ -315,7 +317,8 @@ def test_minimised_matches_unminimised(dialect):
 @pytest.mark.parametrize("k", STRIDES)
 def test_sharded_matches_serial_with_stride(k):
     options = ParseOptions(dialect=Dialect(strip_carriage_return=False),
-                           chunk_size=8, kernel_stride=k)
+                           chunk_size=8, kernel_stride=k,
+                           kernel_table_budget=_K8_RAW_TABLE_CAP)
     executor = ShardedExecutor(workers=3, shard_bytes=21,
                                use_processes=False)
     for data in TRICKY_INPUTS:

@@ -236,9 +236,12 @@ class TestTableBudgetOption:
         assert budget == 1.0
         assert narrow == 1.0 < wide
 
-    def test_explicit_stride_ignores_budget(self):
-        stride, _ = self._stride_used(
-            ParseOptions(kernel_stride=2, kernel_table_budget=1))
+    def test_explicit_stride_over_budget_rejected_up_front(self):
+        with pytest.raises(ParseError, match="kernel_table_budget"):
+            ParseOptions(kernel_stride=2, kernel_table_budget=1)
+
+    def test_explicit_stride_honoured_when_budget_fits(self):
+        stride, _ = self._stride_used(ParseOptions(kernel_stride=2))
         assert stride == 2.0
 
     def test_budget_must_be_positive(self):

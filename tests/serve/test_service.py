@@ -153,6 +153,75 @@ class TestAdmission:
         assert info.value.reason == "closed"
 
 
+class TestAdmissionPricing:
+    """Planner-priced admission: cost budgets and drain-scaled hints."""
+
+    def test_tickets_carry_estimated_cost(self, service):
+        ticket = service.submit(DATA)
+        assert ticket.estimated_cost > 0
+        assert ticket.result(timeout=30).num_rows == 4
+
+    def test_over_budget_request_rejected(self):
+        config = ServiceConfig(
+            tenants={"tiny": TenantPolicy(max_cost_seconds=1e-12)})
+        with IngestService(config) as svc:
+            with pytest.raises(AdmissionError) as info:
+                svc.parse(DATA, tenant="tiny")
+            assert info.value.reason == "over-budget"
+            assert "max_cost_seconds" in str(info.value)
+            assert svc.metrics.counters[
+                "serve.admission.rejects.over_budget"] == 1
+            assert svc.status()["tenants"]["tiny"]["rejects"] == 1
+            # The default tenant has no cost budget: same body admitted.
+            assert svc.parse(DATA).num_rows == 4
+
+    def test_status_reports_planner_calibration(self, service):
+        service.parse(DATA)
+        planner_status = service.status()["planner"]
+        assert planner_status["calibration_version"] > 0
+        assert planner_status["fingerprints"] >= 1
+
+    def _queue_full_retry_after(self, body: bytes) -> float:
+        """Fill a capacity-2 queue behind a blocked dispatcher with
+        ``body`` and return the queue-full hint for the overflow."""
+        config = ServiceConfig(workers=1, dispatchers=1, queue_capacity=2)
+        svc = IngestService(config)
+        release = threading.Event()
+        import repro.serve.service as service_module
+        original_parser = service_module.ParPaRawParser
+
+        class SlowParser(original_parser):
+            def parse(self, data):
+                release.wait(30)
+                return super().parse(data)
+
+        service_module.ParPaRawParser = SlowParser
+        try:
+            blocker = svc.submit(DATA)           # occupies the dispatcher
+            time.sleep(0.05)
+            queued = [svc.submit(body) for _ in range(2)]
+            with pytest.raises(AdmissionError) as info:
+                svc.submit(DATA)                 # bounces
+            assert info.value.reason == "queue-full"
+            return_value = info.value.retry_after
+        finally:
+            service_module.ParPaRawParser = original_parser
+            release.set()
+        assert blocker.result(timeout=30).num_rows == 4
+        for ticket in queued:
+            ticket.result(timeout=30)
+        svc.close()
+        return return_value
+
+    def test_retry_after_scales_with_queued_work(self):
+        """A queue of large requests yields a larger hint than a queue
+        of small ones — the hint prices the estimated drain time."""
+        small_hint = self._queue_full_retry_after(DATA)
+        large_hint = self._queue_full_retry_after(DATA * 20000)
+        assert small_hint > 0
+        assert large_hint > small_hint
+
+
 class TestDeadlinesAndCancel:
     def test_expired_in_queue_never_runs(self):
         svc = IngestService(ServiceConfig(dispatchers=1))
